@@ -1,0 +1,355 @@
+// Benchmarks regenerating each table and figure of the paper's
+// evaluation at reduced scale (the full scale lives in cmd/experiments).
+// Custom metrics report the figure's key quantities so `go test -bench`
+// output doubles as a results table; b.N repetitions exercise run-to-run
+// stability.
+package deisago_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"deisago/internal/array"
+	"deisago/internal/harness"
+	"deisago/internal/linalg"
+	"deisago/internal/ml"
+	"deisago/internal/mpi"
+	"deisago/internal/ndarray"
+	"deisago/internal/netsim"
+	"deisago/internal/pfs"
+	"deisago/internal/sim"
+	"deisago/internal/taskgraph"
+	"deisago/internal/vtime"
+)
+
+// benchOptions is a scale small enough for benchmarking loops while
+// keeping every effect (PFS contention, scheduler overload) visible.
+func benchOptions() harness.Options {
+	o := harness.QuickOptions()
+	o.Runs = 1
+	o.Timesteps = 4
+	o.WeakProcs = []int{4, 8}
+	o.BlockBytes = 32 << 20
+	o.StrongProcs = []int{4, 8}
+	o.StrongTotalBytes = 512 << 20
+	o.Fig5Procs = 16
+	o.Fig5BlockBytes = 64 << 20
+	return o
+}
+
+// BenchmarkFig2aSimulationSide regenerates Figure 2a (weak-scaling
+// simulation, write, and communication times per iteration).
+func BenchmarkFig2aSimulationSide(b *testing.B) {
+	o := benchOptions()
+	var last *harness.Table
+	for i := 0; i < b.N; i++ {
+		t, err := harness.Fig2a(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	report2(b, last, "Simulation", "sim-s/iter")
+	report2(b, last, "Post Hoc Write", "write-s/iter")
+	report2(b, last, "DEISA3 Communication", "deisa3-s/iter")
+}
+
+// BenchmarkFig2bAnalytics regenerates Figure 2b (weak-scaling analytics
+// durations for the four systems).
+func BenchmarkFig2bAnalytics(b *testing.B) {
+	o := benchOptions()
+	var last *harness.Table
+	for i := 0; i < b.N; i++ {
+		t, err := harness.Fig2b(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	report2(b, last, "Post hoc IPCA", "posthoc-old-s")
+	report2(b, last, "Post hoc New IPCA", "posthoc-new-s")
+	report2(b, last, "DEISA3 New IPCA", "deisa3-s")
+}
+
+// BenchmarkFig3aSimBandwidth regenerates Figure 3a (per-process
+// simulation-side bandwidth).
+func BenchmarkFig3aSimBandwidth(b *testing.B) {
+	o := benchOptions()
+	var last *harness.Table
+	for i := 0; i < b.N; i++ {
+		t, err := harness.Fig3a(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	report2(b, last, "DEISA3 Communication", "deisa3-MiB/s")
+	report2(b, last, "Post Hoc Write", "write-MiB/s")
+}
+
+// BenchmarkFig3bAnalyticsBandwidth regenerates Figure 3b.
+func BenchmarkFig3bAnalyticsBandwidth(b *testing.B) {
+	o := benchOptions()
+	var last *harness.Table
+	for i := 0; i < b.N; i++ {
+		t, err := harness.Fig3b(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	report2(b, last, "DEISA3 New IPCA", "deisa3-MiB/s")
+	report2(b, last, "Post hoc IPCA", "posthoc-MiB/s")
+}
+
+// BenchmarkFig4aStrongScalingSim regenerates Figure 4a (strong-scaling
+// simulation-side cost in core·hours).
+func BenchmarkFig4aStrongScalingSim(b *testing.B) {
+	o := benchOptions()
+	var last *harness.Table
+	for i := 0; i < b.N; i++ {
+		t, err := harness.Fig4a(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	report2(b, last, "Post Hoc Write", "write-core-h")
+	report2(b, last, "DEISA3 Communication", "deisa3-core-h")
+}
+
+// BenchmarkFig4bStrongScalingAnalytics regenerates Figure 4b.
+func BenchmarkFig4bStrongScalingAnalytics(b *testing.B) {
+	o := benchOptions()
+	var last *harness.Table
+	for i := 0; i < b.N; i++ {
+		t, err := harness.Fig4b(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	report2(b, last, "Post hoc IPCA", "posthoc-core-h")
+	report2(b, last, "DEISA3 New IPCA", "deisa3-core-h")
+}
+
+// BenchmarkFig5Variability regenerates Figure 5 (per-rank communication
+// variability for DEISA1/2/3 across runs).
+func BenchmarkFig5Variability(b *testing.B) {
+	o := benchOptions()
+	var last []harness.Fig5Run
+	for i := 0; i < b.N; i++ {
+		runs, err := harness.Fig5(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = runs
+	}
+	var band1, band3 float64
+	for _, r := range last {
+		var avg float64
+		for _, s := range r.Std {
+			avg += s
+		}
+		avg /= float64(len(r.Std))
+		switch r.System {
+		case harness.DEISA1:
+			band1 += avg
+		case harness.DEISA3:
+			band3 += avg
+		}
+	}
+	b.ReportMetric(band1, "deisa1-band-s")
+	b.ReportMetric(band3, "deisa3-band-s")
+}
+
+// BenchmarkHeadlineRatios reproduces the paper's ×7 / ×3 / ×18 summary.
+func BenchmarkHeadlineRatios(b *testing.B) {
+	o := benchOptions()
+	o.WeakProcs = []int{16}
+	var h *harness.Headline
+	for i := 0; i < b.N; i++ {
+		var err error
+		h, err = harness.ComputeHeadline(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(h.SimSpeedupVsDeisa1, "sim-x")
+	b.ReportMetric(h.AnalyticsSpeedupVsDeisa1, "analytics-x")
+	b.ReportMetric(h.CostRatioVsPostHocWrite, "cost-x")
+}
+
+// BenchmarkMetadataMessages verifies §2.1's message-count claim.
+func BenchmarkMetadataMessages(b *testing.B) {
+	o := benchOptions()
+	var mc *harness.MetadataCounts
+	for i := 0; i < b.N; i++ {
+		var err error
+		mc, err = harness.ComputeMetadataCounts(o, 8, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(mc.DEISA1Queue), "deisa1-queue-msgs")
+	b.ReportMetric(float64(mc.DEISA3Variable), "deisa3-var-msgs")
+}
+
+// report2 reports a series' last point as a custom metric.
+func report2(b *testing.B, t *harness.Table, label, metric string) {
+	b.Helper()
+	for _, s := range t.Series {
+		if s.Label == label {
+			b.ReportMetric(s.Mean[len(s.Mean)-1], metric)
+			return
+		}
+	}
+	b.Fatalf("series %q not found", label)
+}
+
+// ---- Micro-benchmarks of the substrates -------------------------------
+
+// BenchmarkEndToEndDEISA3 times one full workflow run.
+func BenchmarkEndToEndDEISA3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := harness.Run(harness.Config{
+			System: harness.DEISA3, Ranks: 8, Workers: 4,
+			Timesteps: 4, BlockBytes: 16 << 20, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSVD times the one-sided Jacobi SVD on a 64×32 matrix.
+func BenchmarkSVD(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := ndarray.New(64, 32)
+	for i := range m.Data() {
+		m.Data()[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		linalg.SVD(m)
+	}
+}
+
+// BenchmarkIPCAPartialFit times one incremental PCA update.
+func BenchmarkIPCAPartialFit(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	batch := ndarray.New(64, 64)
+	for i := range batch.Data() {
+		batch.Data()[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est := ml.NewIncrementalPCA(2)
+		if err := est.PartialFit(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHeat2DStep times a solver step on a 128×128 local block.
+func BenchmarkHeat2DStep(b *testing.B) {
+	cfg := sim.Config{GlobalX: 128, GlobalY: 128, ProcX: 1, ProcY: 1, Alpha: 0.2, CellCost: 1e-12}
+	fabric := netsim.New(netsim.DefaultConfig(), 1)
+	world := mpi.NewWorld(fabric, []netsim.NodeID{0})
+	b.ResetTimer()
+	world.Run(0, func(c *mpi.Comm) {
+		h, err := sim.New(cfg, c, sim.HotSpotInitial(cfg))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			h.Step()
+		}
+	})
+}
+
+// BenchmarkPFSWrite times striped writes through the simulated PFS.
+func BenchmarkPFSWrite(b *testing.B) {
+	fs := pfs.New(pfs.DefaultConfig())
+	fs.Create("bench", 0)
+	buf := make([]byte, 1<<16)
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fs.WriteAt("bench", int64(i%64)<<16, buf, float64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFabricTransfer times the virtual-time pricing of a transfer.
+func BenchmarkFabricTransfer(b *testing.B) {
+	f := netsim.New(netsim.DefaultConfig(), 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Transfer(netsim.NodeID(i%16), netsim.NodeID(16+i%16), 1<<20, float64(i))
+	}
+}
+
+// BenchmarkRechunk times graph construction + execution of a rechunk.
+func BenchmarkRechunk(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		src := array.FromChunkTasks("src", []int{32, 32}, []int{8, 8},
+			func(idx, ext []int) (taskgraph.Fn, vtime.Dur) {
+				extent := append([]int(nil), ext...)
+				return func([]any) (any, error) { return ndarray.New(extent...), nil }, 1e-6
+			})
+		_ = src.Rechunk("dst", []int{16, 16})
+	}
+}
+
+// BenchmarkFuse times the fuse optimization on a 300-task chain graph.
+func BenchmarkFuse(b *testing.B) {
+	g := taskgraph.New()
+	prev := taskgraph.Key("")
+	for i := 0; i < 300; i++ {
+		key := taskgraph.Key(fmt.Sprintf("c%03d", i))
+		var deps []taskgraph.Key
+		if prev != "" {
+			deps = []taskgraph.Key{prev}
+		}
+		g.AddFn(key, deps, func(in []any) (any, error) { return 0.0, nil }, 1)
+		prev = key
+	}
+	keep := map[taskgraph.Key]bool{prev: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		taskgraph.Fuse(g, keep)
+	}
+}
+
+// BenchmarkDistributedPCAGraph times building the TSQR PCA graph.
+func BenchmarkDistributedPCAGraph(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g := taskgraph.New()
+		keys := make([]taskgraph.Key, 16)
+		for j := range keys {
+			keys[j] = taskgraph.Key(fmt.Sprintf("blk-%d", j))
+			blk := ndarray.New(8, 4)
+			g.AddFn(keys[j], nil, func([]any) (any, error) { return blk, nil }, 1e-6)
+		}
+		ml.BuildDistributedPCA(g, "p", keys, 2, 8, 4)
+	}
+}
+
+// BenchmarkMiniBatchKMeans times one partial fit on 256×8 data.
+func BenchmarkMiniBatchKMeans(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := ndarray.New(256, 8)
+	for i := range x.Data() {
+		x.Data()[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		km := ml.NewMiniBatchKMeans(4, 1)
+		if err := km.PartialFit(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,19 @@
+package main
+
+import "testing"
+
+func TestParseSystem(t *testing.T) {
+	cases := map[string]bool{
+		"deisa3": true, "DEISA1": true, "posthoc-new": true, "dask": true,
+		"posthoc-old": true, "deisa": true, "nonsense": false, "": false,
+	}
+	for in, ok := range cases {
+		_, err := parseSystem(in)
+		if ok && err != nil {
+			t.Fatalf("parseSystem(%q) errored: %v", in, err)
+		}
+		if !ok && err == nil {
+			t.Fatalf("parseSystem(%q) accepted", in)
+		}
+	}
+}

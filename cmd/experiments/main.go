@@ -1,0 +1,147 @@
+// Command experiments regenerates the paper's tables and figures on the
+// simulated platform. Each figure of the evaluation section (Figures 2–5)
+// has a generator; -all runs everything, -quick uses a reduced scale.
+//
+// Usage:
+//
+//	experiments -all            # every figure at paper scale
+//	experiments -fig 2a         # one figure
+//	experiments -quick -fig 2b  # reduced scale (fast smoke run)
+//	experiments -headline       # the paper's ×7 / ×3 / ×18 ratios
+//	experiments -csv            # emit CSV instead of aligned tables
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"deisago/internal/harness"
+)
+
+func main() {
+	var (
+		all      = flag.Bool("all", false, "run every figure")
+		fig      = flag.String("fig", "", "figure to run: 2a, 2b, 3a, 3b, 4a, 4b, 5, meta")
+		ablation = flag.String("ablation", "", "ablation to run: heartbeat, metadata, contract, placement, fuse, all")
+		headline = flag.Bool("headline", false, "compute the headline ratios")
+		quick    = flag.Bool("quick", false, "reduced scale (fast)")
+		csv      = flag.Bool("csv", false, "CSV output for tables")
+		svgDir   = flag.String("svg", "", "also write each figure as an SVG chart into this directory")
+	)
+	flag.Parse()
+
+	opts := harness.DefaultOptions()
+	if *quick {
+		opts = harness.QuickOptions()
+	}
+	if !*all && *fig == "" && !*headline && *ablation == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	figName := "figure"
+	emit := func(t *harness.Table, err error) {
+		check(err)
+		if *csv {
+			fmt.Println(t.CSV())
+		} else {
+			fmt.Println(t.Format())
+		}
+		if *svgDir != "" {
+			path := fmt.Sprintf("%s/fig%s.svg", *svgDir, figName)
+			check(os.WriteFile(path, []byte(t.RenderSVG(900, 420)), 0o644))
+			fmt.Fprintf(os.Stderr, "[svg -> %s]\n", path)
+		}
+	}
+
+	run := func(name string) {
+		start := time.Now()
+		figName = strings.ToLower(name)
+		switch figName {
+		case "2a":
+			emit(harness.Fig2a(opts))
+		case "2b":
+			emit(harness.Fig2b(opts))
+		case "3a":
+			emit(harness.Fig3a(opts))
+		case "3b":
+			emit(harness.Fig3b(opts))
+		case "4a":
+			emit(harness.Fig4a(opts))
+		case "4b":
+			emit(harness.Fig4b(opts))
+		case "5":
+			runs, err := harness.Fig5(opts)
+			check(err)
+			fmt.Println(harness.FormatFig5(runs))
+			if *svgDir != "" {
+				path := fmt.Sprintf("%s/fig5.svg", *svgDir)
+				check(os.WriteFile(path, []byte(harness.RenderFig5SVG(runs, 960, 640)), 0o644))
+				fmt.Fprintf(os.Stderr, "[svg -> %s]\n", path)
+			}
+		case "meta":
+			ranks := opts.WeakProcs[len(opts.WeakProcs)-1]
+			mc, err := harness.ComputeMetadataCounts(opts, ranks, ranks/2)
+			check(err)
+			fmt.Println(mc.Format())
+		default:
+			fmt.Fprintf(os.Stderr, "unknown figure %q\n", name)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *headline {
+		h, err := harness.ComputeHeadline(opts)
+		check(err)
+		fmt.Println(h.Format())
+	}
+	if *fig != "" {
+		run(*fig)
+	}
+	runAblation := func(name string) {
+		start := time.Now()
+		figName = "ablation-" + strings.ToLower(name)
+		switch strings.ToLower(name) {
+		case "heartbeat":
+			emit(harness.AblationHeartbeat(opts, nil))
+		case "metadata":
+			emit(harness.AblationMetadata(opts, nil))
+		case "contract":
+			emit(harness.AblationContract(opts, nil))
+		case "placement":
+			emit(harness.AblationPlacement(opts))
+		case "fuse":
+			emit(harness.AblationFuse(opts))
+		default:
+			fmt.Fprintf(os.Stderr, "unknown ablation %q\n", name)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "[ablation %s done in %v]\n", name, time.Since(start).Round(time.Millisecond))
+	}
+	if *ablation == "all" {
+		for _, a := range []string{"heartbeat", "metadata", "contract", "placement", "fuse"} {
+			runAblation(a)
+		}
+	} else if *ablation != "" {
+		runAblation(*ablation)
+	}
+	if *all {
+		for _, f := range []string{"2a", "2b", "3a", "3b", "4a", "4b", "5", "meta"} {
+			run(f)
+		}
+		h, err := harness.ComputeHeadline(opts)
+		check(err)
+		fmt.Println(h.Format())
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}

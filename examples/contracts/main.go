@@ -1,0 +1,140 @@
+// Contracts: automatic data filtering between simulation and analytics.
+//
+// The analytics selects only a sub-region of the published virtual array
+// with the [] operator; the contract is signed once, and every bridge
+// then filters locally: blocks outside the selection are never shipped.
+// This example shows the traffic saved.
+//
+//	go run ./examples/contracts
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"sync"
+
+	"deisago/internal/array"
+	"deisago/internal/core"
+	"deisago/internal/dask"
+	"deisago/internal/ndarray"
+	"deisago/internal/netsim"
+	"deisago/internal/taskgraph"
+)
+
+const (
+	ranks     = 8
+	timesteps = 5
+	blockX    = 16
+	blockY    = 4
+)
+
+func runOnce(selectHalf bool) (sent, skipped int64, bytes int64) {
+	fabric := netsim.New(netsim.DefaultConfig(), ranks+4)
+	cluster := dask.NewCluster(fabric, dask.DefaultConfig(), 0,
+		[]netsim.NodeID{2, 3})
+	defer cluster.Close()
+
+	va := &core.VirtualArray{
+		Name:    "field",
+		Size:    []int{timesteps, blockX, blockY * ranks},
+		Subsize: []int{1, blockX, blockY},
+		TimeDim: 0,
+	}
+
+	var wg sync.WaitGroup
+	bridges := make([]*core.Bridge, ranks)
+	for r := 0; r < ranks; r++ {
+		bridges[r] = core.NewBridge(core.BridgeConfig{
+			Rank: r, Cluster: cluster, Node: netsim.NodeID(4 + r%(ranks/2)),
+			HeartbeatInterval: math.Inf(1), Mode: core.ModeExternal,
+		})
+		if err := bridges[r].DeclareArray(va); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		d := core.Connect(cluster, 1)
+		set, err := d.GetDeisaArrays()
+		if err != nil {
+			log.Fatal(err)
+		}
+		da, err := set.Get("field")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if selectHalf {
+			// Only the lower half of the Y domain, all timesteps.
+			da.Select(
+				array.Range{Start: 0, Stop: timesteps},
+				array.Range{Start: 0, Stop: blockX},
+				array.Range{Start: 0, Stop: blockY * ranks / 2},
+			)
+		} else {
+			da.SelectAll()
+		}
+		if _, err := set.ValidateContract(); err != nil {
+			log.Fatal(err)
+		}
+		// Sum over exactly the selected blocks.
+		g := taskgraph.New()
+		g.AddFn("sum", da.Selection().Keys(), func(in []any) (any, error) {
+			s := 0.0
+			for _, v := range in {
+				s += v.(*ndarray.Array).Sum()
+			}
+			return s, nil
+		}, 1e-4)
+		futs, err := d.Client().Submit(g, []taskgraph.Key{"sum"})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := d.Client().Gather(futs); err != nil {
+			log.Fatal(err)
+		}
+	}()
+
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			b := bridges[r]
+			now, err := b.Init(0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for t := 0; t < timesteps; t++ {
+				block := ndarray.New(1, blockX, blockY)
+				block.Fill(1)
+				now, _, err = b.Publish("field", []int{t, 0, r}, block, now+0.05)
+				if err != nil {
+					log.Fatal(err)
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	for _, b := range bridges {
+		s, k := b.Stats()
+		sent += s
+		skipped += k
+	}
+	_, moved := fabric.Transfers()
+	return sent, skipped, moved
+}
+
+func main() {
+	fullSent, fullSkipped, fullBytes := runOnce(false)
+	fmt.Printf("select [...] (everything):  blocks sent=%d skipped=%d, fabric bytes=%.1f KiB\n",
+		fullSent, fullSkipped, float64(fullBytes)/1024)
+	halfSent, halfSkipped, halfBytes := runOnce(true)
+	fmt.Printf("select lower half of Y:     blocks sent=%d skipped=%d, fabric bytes=%.1f KiB\n",
+		halfSent, halfSkipped, float64(halfBytes)/1024)
+	fmt.Printf("\ncontract filtering shipped %.0f%% of the blocks and saved %.0f%% of the traffic\n",
+		100*float64(halfSent)/float64(fullSent),
+		100*(1-float64(halfBytes)/float64(fullBytes)))
+}

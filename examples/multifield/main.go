@@ -1,0 +1,167 @@
+// Multifield: one simulation publishes several fields with independent
+// contracts — the "external tasks are more general" direction of the
+// paper's §5 (multi-physics codes, digital-twin workflows).
+//
+// The simulation exposes temperature and velocity fields; the analytics
+// subscribes to the whole temperature timeline but only the final
+// velocity snapshot. Each bridge filters locally per array.
+//
+//	go run ./examples/multifield
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"sync"
+
+	"deisago/internal/array"
+	"deisago/internal/core"
+	"deisago/internal/dask"
+	"deisago/internal/ndarray"
+	"deisago/internal/netsim"
+	"deisago/internal/taskgraph"
+)
+
+const (
+	ranks     = 4
+	timesteps = 6
+	bx, by    = 8, 8
+)
+
+func main() {
+	fabric := netsim.New(netsim.DefaultConfig(), ranks+4)
+	cluster := dask.NewCluster(fabric, dask.DefaultConfig(), 0,
+		[]netsim.NodeID{2, 3})
+	defer cluster.Close()
+
+	mkVA := func(name string) *core.VirtualArray {
+		return &core.VirtualArray{
+			Name:    name,
+			Size:    []int{timesteps, bx, by * ranks},
+			Subsize: []int{1, bx, by},
+			TimeDim: 0,
+		}
+	}
+	temp, vel := mkVA("temperature"), mkVA("velocity")
+
+	var wg sync.WaitGroup
+	var tempTrend []float64
+	var velMax float64
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		d := core.Connect(cluster, 1)
+		set, err := d.GetDeisaArrays()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("published deisa arrays: %v\n", set.Names())
+		daT, _ := set.Get("temperature")
+		daV, _ := set.Get("velocity")
+		daT.SelectAll()
+		daV.Select( // only the last timestep of the velocity field
+			array.Range{Start: timesteps - 1, Stop: timesteps},
+			array.Range{Start: 0, Stop: bx},
+			array.Range{Start: 0, Stop: by * ranks},
+		)
+		if _, err := set.ValidateContract(); err != nil {
+			log.Fatal(err)
+		}
+
+		g := taskgraph.New()
+		// Per-timestep global temperature mean (a trend line).
+		var trendKeys []taskgraph.Key
+		for t := 0; t < timesteps; t++ {
+			var deps []taskgraph.Key
+			for b := 0; b < ranks; b++ {
+				deps = append(deps, daT.VA.BlockKey([]int{t, 0, b}))
+			}
+			key := taskgraph.Key(fmt.Sprintf("t-mean-%d", t))
+			g.AddFn(key, deps, func(in []any) (any, error) {
+				sum, n := 0.0, 0.0
+				for _, v := range in {
+					a := v.(*ndarray.Array)
+					sum += a.Sum()
+					n += float64(a.Size())
+				}
+				return sum / n, nil
+			}, 1e-4)
+			trendKeys = append(trendKeys, key)
+		}
+		// Final-step velocity maximum.
+		var velDeps []taskgraph.Key
+		for b := 0; b < ranks; b++ {
+			velDeps = append(velDeps, daV.VA.BlockKey([]int{timesteps - 1, 0, b}))
+		}
+		g.AddFn("v-max", velDeps, func(in []any) (any, error) {
+			m := math.Inf(-1)
+			for _, v := range in {
+				a := v.(*ndarray.Array)
+				if x := a.MaxAxis(0).MaxAxis(0).MaxAxis(0).At(); x > m {
+					m = x
+				}
+			}
+			return m, nil
+		}, 1e-4)
+
+		targets := append(append([]taskgraph.Key{}, trendKeys...), "v-max")
+		futs, err := d.Client().Submit(g, targets)
+		if err != nil {
+			log.Fatal(err)
+		}
+		vals, err := d.Client().Gather(futs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, v := range vals[:timesteps] {
+			tempTrend = append(tempTrend, v.(float64))
+		}
+		velMax = vals[timesteps].(float64)
+	}()
+
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			b := core.NewBridge(core.BridgeConfig{
+				Rank: r, Cluster: cluster, Node: netsim.NodeID(4 + r%2),
+				HeartbeatInterval: math.Inf(1), Mode: core.ModeExternal,
+			})
+			if err := b.DeclareArray(temp); err != nil {
+				log.Fatal(err)
+			}
+			if err := b.DeclareArray(vel); err != nil {
+				log.Fatal(err)
+			}
+			now, err := b.Init(0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for t := 0; t < timesteps; t++ {
+				tb := ndarray.New(1, bx, by)
+				tb.Fill(20 + float64(t)*1.5) // warming trend
+				vb := ndarray.New(1, bx, by)
+				vb.Fill(float64(r) + 0.1*float64(t))
+				now, _, err = b.Publish("temperature", []int{t, 0, r}, tb, now+0.1)
+				if err != nil {
+					log.Fatal(err)
+				}
+				now, _, err = b.Publish("velocity", []int{t, 0, r}, vb, now)
+				if err != nil {
+					log.Fatal(err)
+				}
+			}
+			sent, skipped := b.Stats()
+			fmt.Printf("rank %d: %d blocks sent, %d filtered by contracts\n", r, sent, skipped)
+		}(r)
+	}
+	wg.Wait()
+
+	fmt.Printf("\ntemperature trend (global mean per step): ")
+	for _, v := range tempTrend {
+		fmt.Printf("%.1f ", v)
+	}
+	fmt.Printf("\nfinal-step velocity max: %.1f\n", velMax)
+}

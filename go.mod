@@ -1,0 +1,3 @@
+module deisago
+
+go 1.22

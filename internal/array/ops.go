@@ -1,0 +1,163 @@
+package array
+
+import (
+	"fmt"
+
+	"deisago/internal/ndarray"
+	"deisago/internal/taskgraph"
+	"deisago/internal/vtime"
+)
+
+// Zip combines two identically-shaped, identically-chunked arrays
+// elementwise (the dask.array blockwise binary operation).
+func Zip(name string, a, b *Chunked, f func(x, y float64) float64) *Chunked {
+	if len(a.shape) != len(b.shape) {
+		panic("array: Zip rank mismatch")
+	}
+	for d := range a.shape {
+		if a.shape[d] != b.shape[d] || a.chunkShape[d] != b.chunkShape[d] {
+			panic(fmt.Sprintf("array: Zip shape/chunk mismatch: %v/%v vs %v/%v",
+				a.shape, a.chunkShape, b.shape, b.chunkShape))
+		}
+	}
+	out := a.derive(name, a.shape, a.chunkShape)
+	out.graph.Merge(b.graph)
+	for k := range b.externals {
+		out.externals[k] = true
+	}
+	a.eachChunk(func(idx []int) {
+		key := out.defaultKey(idx)
+		cost := vtime.Dur(float64(a.ChunkBytes(idx)) * 2 * DefaultCostPerByte)
+		task := out.graph.AddFn(key, []taskgraph.Key{a.ChunkKey(idx...), b.ChunkKey(idx...)},
+			func(in []any) (any, error) {
+				x, ok := in[0].(*ndarray.Array)
+				if !ok {
+					return nil, fmt.Errorf("array: Zip left input is %T", in[0])
+				}
+				y, ok := in[1].(*ndarray.Array)
+				if !ok {
+					return nil, fmt.Errorf("array: Zip right input is %T", in[1])
+				}
+				xc, yc := x.Contiguous(), y.Contiguous()
+				res := ndarray.New(xc.Shape()...)
+				xd, yd, rd := xc.Data(), yc.Data(), res.Data()
+				if len(xd) != len(yd) {
+					return nil, fmt.Errorf("array: Zip chunk sizes differ: %d vs %d", len(xd), len(yd))
+				}
+				for i := range rd {
+					rd[i] = f(xd[i], yd[i])
+				}
+				return res, nil
+			}, cost)
+		task.OutBytes = a.ChunkBytes(idx)
+		out.keys[coordString(idx)] = key
+	})
+	return out
+}
+
+// Add returns the elementwise sum of two arrays.
+func Add(name string, a, b *Chunked) *Chunked {
+	return Zip(name, a, b, func(x, y float64) float64 { return x + y })
+}
+
+// Sub returns the elementwise difference a-b.
+func Sub(name string, a, b *Chunked) *Chunked {
+	return Zip(name, a, b, func(x, y float64) float64 { return x - y })
+}
+
+// Mul returns the elementwise (Hadamard) product.
+func Mul(name string, a, b *Chunked) *Chunked {
+	return Zip(name, a, b, func(x, y float64) float64 { return x * y })
+}
+
+// ReduceAxis reduces the array along one axis with a per-chunk kernel
+// and a pairwise combiner, returning a rank-(n-1) chunked array. kernel
+// reduces one chunk along the axis (e.g. (*ndarray.Array).SumAxis);
+// combine merges two partial results elementwise.
+func (a *Chunked) ReduceAxis(name string, axis int,
+	kernel func(chunk *ndarray.Array, axis int) *ndarray.Array,
+	combine func(x, y float64) float64) *Chunked {
+	if axis < 0 || axis >= len(a.shape) {
+		panic(fmt.Sprintf("array: ReduceAxis axis %d out of range for rank %d", axis, len(a.shape)))
+	}
+	outShape := make([]int, 0, len(a.shape)-1)
+	outChunks := make([]int, 0, len(a.shape)-1)
+	for d := range a.shape {
+		if d != axis {
+			outShape = append(outShape, a.shape[d])
+			outChunks = append(outChunks, a.chunkShape[d])
+		}
+	}
+	if len(outShape) == 0 {
+		panic("array: ReduceAxis on rank-1 arrays; use SumAll-style reductions")
+	}
+	out := a.derive(name, outShape, outChunks)
+	grid := a.Grid()
+	out.eachChunk(func(oidx []int) {
+		// Input chunks along the reduced axis at this output position.
+		var deps []taskgraph.Key
+		var bytes int64
+		for k := 0; k < grid[axis]; k++ {
+			iidx := make([]int, len(a.shape))
+			oi := 0
+			for d := range a.shape {
+				if d == axis {
+					iidx[d] = k
+				} else {
+					iidx[d] = oidx[oi]
+					oi++
+				}
+			}
+			deps = append(deps, a.ChunkKey(iidx...))
+			bytes += a.ChunkBytes(iidx)
+		}
+		key := out.defaultKey(oidx)
+		cost := vtime.Dur(float64(bytes) * DefaultCostPerByte)
+		task := out.graph.AddFn(key, deps, func(in []any) (any, error) {
+			var acc *ndarray.Array
+			for _, v := range in {
+				chunk, ok := v.(*ndarray.Array)
+				if !ok {
+					return nil, fmt.Errorf("array: ReduceAxis input is %T", v)
+				}
+				part := kernel(chunk, axis)
+				if acc == nil {
+					acc = part.Copy()
+					continue
+				}
+				ac, pc := acc.Contiguous(), part.Contiguous()
+				ad, pd := ac.Data(), pc.Data()
+				if len(ad) != len(pd) {
+					return nil, fmt.Errorf("array: ReduceAxis partials differ: %d vs %d", len(ad), len(pd))
+				}
+				for i := range ad {
+					ad[i] = combine(ad[i], pd[i])
+				}
+				acc = ac
+			}
+			return acc, nil
+		}, cost)
+		task.OutBytes = out.ChunkBytes(oidx)
+		out.keys[coordString(oidx)] = key
+	})
+	return out
+}
+
+// SumAxis reduces one axis by summation.
+func (a *Chunked) SumAxis(name string, axis int) *Chunked {
+	return a.ReduceAxis(name, axis,
+		func(c *ndarray.Array, ax int) *ndarray.Array { return c.SumAxis(ax) },
+		func(x, y float64) float64 { return x + y })
+}
+
+// MaxAxis reduces one axis by maximum.
+func (a *Chunked) MaxAxis(name string, axis int) *Chunked {
+	return a.ReduceAxis(name, axis,
+		func(c *ndarray.Array, ax int) *ndarray.Array { return c.MaxAxis(ax) },
+		func(x, y float64) float64 {
+			if x > y {
+				return x
+			}
+			return y
+		})
+}

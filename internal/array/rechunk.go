@@ -1,0 +1,94 @@
+package array
+
+import (
+	"fmt"
+
+	"deisago/internal/ndarray"
+	"deisago/internal/taskgraph"
+	"deisago/internal/vtime"
+)
+
+// Rechunk returns a new array with the same global shape but a different
+// chunking — "an eventual new decomposition is possible on the analytics
+// side using the rechunking functionality of Dask arrays" (§2.4.1). Each
+// output chunk is assembled by a task depending on every input chunk it
+// overlaps; chunk values must be *ndarray.Array.
+func (a *Chunked) Rechunk(name string, chunkShape []int) *Chunked {
+	if len(chunkShape) != len(a.shape) {
+		panic(fmt.Sprintf("array: rechunk shape %v has wrong rank for %v", chunkShape, a.shape))
+	}
+	out := a.derive(name, a.shape, chunkShape)
+	rank := len(a.shape)
+	out.eachChunk(func(idx []int) {
+		// Element range of the output chunk.
+		lo := make([]int, rank)
+		hi := make([]int, rank)
+		ext := out.ChunkExtent(idx)
+		for d := 0; d < rank; d++ {
+			lo[d] = idx[d] * chunkShape[d]
+			hi[d] = lo[d] + ext[d]
+		}
+		// Input chunks overlapping that range.
+		type src struct {
+			idx []int
+		}
+		var deps []taskgraph.Key
+		var srcs []src
+		var bytes int64
+		a.eachChunk(func(in []int) {
+			for d := 0; d < rank; d++ {
+				s := in[d] * a.chunkShape[d]
+				e := s + a.ChunkExtent(in)[d]
+				if e <= lo[d] || s >= hi[d] {
+					return
+				}
+			}
+			deps = append(deps, a.ChunkKey(in...))
+			srcs = append(srcs, src{idx: append([]int(nil), in...)})
+			bytes += a.ChunkBytes(in)
+		})
+		key := out.defaultKey(idx)
+		outExt := append([]int(nil), ext...)
+		outLo := append([]int(nil), lo...)
+		inChunk := a.ChunkShape()
+		cost := vtime.Dur(float64(bytes) * DefaultCostPerByte)
+		task := out.graph.AddFn(key, deps, func(in []any) (any, error) {
+			res := ndarray.New(outExt...)
+			for i, s := range srcs {
+				chunk, ok := in[i].(*ndarray.Array)
+				if !ok {
+					return nil, fmt.Errorf("array: rechunk input %v is %T, want *ndarray.Array", s.idx, in[i])
+				}
+				// Overlap between input chunk s and the output window.
+				srcRanges := make([]ndarray.Range, rank)
+				dstRanges := make([]ndarray.Range, rank)
+				for d := 0; d < rank; d++ {
+					inLo := s.idx[d] * inChunk[d]
+					oLo := maxInt(inLo, outLo[d])
+					oHi := minInt(inLo+chunk.Dim(d), outLo[d]+outExt[d])
+					srcRanges[d] = ndarray.Range{Start: oLo - inLo, Stop: oHi - inLo}
+					dstRanges[d] = ndarray.Range{Start: oLo - outLo[d], Stop: oHi - outLo[d]}
+				}
+				res.Slice(dstRanges...).CopyFrom(chunk.Slice(srcRanges...))
+			}
+			return res, nil
+		}, cost)
+		task.OutBytes = out.ChunkBytes(idx)
+		out.keys[coordString(idx)] = key
+	})
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,166 @@
+package array
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"deisago/internal/dask"
+	"deisago/internal/ndarray"
+	"deisago/internal/netsim"
+	"deisago/internal/taskgraph"
+	"deisago/internal/vtime"
+)
+
+// valueArray builds a chunked array whose element (i,j) has value
+// i*1000+j, so any reassembly can be verified positionally.
+func valueArray(name string, shape, chunks []int) *Chunked {
+	return FromChunkTasks(name, shape, chunks, func(idx, ext []int) (taskgraph.Fn, vtime.Dur) {
+		origin := make([]int, len(idx))
+		for d := range idx {
+			origin[d] = idx[d] * chunks[d]
+		}
+		extent := append([]int(nil), ext...)
+		return func([]any) (any, error) {
+			a := ndarray.New(extent...)
+			for i := 0; i < extent[0]; i++ {
+				for j := 0; j < extent[1]; j++ {
+					a.Set(float64((origin[0]+i)*1000+origin[1]+j), i, j)
+				}
+			}
+			return a, nil
+		}, 1e-5
+	})
+}
+
+func gatherChunk(t *testing.T, a *Chunked, idx []int) *ndarray.Array {
+	t.Helper()
+	_, cl := testCluster(t, 2)
+	g := taskgraph.New()
+	g.Merge(a.Graph())
+	futs, err := cl.Submit(g, []taskgraph.Key{a.ChunkKey(idx...)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := cl.Gather(futs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vals[0].(*ndarray.Array)
+}
+
+func TestRechunkCoarsen(t *testing.T) {
+	// 4x4 with 2x2 chunks -> one 4x4 chunk.
+	a := valueArray("a", []int{4, 4}, []int{2, 2})
+	b := a.Rechunk("b", []int{4, 4})
+	if b.NumChunks() != 1 {
+		t.Fatalf("NumChunks = %d", b.NumChunks())
+	}
+	got := gatherChunk(t, b, []int{0, 0})
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if got.At(i, j) != float64(i*1000+j) {
+				t.Fatalf("got[%d,%d] = %v", i, j, got.At(i, j))
+			}
+		}
+	}
+}
+
+func TestRechunkRefine(t *testing.T) {
+	// 4x4 with one 4x4 chunk -> 2x2 chunks; check an interior chunk.
+	a := valueArray("a", []int{4, 4}, []int{4, 4})
+	b := a.Rechunk("b", []int{2, 2})
+	got := gatherChunk(t, b, []int{1, 1})
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if got.At(i, j) != float64((2+i)*1000+2+j) {
+				t.Fatalf("refined chunk wrong at (%d,%d): %v", i, j, got.At(i, j))
+			}
+		}
+	}
+}
+
+func TestRechunkMisaligned(t *testing.T) {
+	// 6x6 with 2x2 chunks -> 3x3 chunks (boundaries cross old chunks).
+	a := valueArray("a", []int{6, 6}, []int{2, 2})
+	b := a.Rechunk("b", []int{3, 3})
+	got := gatherChunk(t, b, []int{1, 1}) // elements [3,6) x [3,6)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := float64((3+i)*1000 + 3 + j)
+			if got.At(i, j) != want {
+				t.Fatalf("misaligned rechunk at (%d,%d) = %v, want %v", i, j, got.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestRechunkPreservesByteScale(t *testing.T) {
+	a := valueArray("a", []int{4, 4}, []int{2, 2}).SetByteScale(100)
+	b := a.Rechunk("b", []int{4, 4})
+	if b.ByteScale() != 100 {
+		t.Fatal("byte scale not inherited")
+	}
+	if b.ChunkBytes([]int{0, 0}) != 16*8*100 {
+		t.Fatalf("ChunkBytes = %d", b.ChunkBytes([]int{0, 0}))
+	}
+}
+
+func TestRechunkPanicsOnRank(t *testing.T) {
+	a := valueArray("a", []int{4, 4}, []int{2, 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	a.Rechunk("b", []int{4})
+}
+
+// Property: rechunking to random new chunk shapes preserves every
+// element (verified by summing all chunks of the rechunked array).
+func TestRechunkQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := rng.Intn(6) + 2
+		cols := rng.Intn(6) + 2
+		a := valueArray("q", []int{rows, cols},
+			[]int{rng.Intn(rows) + 1, rng.Intn(cols) + 1})
+		b := a.Rechunk("r", []int{rng.Intn(rows) + 1, rng.Intn(cols) + 1})
+		c, cl := testClusterQuickArr()
+		defer c.Close()
+		g, sumKey := b.SumAll("total")
+		futs, err := cl.Submit(g, []taskgraph.Key{sumKey})
+		if err != nil {
+			return false
+		}
+		vals, err := cl.Gather(futs)
+		if err != nil {
+			return false
+		}
+		want := 0.0
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				want += float64(i*1000 + j)
+			}
+		}
+		return vals[0].(float64) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// testClusterQuickArr builds a cluster without *testing.T for quick.Check.
+func testClusterQuickArr() (*dask.Cluster, *dask.Client) {
+	cfg := netsim.Config{
+		NodesPerSwitch:  8,
+		LinkBandwidth:   1e9,
+		PruneFactor:     2,
+		HopLatency:      1e-6,
+		SoftwareLatency: 1e-5,
+	}
+	fabric := netsim.New(cfg, 4)
+	c := dask.NewCluster(fabric, dask.DefaultConfig(), 0, []netsim.NodeID{2, 3})
+	return c, c.NewClient("client", 1, math.Inf(1))
+}

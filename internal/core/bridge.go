@@ -1,0 +1,224 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"deisago/internal/dask"
+	"deisago/internal/ndarray"
+	"deisago/internal/netsim"
+	"deisago/internal/vtime"
+)
+
+// Mode selects the bridging protocol.
+type Mode int
+
+const (
+	// ModeExternal is this paper's design (DEISA2/DEISA3): external
+	// tasks, contracts signed once, no per-timestep metadata.
+	ModeExternal Mode = iota
+	// ModeDEISA1 is the HiPC'21 baseline: plain scatter with fresh keys
+	// plus a per-timestep metadata message through the rank's distributed
+	// queue, and the Dask default 5 s heartbeat.
+	ModeDEISA1
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == ModeDEISA1 {
+		return "deisa1"
+	}
+	return "external"
+}
+
+// Deisa1QueueName returns the distributed-queue name of one rank's
+// DEISA1 metadata channel (the baseline uses Nbr_ranks queues, §2.1).
+func Deisa1QueueName(rank int) string { return fmt.Sprintf("deisa1-meta-%d", rank) }
+
+// BridgeConfig configures one rank's bridge.
+type BridgeConfig struct {
+	Rank              int
+	Cluster           *dask.Cluster
+	Node              netsim.NodeID
+	HeartbeatInterval vtime.Dur
+	Mode              Mode
+	// ScatterBytes, when positive, overrides the modelled wire size of
+	// each published block (the harness models paper-scale blocks while
+	// shipping small arrays).
+	ScatterBytes int64
+	// MetaEntries is the number of decomposition-metadata entries a
+	// DEISA1 bridge refreshes on the scheduler every timestep (typically
+	// the number of ranks). Ignored in external mode.
+	MetaEntries int
+	// PlaceWorker overrides the worker-preselection policy; nil selects
+	// VirtualArray.WorkerForBlock (time-invariant spatial placement).
+	// Used by placement ablations.
+	PlaceWorker func(va *VirtualArray, pos []int, numWorkers int) int
+}
+
+// Bridge is the simulation-side endpoint of the coupling: one per MPI
+// rank, built on a dask Client (§2.1). Rank 0 additionally publishes the
+// virtual-array descriptors when contracts are signed.
+type Bridge struct {
+	cfg      BridgeConfig
+	client   *dask.Client
+	arrays   map[string]*VirtualArray
+	contract *Contract
+	ready    bool
+
+	blocksSent    int64
+	blocksSkipped int64
+}
+
+// NewBridge connects a bridge to the cluster.
+func NewBridge(cfg BridgeConfig) *Bridge {
+	return &Bridge{
+		cfg:    cfg,
+		client: cfg.Cluster.NewClient(fmt.Sprintf("bridge-%d", cfg.Rank), cfg.Node, cfg.HeartbeatInterval),
+		arrays: map[string]*VirtualArray{},
+	}
+}
+
+// Client exposes the underlying dask client (tests, clock access).
+func (b *Bridge) Client() *dask.Client { return b.client }
+
+// Rank returns the bridge's MPI rank.
+func (b *Bridge) Rank() int { return b.cfg.Rank }
+
+// Mode returns the bridging protocol in use.
+func (b *Bridge) Mode() Mode { return b.cfg.Mode }
+
+// DeclareArray registers a virtual array this rank contributes to. All
+// ranks declare the same arrays; rank 0's declarations are published.
+func (b *Bridge) DeclareArray(va *VirtualArray) error {
+	if b.ready {
+		return fmt.Errorf("core: DeclareArray after Init")
+	}
+	if err := va.Validate(); err != nil {
+		return err
+	}
+	if _, dup := b.arrays[va.Name]; dup {
+		return fmt.Errorf("core: array %q declared twice", va.Name)
+	}
+	b.arrays[va.Name] = va
+	return nil
+}
+
+// Array returns a declared virtual array.
+func (b *Bridge) Array(name string) (*VirtualArray, bool) {
+	va, ok := b.arrays[name]
+	return va, ok
+}
+
+// Init performs the contract handshake (§2.1 step 1, "Sign contracts"):
+// rank 0 publishes the descriptors through the deisa-arrays Variable;
+// every bridge then blocks until the adaptor publishes the contract
+// through the deisa-contract Variable. In DEISA1 mode there is no
+// contract — rank 0 still publishes descriptors (the analytics must know
+// shapes), and bridges proceed immediately, sending everything.
+//
+// It returns the virtual time at which the bridge may proceed.
+func (b *Bridge) Init(at vtime.Time) (vtime.Time, error) {
+	if b.ready {
+		return at, fmt.Errorf("core: bridge already initialized")
+	}
+	if len(b.arrays) == 0 {
+		return at, fmt.Errorf("core: no arrays declared")
+	}
+	b.client.Clock().Sync(at)
+	if b.cfg.Rank == 0 {
+		msg := &ArraysMsg{}
+		names := make([]string, 0, len(b.arrays))
+		for n := range b.arrays {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			msg.Arrays = append(msg.Arrays, b.arrays[n])
+		}
+		b.client.Variable(ArraysVariable).Set(msg)
+	}
+	if b.cfg.Mode == ModeExternal {
+		v := b.client.Variable(ContractVariable).Get()
+		contract, ok := v.(*Contract)
+		if !ok {
+			return b.client.Now(), fmt.Errorf("core: contract variable holds %T", v)
+		}
+		b.contract = contract
+	}
+	b.ready = true
+	return b.client.Now(), nil
+}
+
+// Contract returns the signed contract (nil in DEISA1 mode).
+func (b *Bridge) Contract() *Contract { return b.contract }
+
+// Publish offers one block of one timestep to the coupling. In external
+// mode the bridge checks the contract locally and, if the block is
+// wanted, scatters it to its preselected worker under the deisa key,
+// triggering the external→memory transition. In DEISA1 mode it scatters
+// under the same key as plain data and pushes a metadata message into
+// the rank's queue — the per-timestep traffic the paper eliminates.
+//
+// It returns the virtual completion time and whether the block was sent.
+func (b *Bridge) Publish(arrayName string, pos []int, data *ndarray.Array, at vtime.Time) (vtime.Time, bool, error) {
+	if !b.ready {
+		return at, false, fmt.Errorf("core: Publish before Init")
+	}
+	va, ok := b.arrays[arrayName]
+	if !ok {
+		return at, false, fmt.Errorf("core: unknown array %q", arrayName)
+	}
+	b.client.Clock().Sync(at)
+	key := va.BlockKey(pos)
+	var worker int
+	if b.cfg.PlaceWorker != nil {
+		worker = b.cfg.PlaceWorker(va, pos, b.cfg.Cluster.NumWorkers())
+	} else {
+		worker = va.WorkerForBlock(pos, b.cfg.Cluster.NumWorkers())
+	}
+
+	switch b.cfg.Mode {
+	case ModeExternal:
+		if !b.contract.WantsBlock(arrayName, pos, va.TimeDim) {
+			b.blocksSkipped++
+			b.client.HeartbeatTick()
+			return b.client.Now(), false, nil
+		}
+		if err := b.client.Scatter([]dask.ScatterItem{{Key: key, Value: data, Bytes: b.cfg.ScatterBytes}}, true, worker); err != nil {
+			return b.client.Now(), false, err
+		}
+	case ModeDEISA1:
+		if err := b.client.Scatter([]dask.ScatterItem{{Key: key, Value: data, Bytes: b.cfg.ScatterBytes}}, false, worker); err != nil {
+			return b.client.Now(), false, err
+		}
+		// Per-timestep metadata through the rank's distributed queue,
+		// plus the full decomposition-metadata refresh of the HiPC'21
+		// protocol.
+		b.client.Queue(Deisa1QueueName(b.cfg.Rank)).Put(string(key))
+		if b.cfg.MetaEntries > 0 {
+			b.client.SendMetadata(b.cfg.MetaEntries)
+		}
+	default:
+		return at, false, fmt.Errorf("core: unknown mode %d", b.cfg.Mode)
+	}
+	b.blocksSent++
+	b.client.HeartbeatTick()
+	return b.client.Now(), true, nil
+}
+
+// Stats returns how many blocks were sent and skipped (contract filter).
+func (b *Bridge) Stats() (sent, skipped int64) {
+	return b.blocksSent, b.blocksSkipped
+}
+
+// Node returns the bridge's fabric node.
+func (b *Bridge) Node() netsim.NodeID { return b.cfg.Node }
+
+// forceReady marks the bridge initialized with an existing contract —
+// used by recovery paths that re-create a bridge after a failure without
+// re-running the contract handshake.
+func (b *Bridge) forceReady(contract *Contract) {
+	b.contract = contract
+	b.ready = true
+}

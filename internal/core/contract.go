@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Contract is the signed data-filtering agreement of §2.4.3: for each
+// virtual array, the set of block positions the analytics selected. It
+// is computed once by the adaptor from the client's [] selections and
+// broadcast to every bridge before the first timestep; each bridge then
+// checks its blocks locally and ships only those the contract includes.
+type Contract struct {
+	// Selections maps array name to the selected block positions. A
+	// position's time coordinate of -1 means "every timestep" (the
+	// common case: analytics select spatial regions across all time).
+	Selections map[string][][]int
+}
+
+// NewContract returns an empty contract.
+func NewContract() *Contract {
+	return &Contract{Selections: map[string][][]int{}}
+}
+
+func posKey(pos []int) string {
+	parts := make([]string, len(pos))
+	for i, p := range pos {
+		parts[i] = fmt.Sprintf("%d", p)
+	}
+	return strings.Join(parts, ".")
+}
+
+// Add records selected block positions for an array.
+func (c *Contract) Add(arrayName string, positions [][]int) {
+	for _, p := range positions {
+		c.Selections[arrayName] = append(c.Selections[arrayName], append([]int(nil), p...))
+	}
+}
+
+// WantsBlock reports whether the contract includes the block at pos of
+// the named array, honoring the -1 time wildcard at timeDim.
+func (c *Contract) WantsBlock(arrayName string, pos []int, timeDim int) bool {
+	sels, ok := c.Selections[arrayName]
+	if !ok {
+		return false
+	}
+	for _, sel := range sels {
+		if len(sel) != len(pos) {
+			continue
+		}
+		match := true
+		for d := range sel {
+			if d == timeDim && sel[d] == -1 {
+				continue
+			}
+			if sel[d] != pos[d] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}
+
+// Arrays returns the names of arrays with at least one selected block.
+func (c *Contract) Arrays() []string {
+	var out []string
+	for name := range c.Selections {
+		out = append(out, name)
+	}
+	return out
+}
+
+// BlocksPerStep returns how many distinct spatial blocks of an array the
+// contract selects (counting time wildcards once).
+func (c *Contract) BlocksPerStep(arrayName string, timeDim int) int {
+	seen := map[string]bool{}
+	for _, sel := range c.Selections[arrayName] {
+		spatial := make([]int, 0, len(sel)-1)
+		for d, p := range sel {
+			if d == timeDim {
+				continue
+			}
+			spatial = append(spatial, p)
+		}
+		seen[posKey(spatial)] = true
+	}
+	return len(seen)
+}
+
+// SizeBytes models the wire size of the contract message.
+func (c *Contract) SizeBytes() int64 {
+	var n int64 = 64
+	for name, sels := range c.Selections {
+		n += int64(len(name))
+		for _, sel := range sels {
+			n += int64(len(sel)) * 8
+		}
+	}
+	return n
+}
+
+// ArraysMsg is the descriptor bundle rank 0 publishes through the
+// "deisa-arrays" Variable when signing contracts.
+type ArraysMsg struct {
+	Arrays []*VirtualArray
+}
+
+// SizeBytes models the wire size of the descriptor bundle.
+func (m *ArraysMsg) SizeBytes() int64 {
+	var n int64 = 64
+	for _, a := range m.Arrays {
+		n += int64(len(a.Name)) + int64(len(a.Size)+len(a.Subsize))*8 + 8
+	}
+	return n
+}
+
+// Variable names used for the contract handshake (§2.1: "two Dask
+// variables, instead of Nbr_ranks distributed queues").
+const (
+	ArraysVariable   = "deisa-arrays"
+	ContractVariable = "deisa-contract"
+)

@@ -1,0 +1,51 @@
+package core_test
+
+import (
+	"fmt"
+
+	"deisago/internal/core"
+)
+
+func ExampleVirtualArray_BlockKey() {
+	// The paper's naming scheme (§2.4.1): prefix, array name, and the
+	// block's position in the spatiotemporal decomposition, time first.
+	va := &core.VirtualArray{
+		Name:    "temp",
+		Size:    []int{10, 8, 6},
+		Subsize: []int{1, 4, 2},
+		TimeDim: 0,
+	}
+	fmt.Println(va.BlockKey([]int{1, 1, 2}))
+	name, pos, _ := core.ParseBlockKey("deisa-temp-1.3.5")
+	fmt.Println(name, pos)
+	// Output:
+	// deisa-temp-1.1.2
+	// temp [1 3 5]
+}
+
+func ExampleContract_WantsBlock() {
+	c := core.NewContract()
+	// A spatial block selected across every timestep (-1 wildcard in the
+	// time dimension) plus one specific block.
+	c.Add("temp", [][]int{{-1, 0, 0}, {4, 1, 0}})
+	fmt.Println(c.WantsBlock("temp", []int{7, 0, 0}, 0))
+	fmt.Println(c.WantsBlock("temp", []int{4, 1, 0}, 0))
+	fmt.Println(c.WantsBlock("temp", []int{5, 1, 0}, 0))
+	// Output:
+	// true
+	// true
+	// false
+}
+
+func ExampleVirtualArray_WorkerForBlock() {
+	va := &core.VirtualArray{
+		Name:    "f",
+		Size:    []int{100, 4, 4},
+		Subsize: []int{1, 2, 2},
+		TimeDim: 0,
+	}
+	// Placement is time-invariant: the same spatial block always lands on
+	// the same worker, so per-block timelines stay local.
+	fmt.Println(va.WorkerForBlock([]int{0, 1, 0}, 3), va.WorkerForBlock([]int{99, 1, 0}, 3))
+	// Output: 2 2
+}

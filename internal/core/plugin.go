@@ -1,0 +1,190 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"deisago/internal/ndarray"
+	"deisago/internal/pdi"
+	"deisago/internal/vtime"
+)
+
+// PluginName is the key of the deisa plugin in a PDI configuration.
+const PluginName = "PdiPluginDeisa"
+
+// PdiPluginDeisa is the PDI plugin of §2.3: it reads the deisa section of
+// the PDI configuration (Listing 1), declares the virtual arrays on the
+// bridge at the init event, and publishes mapped data blocks whenever the
+// simulation shares them.
+type PdiPluginDeisa struct {
+	bridge *Bridge
+	sys    *pdi.System
+
+	initOn       string
+	timeStepExpr string
+	mapIn        map[string]string         // data name -> deisa array name
+	arrayCfg     map[string]map[string]any // deisa array name -> raw config
+	declared     bool
+}
+
+// NewPdiPluginDeisa wraps a bridge as a PDI plugin.
+func NewPdiPluginDeisa(bridge *Bridge) *PdiPluginDeisa {
+	return &PdiPluginDeisa{bridge: bridge}
+}
+
+// Name implements pdi.Plugin.
+func (p *PdiPluginDeisa) Name() string { return PluginName }
+
+// Init implements pdi.Plugin: it parses the plugin's configuration block.
+func (p *PdiPluginDeisa) Init(s *pdi.System) error {
+	p.sys = s
+	cfg, ok := s.PluginConfig(PluginName)
+	if !ok {
+		return fmt.Errorf("core: no %s section in configuration", PluginName)
+	}
+	p.initOn = "init"
+	if v, ok := cfg["init_on"].(string); ok {
+		p.initOn = v
+	}
+	ts, ok := cfg["time_step"].(string)
+	if !ok {
+		return fmt.Errorf("core: %s requires time_step", PluginName)
+	}
+	p.timeStepExpr = ts
+
+	p.mapIn = map[string]string{}
+	if mi, ok := cfg["map_in"].(map[string]any); ok {
+		for data, arr := range mi {
+			name, ok := arr.(string)
+			if !ok {
+				return fmt.Errorf("core: map_in.%s must name a deisa array", data)
+			}
+			p.mapIn[data] = name
+		}
+	}
+	if len(p.mapIn) == 0 {
+		return fmt.Errorf("core: %s requires a non-empty map_in", PluginName)
+	}
+
+	p.arrayCfg = map[string]map[string]any{}
+	arrays, ok := cfg["deisa_arrays"].(map[string]any)
+	if !ok {
+		return fmt.Errorf("core: %s requires deisa_arrays", PluginName)
+	}
+	for name, raw := range arrays {
+		m, ok := raw.(map[string]any)
+		if !ok {
+			return fmt.Errorf("core: deisa_arrays.%s must be a map", name)
+		}
+		p.arrayCfg[name] = m
+	}
+	for data, arr := range p.mapIn {
+		if _, ok := p.arrayCfg[arr]; !ok {
+			return fmt.Errorf("core: map_in.%s targets undeclared deisa array %q", data, arr)
+		}
+	}
+	return nil
+}
+
+// declareArrays evaluates the size/subsize expressions against current
+// metadata and declares every virtual array on the bridge.
+func (p *PdiPluginDeisa) declareArrays() error {
+	names := make([]string, 0, len(p.arrayCfg))
+	for n := range p.arrayCfg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		m := p.arrayCfg[name]
+		size, err := p.sys.EvalIntList(m["size"])
+		if err != nil {
+			return fmt.Errorf("core: deisa_arrays.%s.size: %w", name, err)
+		}
+		subsize, err := p.sys.EvalIntList(m["subsize"])
+		if err != nil {
+			return fmt.Errorf("core: deisa_arrays.%s.subsize: %w", name, err)
+		}
+		timedim := 0
+		if td, ok := m["timedim"]; ok {
+			v, err := pdi.EvalValue(td, p.sys.Metadata())
+			if err != nil {
+				return fmt.Errorf("core: deisa_arrays.%s.timedim: %w", name, err)
+			}
+			iv, ok := v.(int64)
+			if !ok {
+				return fmt.Errorf("core: deisa_arrays.%s.timedim must be an integer", name)
+			}
+			timedim = int(iv)
+		}
+		va := &VirtualArray{Name: name, Size: size, Subsize: subsize, TimeDim: timedim}
+		if err := p.bridge.DeclareArray(va); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Event implements pdi.Plugin: the configured init event triggers array
+// declaration and the contract handshake.
+func (p *PdiPluginDeisa) Event(name string, at vtime.Time) (vtime.Time, error) {
+	if name != p.initOn {
+		return at, nil
+	}
+	if p.declared {
+		return at, fmt.Errorf("core: duplicate %s event", p.initOn)
+	}
+	if err := p.declareArrays(); err != nil {
+		return at, err
+	}
+	p.declared = true
+	return p.bridge.Init(at)
+}
+
+// DataShared implements pdi.Plugin: a share of a mapped buffer publishes
+// the corresponding block. The block's grid position is computed by
+// evaluating the configured start expressions against the current
+// metadata (which the simulation re-exposes each timestep).
+func (p *PdiPluginDeisa) DataShared(name string, data *ndarray.Array, at vtime.Time) (vtime.Time, error) {
+	arrName, ok := p.mapIn[name]
+	if !ok {
+		return at, nil // not mapped; ignore
+	}
+	if !p.declared {
+		return at, fmt.Errorf("core: share of %q before %s event", name, p.initOn)
+	}
+	va, ok := p.bridge.Array(arrName)
+	if !ok {
+		return at, fmt.Errorf("core: array %q not declared on bridge", arrName)
+	}
+	start, err := p.sys.EvalIntList(p.arrayCfg[arrName]["start"])
+	if err != nil {
+		return at, fmt.Errorf("core: deisa_arrays.%s.start: %w", arrName, err)
+	}
+	pos, err := va.PositionForStart(start)
+	if err != nil {
+		return at, err
+	}
+	// Cross-check the time_step expression against the start position.
+	step, err := pdi.EvalInt(p.timeStepExpr, p.sys.Metadata())
+	if err != nil {
+		return at, fmt.Errorf("core: time_step: %w", err)
+	}
+	if pos[va.TimeDim] != step {
+		return at, fmt.Errorf("core: start %v implies timestep %d but time_step evaluates to %d",
+			start, pos[va.TimeDim], step)
+	}
+	// The shared buffer is the spatial block; publish it with the
+	// leading time axis of extent 1 expected by the chunk layout.
+	block := data
+	if block.NDim() == len(va.Size)-1 {
+		shape := append([]int{1}, block.Shape()...)
+		block = block.Contiguous().Reshape(shape...)
+	}
+	end, _, err := p.bridge.Publish(arrName, pos, block, at)
+	return end, err
+}
+
+// Finalize implements pdi.Plugin.
+func (p *PdiPluginDeisa) Finalize(at vtime.Time) (vtime.Time, error) {
+	return at, nil
+}

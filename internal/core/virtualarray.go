@@ -1,0 +1,210 @@
+// Package core implements the paper's contribution: the deisa bridging
+// layer that couples an MPI simulation (producer) with the Dask-like
+// distributed analytics runtime (consumer) through external tasks.
+//
+// The pieces map directly onto the paper's §2:
+//
+//   - VirtualArray — the deisa virtual array descriptor (§2.4.2): the
+//     global spatiotemporal decomposition of a simulation field,
+//     including the time dimension.
+//   - Naming scheme (§2.4.1): each block key is
+//     "deisa-<name>-<t>.<i>.<j>", position given in the global
+//     decomposition with time first.
+//   - Contract (§2.4.3): the block selection the analytics signed up
+//     for; bridges filter locally and ship only needed blocks.
+//   - Bridge (§2.1): one per MPI rank, built on a dask Client; rank 0
+//     additionally publishes the array descriptors.
+//   - Deisa adaptor (§2.3, Listing 2): the analytics-side object that
+//     receives descriptors, exposes deisa arrays for selection, signs
+//     the contract, creates external tasks, and submits graphs ahead of
+//     time.
+//   - PdiPluginDeisa (§2.3, Listing 1): the PDI plugin that drives a
+//     Bridge from configuration.
+//
+// Two operating modes reproduce the paper's comparison systems: external
+// tasks (DEISA2/DEISA3, this work) and the HiPC'21 scatter-per-timestep
+// protocol (DEISA1) used as the baseline.
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"deisago/internal/array"
+	"deisago/internal/taskgraph"
+)
+
+// KeyPrefix starts every deisa block key (§2.4.1).
+const KeyPrefix = "deisa"
+
+// VirtualArray describes the spatiotemporal decomposition of one
+// simulation field: global sizes in every dimension (including time),
+// the size of the block each MPI process produces, and the tag of the
+// time dimension. It is pure description — no data — and is what rank 0
+// sends to the adaptor when signing contracts.
+type VirtualArray struct {
+	Name    string `json:"name"`
+	Size    []int  `json:"size"`    // global extent per dimension
+	Subsize []int  `json:"subsize"` // block extent per dimension
+	TimeDim int    `json:"timedim"`
+}
+
+// Validate checks the descriptor invariants: equal ranks, positive
+// extents, blocks evenly tiling the domain, and a unit time-dimension
+// block (one block per timestep per rank).
+func (v *VirtualArray) Validate() error {
+	if v.Name == "" {
+		return fmt.Errorf("core: virtual array must have a name")
+	}
+	if len(v.Size) == 0 || len(v.Size) != len(v.Subsize) {
+		return fmt.Errorf("core: %s: size %v and subsize %v must have equal non-zero rank", v.Name, v.Size, v.Subsize)
+	}
+	if v.TimeDim < 0 || v.TimeDim >= len(v.Size) {
+		return fmt.Errorf("core: %s: timedim %d out of range", v.Name, v.TimeDim)
+	}
+	for d := range v.Size {
+		if v.Size[d] <= 0 || v.Subsize[d] <= 0 {
+			return fmt.Errorf("core: %s: non-positive extent in dim %d", v.Name, d)
+		}
+		if v.Size[d]%v.Subsize[d] != 0 {
+			return fmt.Errorf("core: %s: subsize %d does not tile size %d in dim %d", v.Name, v.Subsize[d], v.Size[d], d)
+		}
+	}
+	if v.Subsize[v.TimeDim] != 1 {
+		return fmt.Errorf("core: %s: time-dimension block extent must be 1, got %d", v.Name, v.Subsize[v.TimeDim])
+	}
+	return nil
+}
+
+// Grid returns the number of blocks per dimension.
+func (v *VirtualArray) Grid() []int {
+	g := make([]int, len(v.Size))
+	for d := range g {
+		g[d] = v.Size[d] / v.Subsize[d]
+	}
+	return g
+}
+
+// Timesteps returns the extent of the time dimension.
+func (v *VirtualArray) Timesteps() int { return v.Size[v.TimeDim] }
+
+// SpatialBlocks returns the number of blocks per timestep.
+func (v *VirtualArray) SpatialBlocks() int {
+	n := 1
+	for d, g := range v.Grid() {
+		if d != v.TimeDim {
+			n *= g
+		}
+	}
+	return n
+}
+
+// BlockBytes returns the modelled size of one block.
+func (v *VirtualArray) BlockBytes() int64 {
+	n := int64(1)
+	for _, s := range v.Subsize {
+		n *= int64(s)
+	}
+	return n * 8
+}
+
+// BlockKey builds the unique key of the block at the given grid position
+// (§2.4.1): deisa-<name>-<p0>.<p1>...., with the time dimension first in
+// the position tuple by deisa convention (pos is given in dimension
+// order; TimeDim identifies time).
+func (v *VirtualArray) BlockKey(pos []int) taskgraph.Key {
+	if len(pos) != len(v.Size) {
+		panic(fmt.Sprintf("core: block position %v has rank %d, array %s has rank %d", pos, len(pos), v.Name, len(v.Size)))
+	}
+	grid := v.Grid()
+	parts := make([]string, len(pos))
+	for d, p := range pos {
+		if p < 0 || p >= grid[d] {
+			panic(fmt.Sprintf("core: block position %v outside grid %v of %s", pos, grid, v.Name))
+		}
+		parts[d] = strconv.Itoa(p)
+	}
+	return taskgraph.Key(KeyPrefix + "-" + v.Name + "-" + strings.Join(parts, "."))
+}
+
+// ParseBlockKey inverts BlockKey, returning the array name and position.
+func ParseBlockKey(k taskgraph.Key) (name string, pos []int, err error) {
+	s := string(k)
+	if !strings.HasPrefix(s, KeyPrefix+"-") {
+		return "", nil, fmt.Errorf("core: key %q lacks %q prefix", k, KeyPrefix)
+	}
+	s = strings.TrimPrefix(s, KeyPrefix+"-")
+	i := strings.LastIndex(s, "-")
+	if i < 0 {
+		return "", nil, fmt.Errorf("core: key %q has no position section", k)
+	}
+	name = s[:i]
+	for _, p := range strings.Split(s[i+1:], ".") {
+		n, perr := strconv.Atoi(p)
+		if perr != nil {
+			return "", nil, fmt.Errorf("core: bad position in key %q: %v", k, perr)
+		}
+		pos = append(pos, n)
+	}
+	return name, pos, nil
+}
+
+// BlockStart returns the element offset of a block position.
+func (v *VirtualArray) BlockStart(pos []int) []int {
+	start := make([]int, len(pos))
+	for d, p := range pos {
+		start[d] = p * v.Subsize[d]
+	}
+	return start
+}
+
+// PositionForStart inverts BlockStart: the grid position of the block
+// whose element offset is start (the deisa plugin computes `start` from
+// configuration expressions and maps it back to a grid position).
+func (v *VirtualArray) PositionForStart(start []int) ([]int, error) {
+	if len(start) != len(v.Size) {
+		return nil, fmt.Errorf("core: start %v has rank %d, array %s has rank %d", start, len(start), v.Name, len(v.Size))
+	}
+	pos := make([]int, len(start))
+	grid := v.Grid()
+	for d, s := range start {
+		if s%v.Subsize[d] != 0 {
+			return nil, fmt.Errorf("core: start %v not aligned to subsize %v in dim %d", start, v.Subsize, d)
+		}
+		pos[d] = s / v.Subsize[d]
+		if pos[d] < 0 || pos[d] >= grid[d] {
+			return nil, fmt.Errorf("core: start %v outside array %s", start, v.Name)
+		}
+	}
+	return pos, nil
+}
+
+// Chunked builds the dask-array view of the virtual array: a chunked
+// distributed array whose chunk keys are the deisa block keys (all
+// external — produced by the simulation, not by graph tasks). This is
+// the dask.array the adaptor hands to analytics code (§2.4.2).
+func (v *VirtualArray) Chunked() *array.Chunked {
+	return array.FromKeys(KeyPrefix+"-"+v.Name, v.Size, v.Subsize, func(idx []int) taskgraph.Key {
+		return v.BlockKey(idx)
+	})
+}
+
+// WorkerForBlock deterministically preselects the worker that receives a
+// block: the spatial block index modulo the worker count. Time-invariant
+// placement keeps each spatial block's timeline on one worker, which is
+// what lets partial-fit chains consume data without extra movement.
+func (v *VirtualArray) WorkerForBlock(pos []int, numWorkers int) int {
+	if numWorkers <= 0 {
+		panic("core: numWorkers must be positive")
+	}
+	grid := v.Grid()
+	linear := 0
+	for d := 0; d < len(pos); d++ {
+		if d == v.TimeDim {
+			continue
+		}
+		linear = linear*grid[d] + pos[d]
+	}
+	return linear % numWorkers
+}

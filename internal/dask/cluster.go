@@ -1,0 +1,97 @@
+package dask
+
+import (
+	"fmt"
+	"sync"
+
+	"deisago/internal/netsim"
+	"deisago/internal/vtime"
+)
+
+// Cluster is one Dask deployment: a scheduler, its workers, and the
+// fabric they communicate over. Clients are created per producer/consumer
+// process with NewClient.
+type Cluster struct {
+	cfg      Config
+	fabric   *netsim.Fabric
+	counters Counters
+
+	schedNode netsim.NodeID
+	sched     *scheduler
+	workers   []*worker
+
+	traceMu sync.Mutex
+	trace   *tracer
+}
+
+// NewCluster starts a cluster with the scheduler on schedNode and one
+// worker per entry of workerNodes. Worker goroutines run until Close.
+func NewCluster(fabric *netsim.Fabric, cfg Config, schedNode netsim.NodeID, workerNodes []netsim.NodeID) *Cluster {
+	if len(workerNodes) == 0 {
+		panic("dask: cluster needs at least one worker")
+	}
+	c := &Cluster{cfg: cfg, fabric: fabric, schedNode: schedNode}
+	c.sched = newScheduler(c)
+	for i, n := range workerNodes {
+		w := newWorker(c, i, n)
+		c.workers = append(c.workers, w)
+		go w.run()
+	}
+	return c
+}
+
+// Close stops all worker goroutines. The cluster must not be used after
+// Close.
+func (c *Cluster) Close() {
+	for _, w := range c.workers {
+		w.stop()
+	}
+}
+
+// NumWorkers returns the number of workers.
+func (c *Cluster) NumWorkers() int { return len(c.workers) }
+
+// WorkerNode returns the fabric node of worker i.
+func (c *Cluster) WorkerNode(i int) netsim.NodeID { return c.workers[i].node }
+
+// SchedulerNode returns the scheduler's fabric node.
+func (c *Cluster) SchedulerNode() netsim.NodeID { return c.schedNode }
+
+// TaskStates returns the number of scheduler tasks in each state — the
+// information a Dask dashboard's task-stream panel summarizes.
+func (c *Cluster) TaskStates() map[State]int { return c.sched.stateCounts() }
+
+// WorkerStatsAll snapshots every worker's monitoring stats.
+func (c *Cluster) WorkerStatsAll() []WorkerStats {
+	out := make([]WorkerStats, len(c.workers))
+	for i, w := range c.workers {
+		out[i] = w.stats()
+	}
+	return out
+}
+
+// SchedulerBusy returns the scheduler CPU's accumulated virtual service
+// time — the overload signal behind the paper's DEISA1 analysis.
+func (c *Cluster) SchedulerBusy() float64 { return c.sched.cpu.Busy() }
+
+// Counters exposes the scheduler's message counters.
+func (c *Cluster) Counters() *Counters { return &c.counters }
+
+// Config returns the cluster's cost-model configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// xfer moves bytes across the fabric, adding the endpoint serialization
+// charge, and returns the arrival time.
+func (c *Cluster) xfer(from, to netsim.NodeID, bytes int64, at vtime.Time) vtime.Time {
+	if c.cfg.SerializationBandwidth > 0 && bytes > 0 {
+		at += float64(bytes) / c.cfg.SerializationBandwidth
+	}
+	return c.fabric.Transfer(from, to, bytes, at)
+}
+
+func (c *Cluster) worker(i int) *worker {
+	if i < 0 || i >= len(c.workers) {
+		panic(fmt.Sprintf("dask: worker %d out of range [0,%d)", i, len(c.workers)))
+	}
+	return c.workers[i]
+}

@@ -1,0 +1,125 @@
+package dask
+
+import (
+	"fmt"
+
+	"deisago/internal/taskgraph"
+	"deisago/internal/vtime"
+)
+
+// Worker-failure resilience, following Dask's recovery semantics:
+// results lost with a worker are recomputed from the task graph
+// (lineage); pure data that was scattered into the lost worker cannot be
+// recomputed — external tasks return to the external state (the
+// simulation can republish), plain scattered data becomes erred.
+
+// KillWorker removes a worker from the cluster at the given virtual
+// time: its queued assignments are abandoned, its stored results are
+// lost, and the scheduler re-plans affected tasks. At least one live
+// worker must remain.
+func (c *Cluster) KillWorker(id int, at vtime.Time) error {
+	w := c.worker(id)
+	alive := 0
+	for _, other := range c.workers {
+		if !other.isDead() && other != w {
+			alive++
+		}
+	}
+	if alive == 0 {
+		return fmt.Errorf("dask: cannot kill worker %d: no other workers remain", id)
+	}
+	if w.isDead() {
+		return fmt.Errorf("dask: worker %d already dead", id)
+	}
+	w.kill()
+	c.sched.workerLost(id, at)
+	return nil
+}
+
+func (w *worker) kill() {
+	w.mu.Lock()
+	w.dead = true
+	w.inbox = nil
+	w.mu.Unlock()
+	w.cond.Broadcast()
+}
+
+func (w *worker) isDead() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.dead
+}
+
+// workerLost re-plans every task affected by the loss of a worker.
+func (s *scheduler) workerLost(id int, at vtime.Time) {
+	handled := s.handle(at, s.cl.cfg.SchedulerMsgCost)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	lostErr := fmt.Errorf("dask: worker %d died", id)
+	for _, st := range s.tasks {
+		if st.worker != id {
+			continue
+		}
+		switch st.state {
+		case StateMemory:
+			switch {
+			case st.fn != nil || st.timed != nil:
+				// Recomputable from lineage.
+				st.state = StateWaiting
+				st.worker = -1
+				st.readyAt = 0
+			case st.wasExternal:
+				// The external environment can republish.
+				st.state = StateExternal
+				st.worker = -1
+				st.readyAt = 0
+			default:
+				// Plain scattered data is gone for good.
+				s.erredLocked(st, lostErr)
+			}
+		case StateProcessing, StateReady:
+			st.state = StateWaiting
+			st.worker = -1
+		}
+	}
+	// Cascade: a task in memory may depend on nothing anymore, but tasks
+	// WAITING on lost results must have their missing sets rebuilt; and
+	// tasks whose results survived need no change. Rebuild missing for
+	// every non-terminal task, then launch the ready frontier.
+	for _, st := range s.tasks {
+		if st.state != StateWaiting {
+			continue
+		}
+		st.missing = map[taskgraph.Key]bool{}
+		for _, d := range st.deps {
+			dt := s.tasks[d]
+			switch dt.state {
+			case StateMemory:
+				// satisfied
+			case StateErred:
+				s.erredLocked(st, fmt.Errorf("dask: dependency %q erred: %w", d, dt.err))
+			default:
+				st.missing[d] = true
+			}
+		}
+	}
+	for _, st := range s.tasks {
+		if st.state == StateWaiting && len(st.missing) == 0 && (st.fn != nil || st.timed != nil) {
+			s.assignLocked(st, handled)
+		}
+	}
+	s.cond.Broadcast()
+}
+
+// liveWorkers returns the indices of workers accepting tasks. Caller
+// holds no locks; worker liveness has its own lock.
+func (s *scheduler) liveWorkers() []int {
+	var out []int
+	for i, w := range s.cl.workers {
+		if !w.isDead() {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,207 @@
+package dask
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"deisago/internal/taskgraph"
+)
+
+func TestKillWorkerRecomputesFromLineage(t *testing.T) {
+	c, cl := testCluster(t, 2)
+	var aRuns atomic.Int64
+	g := taskgraph.New()
+	g.AddFn("a", nil, func([]any) (any, error) {
+		aRuns.Add(1)
+		return 21.0, nil
+	}, 1e-4)
+	futs, err := cl.Submit(g, []taskgraph.Key{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Wait(futs); err != nil {
+		t.Fatal(err)
+	}
+	owner, _, _, err := c.sched.locate("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.KillWorker(owner, cl.Now()); err != nil {
+		t.Fatal(err)
+	}
+	// The result is gone; the scheduler must have replanned "a" and
+	// recomputed it on the surviving worker.
+	g2 := taskgraph.New()
+	g2.AddFn("b", []taskgraph.Key{"a"}, func(in []any) (any, error) {
+		return in[0].(float64) * 2, nil
+	}, 1e-4)
+	futs2, err := cl.Submit(g2, []taskgraph.Key{"b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := cl.Gather(futs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0].(float64) != 42 {
+		t.Fatalf("b = %v, want 42", vals[0])
+	}
+	if aRuns.Load() != 2 {
+		t.Fatalf("a executed %d times, want 2 (original + recompute)", aRuns.Load())
+	}
+	newOwner, _, _, err := c.sched.locate("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newOwner == owner {
+		t.Fatal("recomputed result placed on the dead worker")
+	}
+}
+
+func TestKillWorkerLosesScatteredData(t *testing.T) {
+	c, cl := testCluster(t, 2)
+	if err := cl.Scatter([]ScatterItem{{Key: "d", Value: 1.0}}, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.KillWorker(0, cl.Now()); err != nil {
+		t.Fatal(err)
+	}
+	g := taskgraph.New()
+	g.AddFn("use", []taskgraph.Key{"d"}, func(in []any) (any, error) { return in[0], nil }, 1e-4)
+	futs, err := cl.Submit(g, []taskgraph.Key{"use"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Gather(futs); err == nil {
+		t.Fatal("lost scattered data should err dependents")
+	}
+}
+
+func TestKillWorkerExternalDataRepublished(t *testing.T) {
+	// External data lost with a worker returns to the external state; the
+	// bridge republished it and the pending graph completes.
+	c, cl := testCluster(t, 2)
+	if _, err := cl.ExternalFutures([]taskgraph.Key{"ext"}); err != nil {
+		t.Fatal(err)
+	}
+	bridge := c.NewClient("bridge", 1, math.Inf(1))
+	if err := bridge.Scatter([]ScatterItem{{Key: "ext", Value: 3.0}}, true, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.KillWorker(0, bridge.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := c.sched.taskState("ext"); st != StateExternal {
+		t.Fatalf("lost external task state = %v, want external", st)
+	}
+	// A graph depending on it stays pending until the bridge republishes.
+	g := taskgraph.New()
+	g.AddFn("use", []taskgraph.Key{"ext"}, func(in []any) (any, error) {
+		return in[0].(float64) + 1, nil
+	}, 1e-4)
+	futs, err := cl.Submit(g, []taskgraph.Key{"use"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var gathered []any
+	var gerr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		gathered, gerr = cl.Gather(futs)
+	}()
+	if err := bridge.Scatter([]ScatterItem{{Key: "ext", Value: 3.0}}, true, 1); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if gerr != nil {
+		t.Fatal(gerr)
+	}
+	if gathered[0].(float64) != 4 {
+		t.Fatalf("use = %v, want 4", gathered[0])
+	}
+}
+
+func TestKillWorkerReassignsQueuedWork(t *testing.T) {
+	c, cl := testCluster(t, 2)
+	// Many root tasks spread round-robin; kill worker 0 immediately, then
+	// everything must still complete on worker 1.
+	g := taskgraph.New()
+	var targets []taskgraph.Key
+	for i := 0; i < 8; i++ {
+		key := taskgraph.Key(rune('a' + i))
+		v := float64(i)
+		g.AddFn(key, nil, func([]any) (any, error) { return v, nil }, 1e-3)
+		targets = append(targets, key)
+	}
+	futs, err := cl.Submit(g, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.KillWorker(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := cl.Gather(futs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if v.(float64) != float64(i) {
+			t.Fatalf("vals[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestKillWorkerGuards(t *testing.T) {
+	c, _ := testCluster(t, 2)
+	if err := c.KillWorker(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.KillWorker(0, 0); err == nil {
+		t.Fatal("double kill accepted")
+	}
+	if err := c.KillWorker(1, 0); err == nil {
+		t.Fatal("killed the last worker")
+	}
+}
+
+func TestKillWorkerDeepLineage(t *testing.T) {
+	// A chain a->b->c where all results lived on the dead worker: the
+	// whole lineage recomputes.
+	c, cl := testCluster(t, 2)
+	var runs atomic.Int64
+	g := taskgraph.New()
+	g.AddFn("a", nil, func([]any) (any, error) { runs.Add(1); return 1.0, nil }, 1e-4)
+	g.AddFn("b", []taskgraph.Key{"a"}, func(in []any) (any, error) {
+		runs.Add(1)
+		return in[0].(float64) + 1, nil
+	}, 1e-4)
+	g.AddFn("c", []taskgraph.Key{"b"}, func(in []any) (any, error) {
+		runs.Add(1)
+		return in[0].(float64) + 1, nil
+	}, 1e-4)
+	futs, err := cl.Submit(g, []taskgraph.Key{"c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Wait(futs); err != nil {
+		t.Fatal(err)
+	}
+	owner, _, _, _ := c.sched.locate("c")
+	if err := c.KillWorker(owner, cl.Now()); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := cl.Gather(futs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0].(float64) != 3 {
+		t.Fatalf("c = %v, want 3", vals[0])
+	}
+	if runs.Load() < 4 {
+		t.Fatalf("lineage did not recompute: %d runs", runs.Load())
+	}
+}

@@ -1,0 +1,559 @@
+package dask
+
+import (
+	"fmt"
+	"sync"
+
+	"deisago/internal/taskgraph"
+	"deisago/internal/vtime"
+)
+
+// State is a task's scheduler-side lifecycle state. It mirrors the
+// Dask.distributed task state machine, extended with StateExternal — the
+// paper's contribution: a task that is neither schedulable nor runnable
+// by the cluster; an external environment produces its result and pushes
+// it to a worker, after which the scheduler runs the ordinary
+// finished-task transition path.
+type State int
+
+// Task states.
+const (
+	StateWaiting State = iota
+	StateReady
+	StateProcessing
+	StateMemory
+	StateErred
+	StateExternal
+)
+
+// String returns the state name.
+func (s State) String() string {
+	switch s {
+	case StateWaiting:
+		return "waiting"
+	case StateReady:
+		return "ready"
+	case StateProcessing:
+		return "processing"
+	case StateMemory:
+		return "memory"
+	case StateErred:
+		return "erred"
+	case StateExternal:
+		return "external"
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+type schedTask struct {
+	key        taskgraph.Key
+	fn         taskgraph.Fn
+	timed      taskgraph.TimedFn
+	cost       vtime.Dur
+	outBytes   int64
+	priority   int
+	deps       []taskgraph.Key
+	missing    map[taskgraph.Key]bool // deps not yet in memory
+	dependents map[taskgraph.Key]bool
+	state      State
+	worker     int // result owner (memory) or assignee (processing); -1 unknown
+	bytes      int64
+	readyAt    vtime.Time
+	err        error
+	// wasExternal marks tasks created in the external state: if their
+	// result is lost with a worker, they return to external (the
+	// producing environment can republish) instead of erring.
+	wasExternal bool
+}
+
+type varEntry struct {
+	set   bool
+	value any
+	setAt vtime.Time
+}
+
+type queueItem struct {
+	value any
+	putAt vtime.Time
+}
+
+type queueEntry struct {
+	items []queueItem
+}
+
+type scheduler struct {
+	cl  *Cluster
+	cpu *vtime.Resource
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	tasks  map[taskgraph.Key]*schedTask
+	vars   map[string]*varEntry
+	queues map[string]*queueEntry
+	rr     int
+}
+
+func newScheduler(cl *Cluster) *scheduler {
+	s := &scheduler{
+		cl:     cl,
+		cpu:    vtime.NewResource("scheduler-cpu"),
+		tasks:  make(map[taskgraph.Key]*schedTask),
+		vars:   make(map[string]*varEntry),
+		queues: make(map[string]*queueEntry),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// handle charges the scheduler CPU for one incoming message arriving at
+// the given time, plus extra per-item work, and returns the handling
+// completion time.
+func (s *scheduler) handle(arrival vtime.Time, extra vtime.Dur) vtime.Time {
+	s.cl.counters.TotalSchedulerMsg.Add(1)
+	_, end := s.cpu.Acquire(arrival, s.cl.cfg.SchedulerMsgCost+extra)
+	return end
+}
+
+// submitGraph registers a culled task graph arriving at the given time.
+// Dependencies not present in the graph must already be known to the
+// scheduler (scattered data or external tasks). Returns the handling
+// completion time.
+func (s *scheduler) submitGraph(g *taskgraph.Graph, arrival vtime.Time) (vtime.Time, error) {
+	s.cl.counters.GraphsSubmitted.Add(1)
+	handled := s.handle(arrival, s.cl.cfg.SchedulerTaskCost*vtime.Dur(g.Len()))
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	keys := g.Keys()
+	// Validate first: no duplicates, all out-of-graph deps known.
+	for _, k := range keys {
+		if _, dup := s.tasks[k]; dup {
+			return handled, fmt.Errorf("dask: task %q already exists on the scheduler", k)
+		}
+		t := g.Get(k)
+		if t.IsData() {
+			return handled, fmt.Errorf("dask: task %q has no body; scatter data instead of submitting it", k)
+		}
+		for _, d := range t.Deps {
+			if g.Has(d) {
+				continue
+			}
+			if _, known := s.tasks[d]; !known {
+				return handled, fmt.Errorf("dask: task %q depends on unknown key %q", k, d)
+			}
+		}
+	}
+	// Register.
+	for _, k := range keys {
+		gt := g.Get(k)
+		st := &schedTask{
+			key:        k,
+			fn:         gt.Fn,
+			timed:      gt.Timed,
+			cost:       gt.Cost,
+			outBytes:   gt.OutBytes,
+			priority:   gt.Priority,
+			deps:       append([]taskgraph.Key(nil), gt.Deps...),
+			missing:    map[taskgraph.Key]bool{},
+			dependents: map[taskgraph.Key]bool{},
+			state:      StateWaiting,
+			worker:     -1,
+		}
+		s.tasks[k] = st
+		s.cl.counters.TasksRegistered.Add(1)
+	}
+	// Wire dependencies and find initially runnable tasks.
+	var runnable []*schedTask
+	for _, k := range keys {
+		st := s.tasks[k]
+		for _, d := range st.deps {
+			dt := s.tasks[d]
+			dt.dependents[k] = true
+			switch dt.state {
+			case StateMemory:
+				// satisfied
+			case StateErred:
+				st.state = StateErred
+				st.err = fmt.Errorf("dask: dependency %q erred: %w", d, dt.err)
+			default:
+				st.missing[d] = true
+			}
+		}
+		if st.state == StateWaiting && len(st.missing) == 0 {
+			runnable = append(runnable, st)
+		}
+	}
+	for _, st := range runnable {
+		s.assignLocked(st, handled)
+	}
+	s.cond.Broadcast()
+	return handled, nil
+}
+
+// createExternal registers external tasks for the given keys.
+func (s *scheduler) createExternal(keys []taskgraph.Key, arrival vtime.Time) (vtime.Time, error) {
+	handled := s.handle(arrival, s.cl.cfg.SchedulerTaskCost*vtime.Dur(len(keys)))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, k := range keys {
+		if _, dup := s.tasks[k]; dup {
+			return handled, fmt.Errorf("dask: external task %q already exists", k)
+		}
+	}
+	for _, k := range keys {
+		s.tasks[k] = &schedTask{
+			key:         k,
+			state:       StateExternal,
+			worker:      -1,
+			missing:     map[taskgraph.Key]bool{},
+			dependents:  map[taskgraph.Key]bool{},
+			wasExternal: true,
+		}
+		s.cl.counters.ExternalCreated.Add(1)
+	}
+	return handled, nil
+}
+
+// dataItem describes one scattered value already resident on a worker.
+type dataItem struct {
+	key     taskgraph.Key
+	bytes   int64
+	worker  int
+	readyAt vtime.Time // when the value landed in worker memory
+}
+
+// updateData records scattered data. In external mode, each key must name
+// an existing task in the external state; the scheduler then follows the
+// same transition path as for a finished task (external → memory,
+// unblocking dependents). In the default mode (plain Dask scatter), a new
+// task is created directly in memory.
+func (s *scheduler) updateData(items []dataItem, external bool, arrival vtime.Time) (vtime.Time, error) {
+	s.cl.counters.UpdateDataMsgs.Add(1)
+	handled := s.handle(arrival, s.cl.cfg.SchedulerTaskCost*vtime.Dur(len(items)))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, it := range items {
+		st, known := s.tasks[it.key]
+		if external {
+			if !known {
+				return handled, fmt.Errorf("dask: external update for unknown key %q", it.key)
+			}
+			if st.state != StateExternal {
+				return handled, fmt.Errorf("dask: external update for key %q in state %s", it.key, st.state)
+			}
+		} else {
+			if known {
+				if st.state == StateExternal {
+					return handled, fmt.Errorf("dask: non-external scatter to external key %q", it.key)
+				}
+				return handled, fmt.Errorf("dask: scatter to existing key %q", it.key)
+			}
+			st = &schedTask{
+				key:        it.key,
+				worker:     -1,
+				missing:    map[taskgraph.Key]bool{},
+				dependents: map[taskgraph.Key]bool{},
+			}
+			s.tasks[it.key] = st
+		}
+		st.worker = it.worker
+		st.bytes = it.bytes
+		st.readyAt = it.readyAt
+		st.state = StateMemory
+		s.onMemoryLocked(st, handled)
+	}
+	s.cond.Broadcast()
+	return handled, nil
+}
+
+// taskFinished is the worker's completion report; it triggers the
+// transition cascade for dependents.
+func (s *scheduler) taskFinished(key taskgraph.Key, workerID int, finishedAt vtime.Time, bytes int64, arrival vtime.Time) {
+	s.cl.counters.TaskFinishedMsgs.Add(1)
+	handled := s.handle(arrival, s.cl.cfg.SchedulerTaskCost)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.tasks[key]
+	if !ok || st.state != StateProcessing {
+		// Late or duplicate report; ignore.
+		return
+	}
+	st.state = StateMemory
+	st.worker = workerID
+	st.bytes = bytes
+	st.readyAt = finishedAt
+	s.onMemoryLocked(st, handled)
+	s.cond.Broadcast()
+}
+
+// taskErred marks a task failed and cascades the error to dependents.
+func (s *scheduler) taskErred(key taskgraph.Key, err error, arrival vtime.Time) {
+	s.handle(arrival, s.cl.cfg.SchedulerTaskCost)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st, ok := s.tasks[key]; ok {
+		s.erredLocked(st, err)
+	}
+	s.cond.Broadcast()
+}
+
+func (s *scheduler) erredLocked(st *schedTask, err error) {
+	if st.state == StateErred {
+		return
+	}
+	st.state = StateErred
+	st.err = err
+	for d := range st.dependents {
+		if dt := s.tasks[d]; dt != nil {
+			s.erredLocked(dt, fmt.Errorf("dask: dependency %q erred: %w", st.key, err))
+		}
+	}
+}
+
+// onMemoryLocked unblocks dependents of a task that just reached memory.
+func (s *scheduler) onMemoryLocked(st *schedTask, handled vtime.Time) {
+	for d := range st.dependents {
+		dt := s.tasks[d]
+		if dt == nil || dt.state != StateWaiting {
+			continue
+		}
+		delete(dt.missing, st.key)
+		if len(dt.missing) == 0 {
+			s.assignLocked(dt, handled)
+		}
+	}
+}
+
+// assignLocked picks a worker for a ready task and enqueues it there.
+func (s *scheduler) assignLocked(st *schedTask, departAt vtime.Time) {
+	st.state = StateReady
+	// Decide worker: most dependency bytes already local; ties go round
+	// robin. This matches Dask's data-locality-first decide_worker.
+	// Dead workers are never chosen.
+	best, bestBytes := -1, int64(-1)
+	counts := make(map[int]int64)
+	for _, d := range st.deps {
+		dt := s.tasks[d]
+		if dt != nil && dt.worker >= 0 && dt.state == StateMemory && !s.cl.workers[dt.worker].isDead() {
+			counts[dt.worker] += dt.bytes
+		}
+	}
+	for w, b := range counts {
+		if b > bestBytes || (b == bestBytes && w < best) {
+			best, bestBytes = w, b
+		}
+	}
+	if best == -1 {
+		live := s.liveWorkers()
+		if len(live) == 0 {
+			panic("dask: no live workers")
+		}
+		best = live[s.rr%len(live)]
+		s.rr++
+	}
+	st.state = StateProcessing
+	st.worker = best
+
+	// Build dependency locations for the worker-side fetch.
+	locs := make([]depLoc, 0, len(st.deps))
+	for _, d := range st.deps {
+		dt := s.tasks[d]
+		locs = append(locs, depLoc{key: d, worker: dt.worker, bytes: dt.bytes, readyAt: dt.readyAt})
+	}
+	w := s.cl.workers[best]
+	arrive := s.cl.xfer(s.cl.schedNode, w.node, s.cl.cfg.ControlMsgBytes, departAt)
+	w.enqueue(assignment{key: st.key, fn: st.fn, timed: st.timed, cost: st.cost, outBytes: st.outBytes, priority: st.priority, deps: locs, arriveAt: arrive})
+}
+
+// waitFor blocks until every key is in memory (or erred) and returns the
+// latest readyAt. An error is returned if any task erred or is unknown.
+func (s *scheduler) waitFor(keys []taskgraph.Key, arrival vtime.Time) (vtime.Time, error) {
+	handled := s.handle(arrival, 0)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	latest := handled
+	for {
+		done := true
+		latest = handled
+		for _, k := range keys {
+			st, ok := s.tasks[k]
+			if !ok {
+				return handled, fmt.Errorf("dask: wait for unknown key %q", k)
+			}
+			switch st.state {
+			case StateMemory:
+				if st.readyAt > latest {
+					latest = st.readyAt
+				}
+			case StateErred:
+				return handled, st.err
+			default:
+				done = false
+			}
+		}
+		if done {
+			return latest, nil
+		}
+		s.cond.Wait()
+	}
+}
+
+// locate returns the owner of a key in memory.
+func (s *scheduler) locate(key taskgraph.Key) (workerID int, bytes int64, readyAt vtime.Time, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.tasks[key]
+	if !ok {
+		return 0, 0, 0, fmt.Errorf("dask: locate unknown key %q", key)
+	}
+	if st.state == StateErred {
+		return 0, 0, 0, st.err
+	}
+	if st.state != StateMemory {
+		return 0, 0, 0, fmt.Errorf("dask: key %q not in memory (state %s)", key, st.state)
+	}
+	return st.worker, st.bytes, st.readyAt, nil
+}
+
+// stateCounts tallies tasks by state for monitoring.
+func (s *scheduler) stateCounts() map[State]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := map[State]int{}
+	for _, st := range s.tasks {
+		out[st.state]++
+	}
+	return out
+}
+
+// taskState returns the state of a key for tests and monitoring.
+func (s *scheduler) taskState(key taskgraph.Key) (State, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.tasks[key]
+	if !ok {
+		return 0, false
+	}
+	return st.state, true
+}
+
+// metadata accounts one bulk metadata message with the given number of
+// entries (each entry costs MetadataEntryCost of scheduler CPU).
+func (s *scheduler) metadata(entries int, arrival vtime.Time) vtime.Time {
+	s.cl.counters.MetadataMsgs.Add(1)
+	s.cl.counters.MetadataEntries.Add(int64(entries))
+	return s.handle(arrival, s.cl.cfg.MetadataEntryCost*vtime.Dur(entries))
+}
+
+// release forgets keys: scheduler state is dropped and worker store
+// entries freed (Dask's future release / client cancel for completed
+// data). Keys with dependents still registered are refused.
+func (s *scheduler) release(keys []taskgraph.Key, arrival vtime.Time) (vtime.Time, error) {
+	handled := s.handle(arrival, s.cl.cfg.SchedulerTaskCost*vtime.Dur(len(keys)))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, k := range keys {
+		st, ok := s.tasks[k]
+		if !ok {
+			continue
+		}
+		for d := range st.dependents {
+			if dt := s.tasks[d]; dt != nil {
+				return handled, fmt.Errorf("dask: cannot release %q: task %q depends on it", k, d)
+			}
+		}
+	}
+	for _, k := range keys {
+		st, ok := s.tasks[k]
+		if !ok {
+			continue
+		}
+		if st.state == StateMemory && st.worker >= 0 {
+			s.cl.workers[st.worker].drop(k)
+		}
+		for _, d := range st.deps {
+			if dt := s.tasks[d]; dt != nil {
+				delete(dt.dependents, k)
+			}
+		}
+		delete(s.tasks, k)
+	}
+	return handled, nil
+}
+
+// heartbeat accounts n client heartbeat messages ending at arrival.
+func (s *scheduler) heartbeat(n int, arrival vtime.Time) vtime.Time {
+	var end vtime.Time = arrival
+	for i := 0; i < n; i++ {
+		s.cl.counters.Heartbeats.Add(1)
+		end = s.handle(arrival, 0)
+	}
+	return end
+}
+
+// varSet stores a distributed Variable value.
+func (s *scheduler) varSet(name string, value any, arrival vtime.Time) vtime.Time {
+	s.cl.counters.VariableOps.Add(1)
+	handled := s.handle(arrival, 0)
+	s.mu.Lock()
+	s.vars[name] = &varEntry{set: true, value: value, setAt: handled}
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	return handled
+}
+
+// varGet blocks until the Variable is set and returns its value and the
+// virtual time at which the response can leave the scheduler.
+func (s *scheduler) varGet(name string, arrival vtime.Time) (any, vtime.Time) {
+	s.cl.counters.VariableOps.Add(1)
+	handled := s.handle(arrival, 0)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if e, ok := s.vars[name]; ok && e.set {
+			avail := handled
+			if e.setAt > avail {
+				avail = e.setAt
+			}
+			return e.value, avail
+		}
+		s.cond.Wait()
+	}
+}
+
+// queuePut appends a value to a distributed Queue.
+func (s *scheduler) queuePut(name string, value any, arrival vtime.Time) vtime.Time {
+	s.cl.counters.QueueOps.Add(1)
+	handled := s.handle(arrival, 0)
+	s.mu.Lock()
+	q := s.queues[name]
+	if q == nil {
+		q = &queueEntry{}
+		s.queues[name] = q
+	}
+	q.items = append(q.items, queueItem{value: value, putAt: handled})
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	return handled
+}
+
+// queueGet blocks until the Queue is non-empty and pops its head.
+func (s *scheduler) queueGet(name string, arrival vtime.Time) (any, vtime.Time) {
+	s.cl.counters.QueueOps.Add(1)
+	handled := s.handle(arrival, 0)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if q := s.queues[name]; q != nil && len(q.items) > 0 {
+			it := q.items[0]
+			q.items = q.items[1:]
+			avail := handled
+			if it.putAt > avail {
+				avail = it.putAt
+			}
+			return it.value, avail
+		}
+		s.cond.Wait()
+	}
+}

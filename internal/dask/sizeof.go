@@ -1,0 +1,38 @@
+package dask
+
+import "deisago/internal/ndarray"
+
+// SizeOf estimates the wire size in bytes of a task result or scattered
+// value, used to model transfer costs. Unknown types count as one control
+// message.
+func SizeOf(v any) int64 {
+	switch x := v.(type) {
+	case nil:
+		return 8
+	case *ndarray.Array:
+		return int64(x.Size()) * 8
+	case []float64:
+		return int64(len(x)) * 8
+	case [][]float64:
+		var n int64
+		for _, r := range x {
+			n += int64(len(r)) * 8
+		}
+		return n
+	case []byte:
+		return int64(len(x))
+	case string:
+		return int64(len(x))
+	case float64, int, int64, bool:
+		return 8
+	case Sized:
+		return x.SizeBytes()
+	default:
+		return 256
+	}
+}
+
+// Sized lets composite values report their own modelled wire size.
+type Sized interface {
+	SizeBytes() int64
+}

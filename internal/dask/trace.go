@@ -1,0 +1,113 @@
+package dask
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"deisago/internal/taskgraph"
+)
+
+// Task tracing: the virtual-time equivalent of the Dask dashboard's task
+// stream. When enabled on a cluster, every task execution records a span
+// (key, worker, start/end in virtual seconds); ExportChromeTrace writes
+// the spans in the Chrome trace-event format so they can be inspected in
+// chrome://tracing or Perfetto.
+
+// TraceEvent is one task-execution span in virtual time.
+type TraceEvent struct {
+	Key    taskgraph.Key
+	Worker int
+	Start  float64 // virtual seconds
+	End    float64
+	Erred  bool
+}
+
+type tracer struct {
+	mu     sync.Mutex
+	events []TraceEvent
+}
+
+func (t *tracer) add(e TraceEvent) {
+	t.mu.Lock()
+	t.events = append(t.events, e)
+	t.mu.Unlock()
+}
+
+// EnableTracing starts recording task-execution spans. Call before
+// submitting work.
+func (c *Cluster) EnableTracing() {
+	c.traceMu.Lock()
+	if c.trace == nil {
+		c.trace = &tracer{}
+	}
+	c.traceMu.Unlock()
+}
+
+// TraceEvents returns the spans recorded so far, sorted by start time.
+func (c *Cluster) TraceEvents() []TraceEvent {
+	c.traceMu.Lock()
+	tr := c.trace
+	c.traceMu.Unlock()
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	out := append([]TraceEvent(nil), tr.events...)
+	tr.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+func (c *Cluster) tracer() *tracer {
+	c.traceMu.Lock()
+	defer c.traceMu.Unlock()
+	return c.trace
+}
+
+// chromeEvent is the trace-event JSON schema (subset).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`  // microseconds
+	Dur  float64        `json:"dur"` // microseconds
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ExportChromeTrace writes the recorded spans as a Chrome trace-event
+// JSON array: one complete event ("ph":"X") per task, with the worker as
+// the thread. Virtual seconds map to trace microseconds.
+func (c *Cluster) ExportChromeTrace(w io.Writer) error {
+	return WriteChromeTrace(w, c.TraceEvents())
+}
+
+// WriteChromeTrace writes spans in the Chrome trace-event format.
+func WriteChromeTrace(w io.Writer, events []TraceEvent) error {
+	out := make([]chromeEvent, 0, len(events))
+	for _, e := range events {
+		cat := "task"
+		if e.Erred {
+			cat = "erred"
+		}
+		out = append(out, chromeEvent{
+			Name: string(e.Key),
+			Cat:  cat,
+			Ph:   "X",
+			Ts:   e.Start * 1e6,
+			Dur:  (e.End - e.Start) * 1e6,
+			Pid:  0,
+			Tid:  e.Worker,
+			Args: map[string]any{"erred": e.Erred},
+		})
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("dask: trace export: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,254 @@
+package dask
+
+import (
+	"fmt"
+	"sync"
+
+	"deisago/internal/netsim"
+	"deisago/internal/taskgraph"
+	"deisago/internal/vtime"
+)
+
+// depLoc tells a worker where to fetch one dependency.
+type depLoc struct {
+	key     taskgraph.Key
+	worker  int
+	bytes   int64
+	readyAt vtime.Time
+}
+
+// assignment is one task handed to a worker by the scheduler.
+type assignment struct {
+	key      taskgraph.Key
+	fn       taskgraph.Fn
+	timed    taskgraph.TimedFn
+	cost     vtime.Dur
+	outBytes int64
+	priority int
+	deps     []depLoc
+	arriveAt vtime.Time
+}
+
+type storeEntry struct {
+	value   any
+	bytes   int64
+	readyAt vtime.Time
+}
+
+// worker executes tasks assigned by the scheduler and stores results in
+// its local object store. Each worker runs one executor thread, matching
+// the paper's one-worker-per-process deployment.
+type worker struct {
+	cl   *Cluster
+	id   int
+	node netsim.NodeID
+	cpu  *vtime.Resource
+
+	mu    sync.Mutex
+	cond  *sync.Cond
+	inbox []assignment
+	quit  bool
+	dead  bool
+
+	storeMu sync.RWMutex
+	store   map[taskgraph.Key]storeEntry
+
+	executed int64
+}
+
+func newWorker(cl *Cluster, id int, node netsim.NodeID) *worker {
+	w := &worker{
+		cl:    cl,
+		id:    id,
+		node:  node,
+		cpu:   vtime.NewResource(fmt.Sprintf("worker%d-cpu", id)),
+		store: make(map[taskgraph.Key]storeEntry),
+	}
+	w.cond = sync.NewCond(&w.mu)
+	return w
+}
+
+func (w *worker) enqueue(a assignment) {
+	w.mu.Lock()
+	if !w.dead {
+		w.inbox = append(w.inbox, a)
+	}
+	w.mu.Unlock()
+	w.cond.Broadcast()
+}
+
+func (w *worker) stop() {
+	w.mu.Lock()
+	w.quit = true
+	w.mu.Unlock()
+	w.cond.Broadcast()
+}
+
+func (w *worker) run() {
+	for {
+		w.mu.Lock()
+		for len(w.inbox) == 0 && !w.quit && !w.dead {
+			w.cond.Wait()
+		}
+		if w.quit || w.dead {
+			w.mu.Unlock()
+			return
+		}
+		// Pick the lowest-priority-value assignment (FIFO among equals):
+		// Dask schedules higher-priority tasks first on each worker.
+		best := 0
+		for i := 1; i < len(w.inbox); i++ {
+			if w.inbox[i].priority < w.inbox[best].priority {
+				best = i
+			}
+		}
+		a := w.inbox[best]
+		w.inbox = append(w.inbox[:best], w.inbox[best+1:]...)
+		w.mu.Unlock()
+		w.exec(a)
+	}
+}
+
+// put inserts a value into the worker's object store (used by both task
+// execution and client scatter).
+func (w *worker) put(key taskgraph.Key, value any, bytes int64, readyAt vtime.Time) {
+	w.storeMu.Lock()
+	w.store[key] = storeEntry{value: value, bytes: bytes, readyAt: readyAt}
+	w.storeMu.Unlock()
+}
+
+// get returns a stored value. It panics if the key is absent: the
+// scheduler only references data it has been told is resident, so absence
+// is a protocol bug, not a user error.
+func (w *worker) get(key taskgraph.Key) storeEntry {
+	w.storeMu.RLock()
+	e, ok := w.store[key]
+	w.storeMu.RUnlock()
+	if !ok {
+		panic(fmt.Sprintf("dask: worker %d has no key %q", w.id, key))
+	}
+	return e
+}
+
+// drop removes a key from the object store (release path).
+func (w *worker) drop(key taskgraph.Key) {
+	w.storeMu.Lock()
+	delete(w.store, key)
+	w.storeMu.Unlock()
+}
+
+// has reports whether the store holds a key.
+func (w *worker) has(key taskgraph.Key) bool {
+	w.storeMu.RLock()
+	_, ok := w.store[key]
+	w.storeMu.RUnlock()
+	return ok
+}
+
+// exec fetches dependencies, runs the task, stores the result, and
+// reports completion to the scheduler.
+func (w *worker) exec(a assignment) {
+	vals := make([]any, len(a.deps))
+	depReady := a.arriveAt
+	for i, d := range a.deps {
+		if d.worker == w.id {
+			e := w.get(d.key)
+			vals[i] = e.value
+			if e.readyAt > depReady {
+				depReady = e.readyAt
+			}
+			continue
+		}
+		peer := w.cl.worker(d.worker)
+		e := peer.get(d.key)
+		vals[i] = e.value
+		depart := a.arriveAt
+		if e.readyAt > depart {
+			depart = e.readyAt
+		}
+		arrive := w.cl.xfer(peer.node, w.node, e.bytes, depart)
+		if arrive > depReady {
+			depReady = arrive
+		}
+	}
+
+	start, end := w.cpu.Acquire(depReady, a.cost+w.cl.cfg.WorkerTaskOverhead)
+	value, dynEnd, err := w.invoke(a, vals, start)
+	if dynEnd > end {
+		w.cpu.Extend(dynEnd)
+		end = dynEnd
+	}
+
+	if tr := w.cl.tracer(); tr != nil {
+		tr.add(TraceEvent{Key: a.key, Worker: w.id, Start: start, End: end, Erred: err != nil})
+	}
+	report := w.cl.xfer(w.node, w.cl.schedNode, w.cl.cfg.ControlMsgBytes, end)
+	if err != nil {
+		w.cl.sched.taskErred(a.key, err, report)
+		return
+	}
+	bytes := SizeOf(value)
+	if a.outBytes > 0 {
+		bytes = a.outBytes
+	}
+	w.put(a.key, value, bytes, end)
+	w.mu.Lock()
+	w.executed++
+	w.mu.Unlock()
+	w.cl.sched.taskFinished(a.key, w.id, end, bytes, report)
+}
+
+// invoke runs the task body, converting panics into task errors, as
+// Dask converts Python exceptions in tasks into task failures rather
+// than crashing the worker.
+func (w *worker) invoke(a assignment, vals []any, start vtime.Time) (value any, dynEnd vtime.Time, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			value = nil
+			err = fmt.Errorf("dask: task %q panicked: %v", a.key, r)
+		}
+	}()
+	if a.timed != nil {
+		return a.timed(vals, start)
+	}
+	value, err = a.fn(vals)
+	return value, start, err
+}
+
+// Executed returns how many tasks this worker has completed.
+func (w *worker) Executed() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.executed
+}
+
+// stats summarizes one worker for monitoring.
+func (w *worker) stats() WorkerStats {
+	w.storeMu.RLock()
+	items := len(w.store)
+	var bytes int64
+	for _, e := range w.store {
+		bytes += e.bytes
+	}
+	w.storeMu.RUnlock()
+	return WorkerStats{
+		ID:         w.id,
+		Node:       w.node,
+		Executed:   w.Executed(),
+		BusySecs:   w.cpu.Busy(),
+		StoreItems: items,
+		StoreBytes: bytes,
+	}
+}
+
+// WorkerStats is a monitoring snapshot of one worker — executed task
+// count, virtual busy time, and object-store contents (the numbers a
+// Dask dashboard's worker panel shows).
+type WorkerStats struct {
+	ID         int
+	Node       netsim.NodeID
+	Executed   int64
+	BusySecs   float64
+	StoreItems int
+	StoreBytes int64
+}

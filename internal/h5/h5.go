@@ -1,0 +1,341 @@
+// Package h5 implements a minimal HDF5-like container: named
+// n-dimensional float64 datasets stored in regular chunks inside a single
+// file on the simulated parallel file system. It provides what the
+// paper's post hoc baseline needs — the simulation writes one chunked
+// dataset per field, and the Dask analytics later read it back with the
+// same chunking ("we have chunked the HDF5 files and used the same
+// chunking in the analytics", §3.3.1).
+package h5
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"deisago/internal/ndarray"
+	"deisago/internal/pfs"
+	"deisago/internal/vtime"
+)
+
+const bytesPerElem = 8
+
+type dsMeta struct {
+	Shape  []int `json:"shape"`
+	Chunks []int `json:"chunks"`
+	Offset int64 `json:"offset"` // byte offset of the first chunk in the data file
+	// SizeScale multiplies the modelled I/O cost of every chunk access:
+	// the dataset stands in for one SizeScale times larger (harness
+	// cost-model knob; 1 by default).
+	SizeScale int64 `json:"size_scale,omitempty"`
+}
+
+type fileMeta struct {
+	Datasets map[string]*dsMeta `json:"datasets"`
+	NextOff  int64              `json:"next_off"`
+}
+
+// File is an open container.
+type File struct {
+	fs   *pfs.FS
+	path string
+
+	mu   sync.Mutex
+	meta fileMeta
+}
+
+func metaPath(path string) string { return path + ".meta" }
+
+// Create makes a new, empty container (truncating any existing one) and
+// returns it with the virtual completion time.
+func Create(fsys *pfs.FS, path string, at vtime.Time) (*File, vtime.Time) {
+	end := fsys.Create(path, at)
+	end = fsys.Create(metaPath(path), end)
+	f := &File{fs: fsys, path: path, meta: fileMeta{Datasets: map[string]*dsMeta{}}}
+	end = f.flushMeta(end)
+	return f, end
+}
+
+// Open loads an existing container.
+func Open(fsys *pfs.FS, path string, at vtime.Time) (*File, vtime.Time, error) {
+	sz, err := fsys.Size(metaPath(path))
+	if err != nil {
+		return nil, at, fmt.Errorf("h5: open %s: %w", path, err)
+	}
+	raw, end, err := fsys.ReadAt(metaPath(path), 0, sz, at)
+	if err != nil {
+		return nil, at, err
+	}
+	f := &File{fs: fsys, path: path}
+	if err := json.Unmarshal(raw, &f.meta); err != nil {
+		return nil, at, fmt.Errorf("h5: corrupt metadata in %s: %w", path, err)
+	}
+	if f.meta.Datasets == nil {
+		f.meta.Datasets = map[string]*dsMeta{}
+	}
+	return f, end, nil
+}
+
+func (f *File) flushMeta(at vtime.Time) vtime.Time {
+	raw, err := json.Marshal(&f.meta)
+	if err != nil {
+		panic("h5: metadata marshal failed: " + err.Error())
+	}
+	// Metadata is small; recreate to truncate stale bytes.
+	end := f.fs.Create(metaPath(f.path), at)
+	end, werr := f.fs.WriteAt(metaPath(f.path), 0, raw, end)
+	if werr != nil {
+		panic("h5: metadata write failed: " + werr.Error())
+	}
+	return end
+}
+
+// Path returns the container path.
+func (f *File) Path() string { return f.path }
+
+// Datasets lists dataset names in lexical order.
+func (f *File) Datasets() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, 0, len(f.meta.Datasets))
+	for n := range f.meta.Datasets {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Dataset is a handle on one chunked dataset.
+type Dataset struct {
+	file *File
+	name string
+	meta *dsMeta
+}
+
+// CreateDataset allocates a dataset with the given logical shape and
+// chunk shape. Edge chunks are stored zero-padded at full chunk size.
+func (f *File) CreateDataset(name string, shape, chunks []int, at vtime.Time) (*Dataset, vtime.Time, error) {
+	if len(shape) == 0 || len(shape) != len(chunks) {
+		return nil, at, fmt.Errorf("h5: shape %v and chunks %v must be same non-zero rank", shape, chunks)
+	}
+	n := int64(1)
+	for i := range shape {
+		if shape[i] <= 0 || chunks[i] <= 0 {
+			return nil, at, fmt.Errorf("h5: non-positive extent in shape %v / chunks %v", shape, chunks)
+		}
+		n *= int64(gridDim(shape[i], chunks[i]))
+	}
+	f.mu.Lock()
+	if _, dup := f.meta.Datasets[name]; dup {
+		f.mu.Unlock()
+		return nil, at, fmt.Errorf("h5: dataset %q already exists", name)
+	}
+	dm := &dsMeta{
+		Shape:  append([]int(nil), shape...),
+		Chunks: append([]int(nil), chunks...),
+		Offset: f.meta.NextOff,
+	}
+	chunkBytes := int64(chunkElems(chunks)) * bytesPerElem
+	f.meta.Datasets[name] = dm
+	f.meta.NextOff += n * chunkBytes
+	end := f.flushMeta(at)
+	f.mu.Unlock()
+	return &Dataset{file: f, name: name, meta: dm}, end, nil
+}
+
+// Dataset returns a handle on an existing dataset.
+func (f *File) Dataset(name string) (*Dataset, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	dm, ok := f.meta.Datasets[name]
+	if !ok {
+		return nil, fmt.Errorf("h5: dataset %q not found in %s", name, f.path)
+	}
+	return &Dataset{file: f, name: name, meta: dm}, nil
+}
+
+func gridDim(extent, chunk int) int { return (extent + chunk - 1) / chunk }
+
+func chunkElems(chunks []int) int {
+	n := 1
+	for _, c := range chunks {
+		n *= c
+	}
+	return n
+}
+
+// Name returns the dataset name.
+func (d *Dataset) Name() string { return d.name }
+
+// SetSizeScale declares that every chunk models a scale-times-larger
+// block: chunk reads and writes charge the file system for
+// scale × actual bytes. It returns the dataset for chaining.
+func (d *Dataset) SetSizeScale(scale int64) *Dataset {
+	if scale <= 0 {
+		panic("h5: size scale must be positive")
+	}
+	d.meta.SizeScale = scale
+	return d
+}
+
+// sizeScale returns the effective cost multiplier.
+func (d *Dataset) sizeScale() int64 {
+	if d.meta.SizeScale <= 0 {
+		return 1
+	}
+	return d.meta.SizeScale
+}
+
+// Shape returns the logical dataset shape.
+func (d *Dataset) Shape() []int { return append([]int(nil), d.meta.Shape...) }
+
+// ChunkShape returns the chunking.
+func (d *Dataset) ChunkShape() []int { return append([]int(nil), d.meta.Chunks...) }
+
+// ChunkGrid returns the number of chunks in each dimension.
+func (d *Dataset) ChunkGrid() []int {
+	g := make([]int, len(d.meta.Shape))
+	for i := range g {
+		g[i] = gridDim(d.meta.Shape[i], d.meta.Chunks[i])
+	}
+	return g
+}
+
+// NumChunks returns the total chunk count.
+func (d *Dataset) NumChunks() int {
+	n := 1
+	for _, g := range d.ChunkGrid() {
+		n *= g
+	}
+	return n
+}
+
+// chunkExtent returns the in-bounds shape of the chunk at idx.
+func (d *Dataset) chunkExtent(idx []int) ([]int, error) {
+	if len(idx) != len(d.meta.Shape) {
+		return nil, fmt.Errorf("h5: chunk index rank %d, dataset rank %d", len(idx), len(d.meta.Shape))
+	}
+	grid := d.ChunkGrid()
+	ext := make([]int, len(idx))
+	for i, x := range idx {
+		if x < 0 || x >= grid[i] {
+			return nil, fmt.Errorf("h5: chunk index %v outside grid %v", idx, grid)
+		}
+		ext[i] = d.meta.Chunks[i]
+		if rem := d.meta.Shape[i] - x*d.meta.Chunks[i]; rem < ext[i] {
+			ext[i] = rem
+		}
+	}
+	return ext, nil
+}
+
+func (d *Dataset) chunkOffset(idx []int) int64 {
+	grid := d.ChunkGrid()
+	linear := 0
+	for i, x := range idx {
+		linear = linear*grid[i] + x
+	}
+	return d.meta.Offset + int64(linear)*int64(chunkElems(d.meta.Chunks))*bytesPerElem
+}
+
+// WriteChunk stores the array as the chunk at idx. The array's shape must
+// equal the chunk's in-bounds extent; edge chunks are zero-padded on disk.
+func (d *Dataset) WriteChunk(idx []int, a *ndarray.Array, at vtime.Time) (vtime.Time, error) {
+	ext, err := d.chunkExtent(idx)
+	if err != nil {
+		return at, err
+	}
+	ash := a.Shape()
+	if len(ash) != len(ext) {
+		return at, fmt.Errorf("h5: chunk rank mismatch: array %v, extent %v", ash, ext)
+	}
+	for i := range ext {
+		if ash[i] != ext[i] {
+			return at, fmt.Errorf("h5: chunk %v shape %v, want %v", idx, ash, ext)
+		}
+	}
+	full := ndarray.New(d.meta.Chunks...)
+	ranges := make([]ndarray.Range, len(ext))
+	for i, e := range ext {
+		ranges[i] = ndarray.Range{Start: 0, Stop: e}
+	}
+	full.Slice(ranges...).CopyFrom(a)
+	raw := encodeFloats(full.Data())
+	return d.file.fs.WriteAtCost(d.file.path, d.chunkOffset(idx), raw,
+		int64(len(raw))*d.sizeScale(), at)
+}
+
+// ReadChunk loads the chunk at idx, trimmed to its in-bounds extent.
+func (d *Dataset) ReadChunk(idx []int, at vtime.Time) (*ndarray.Array, vtime.Time, error) {
+	ext, err := d.chunkExtent(idx)
+	if err != nil {
+		return nil, at, err
+	}
+	nbytes := int64(chunkElems(d.meta.Chunks)) * bytesPerElem
+	raw, end, err := d.file.fs.ReadAtCost(d.file.path, d.chunkOffset(idx), nbytes,
+		nbytes*d.sizeScale(), at)
+	if err != nil {
+		return nil, at, err
+	}
+	full := ndarray.FromSlice(decodeFloats(raw), d.meta.Chunks...)
+	ranges := make([]ndarray.Range, len(ext))
+	for i, e := range ext {
+		ranges[i] = ndarray.Range{Start: 0, Stop: e}
+	}
+	return full.Slice(ranges...).Copy(), end, nil
+}
+
+// ReadAll assembles the whole dataset by reading every chunk in sequence
+// starting at the given time; it returns the data and the completion time.
+func (d *Dataset) ReadAll(at vtime.Time) (*ndarray.Array, vtime.Time, error) {
+	out := ndarray.New(d.meta.Shape...)
+	grid := d.ChunkGrid()
+	idx := make([]int, len(grid))
+	end := at
+	for {
+		chunk, e, err := d.ReadChunk(idx, at)
+		if err != nil {
+			return nil, at, err
+		}
+		if e > end {
+			end = e
+		}
+		ranges := make([]ndarray.Range, len(idx))
+		for i, x := range idx {
+			start := x * d.meta.Chunks[i]
+			ranges[i] = ndarray.Range{Start: start, Stop: start + chunk.Dim(i)}
+		}
+		out.Slice(ranges...).CopyFrom(chunk)
+		// Advance the chunk index odometer.
+		i := len(idx) - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < grid[i] {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			break
+		}
+	}
+	return out, end, nil
+}
+
+func encodeFloats(xs []float64) []byte {
+	out := make([]byte, len(xs)*bytesPerElem)
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(out[i*bytesPerElem:], math.Float64bits(x))
+	}
+	return out
+}
+
+func decodeFloats(raw []byte) []float64 {
+	out := make([]float64, len(raw)/bytesPerElem)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*bytesPerElem:]))
+	}
+	return out
+}

@@ -1,0 +1,237 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// testOptions is even smaller than QuickOptions, for unit tests.
+func testOptions() Options {
+	o := DefaultOptions()
+	o.Runs = 1
+	o.Timesteps = 3
+	o.WeakProcs = []int{4, 8}
+	o.BlockBytes = 8 * MiB
+	o.StrongProcs = []int{4, 8}
+	o.StrongTotalBytes = 64 * MiB
+	o.Fig5Procs = 8
+	o.Fig5BlockBytes = 8 * MiB
+	return o
+}
+
+func seriesByLabel(t *testing.T, tab *Table, label string) Series {
+	t.Helper()
+	for _, s := range tab.Series {
+		if s.Label == label {
+			return s
+		}
+	}
+	t.Fatalf("series %q not in %s", label, tab.Title)
+	return Series{}
+}
+
+func TestFig2aShapes(t *testing.T) {
+	tab, err := Fig2a(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.XTicks) != 2 || tab.XTicks[0] != "4" {
+		t.Fatalf("ticks = %v", tab.XTicks)
+	}
+	simS := seriesByLabel(t, tab, "Simulation")
+	write := seriesByLabel(t, tab, "Post Hoc Write")
+	d3 := seriesByLabel(t, tab, "DEISA3 Communication")
+	// Simulation weak-scales flat (within 5%).
+	if rel := simS.Mean[1] / simS.Mean[0]; rel < 0.95 || rel > 1.05 {
+		t.Fatalf("simulation not flat: %v", simS.Mean)
+	}
+	// Post hoc write grows with process count (shared PFS).
+	if write.Mean[1] <= write.Mean[0]*1.1 {
+		t.Fatalf("post hoc write did not grow: %v", write.Mean)
+	}
+	// DEISA3 communication stays roughly flat.
+	if rel := d3.Mean[1] / d3.Mean[0]; rel < 0.8 || rel > 1.3 {
+		t.Fatalf("DEISA3 comm not flat: %v", d3.Mean)
+	}
+	// All values positive.
+	for _, s := range tab.Series {
+		for i, m := range s.Mean {
+			if m <= 0 || s.Std[i] < 0 {
+				t.Fatalf("bad stats in %s: %v / %v", s.Label, s.Mean, s.Std)
+			}
+		}
+	}
+}
+
+func TestFig2bShapes(t *testing.T) {
+	tab, err := Fig2b(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := seriesByLabel(t, tab, "Post hoc IPCA")
+	new_ := seriesByLabel(t, tab, "Post hoc New IPCA")
+	d3 := seriesByLabel(t, tab, "DEISA3 New IPCA")
+	for i := range old.Mean {
+		if old.Mean[i] <= new_.Mean[i] {
+			t.Fatalf("old IPCA (%v) not slower than new (%v) post hoc", old.Mean, new_.Mean)
+		}
+		if d3.Mean[i] >= old.Mean[i] {
+			t.Fatalf("DEISA3 (%v) not faster than old post hoc (%v)", d3.Mean, old.Mean)
+		}
+	}
+}
+
+func TestFig3aShapes(t *testing.T) {
+	tab, err := Fig3a(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	write := seriesByLabel(t, tab, "Post Hoc Write")
+	d3 := seriesByLabel(t, tab, "DEISA3 Communication")
+	// Post hoc per-process bandwidth decreases when doubling processes.
+	if write.Mean[1] >= write.Mean[0] {
+		t.Fatalf("post hoc bandwidth did not degrade: %v", write.Mean)
+	}
+	// DEISA3 bandwidth roughly stable and higher at scale.
+	if d3.Mean[1] < write.Mean[1] {
+		t.Fatalf("DEISA3 bandwidth (%v) below post hoc (%v) at scale", d3.Mean, write.Mean)
+	}
+}
+
+func TestFig4Shapes(t *testing.T) {
+	o := testOptions()
+	ta, err := Fig4a(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simS := seriesByLabel(t, ta, "Simulation")
+	// Perfect strong scaling: constant core·hours (within 10%).
+	if rel := simS.Mean[1] / simS.Mean[0]; rel < 0.9 || rel > 1.1 {
+		t.Fatalf("simulation cost not constant: %v", simS.Mean)
+	}
+	write := seriesByLabel(t, ta, "Post Hoc Write")
+	d3 := seriesByLabel(t, ta, "DEISA3 Communication")
+	last := len(write.Mean) - 1
+	if write.Mean[last] <= d3.Mean[last] {
+		t.Fatalf("post hoc write cost (%v) not above DEISA3 (%v)", write.Mean, d3.Mean)
+	}
+
+	tb, err := Fig4b(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldC := seriesByLabel(t, tb, "Post hoc IPCA")
+	d3C := seriesByLabel(t, tb, "DEISA3 New IPCA")
+	if oldC.Mean[last] <= d3C.Mean[last] {
+		t.Fatalf("post hoc analytics cost (%v) not above DEISA3 (%v)", oldC.Mean, d3C.Mean)
+	}
+}
+
+func TestFig5Shapes(t *testing.T) {
+	o := testOptions()
+	o.Fig5BlockBytes = 32 * MiB // large enough for scheduler collisions
+	runs, err := Fig5(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 3*o.Runs {
+		t.Fatalf("got %d panels, want %d", len(runs), 3*o.Runs)
+	}
+	band := map[System]float64{}
+	for _, r := range runs {
+		if len(r.Mean) != o.Fig5Procs || len(r.Std) != o.Fig5Procs {
+			t.Fatalf("panel size: %d ranks", len(r.Mean))
+		}
+		var avg float64
+		for _, s := range r.Std {
+			avg += s
+		}
+		band[r.System] += avg / float64(len(r.Std))
+	}
+	// The DEISA1 variability band must dominate DEISA3's.
+	if band[DEISA1] <= band[DEISA3] {
+		t.Fatalf("DEISA1 band (%v) not above DEISA3 (%v)", band[DEISA1], band[DEISA3])
+	}
+	if out := FormatFig5(runs); !strings.Contains(out, "DEISA1") || !strings.Contains(out, "band") {
+		t.Fatal("FormatFig5 output malformed")
+	}
+}
+
+func TestHeadlineRatios(t *testing.T) {
+	o := testOptions()
+	o.WeakProcs = []int{8}
+	o.BlockBytes = 32 * MiB
+	h, err := ComputeHeadline(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.SimSpeedupVsDeisa1 < 1 {
+		t.Fatalf("sim speedup %v < 1", h.SimSpeedupVsDeisa1)
+	}
+	if h.AnalyticsSpeedupVsDeisa1 < 1 {
+		t.Fatalf("analytics speedup %v < 1", h.AnalyticsSpeedupVsDeisa1)
+	}
+	if h.CostRatioVsPostHocWrite < 1 {
+		t.Fatalf("cost ratio %v < 1", h.CostRatioVsPostHocWrite)
+	}
+	if out := h.Format(); !strings.Contains(out, "paper") {
+		t.Fatal("Format missing paper reference")
+	}
+}
+
+func TestMetadataCountsFormulas(t *testing.T) {
+	o := testOptions()
+	mc, err := ComputeMetadataCounts(o, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	T, R := int64(o.Timesteps), int64(4)
+	if mc.DEISA1Queue != 2*T*R {
+		t.Fatalf("queue ops %d != 2TR %d", mc.DEISA1Queue, 2*T*R)
+	}
+	if mc.DEISA1Meta != T*R {
+		t.Fatalf("metadata %d != TR %d", mc.DEISA1Meta, T*R)
+	}
+	if mc.DEISA3Variable != 3+R {
+		t.Fatalf("variable ops %d != 3+R %d", mc.DEISA3Variable, 3+R)
+	}
+	if mc.DEISA3External != T*R {
+		t.Fatalf("external %d != TR %d", mc.DEISA3External, T*R)
+	}
+	if out := mc.Format(); !strings.Contains(out, "2*T*R") {
+		t.Fatal("Format malformed")
+	}
+}
+
+func TestTableFormatAndCSV(t *testing.T) {
+	tab := &Table{
+		Title:  "T",
+		XLabel: "x", YLabel: "y",
+		XTicks: []string{"1", "2"},
+		Series: []Series{{Label: "s", Mean: []float64{1, 2}, Std: []float64{0.1, 0.2}}},
+	}
+	txt := tab.Format()
+	if !strings.Contains(txt, "T") || !strings.Contains(txt, "1±0.1") {
+		t.Fatalf("Format = %q", txt)
+	}
+	csv := tab.CSV()
+	if !strings.HasPrefix(csv, "series,1,2") || !strings.Contains(csv, "s,1,2") {
+		t.Fatalf("CSV = %q", csv)
+	}
+}
+
+func TestDefaultAndQuickOptions(t *testing.T) {
+	d := DefaultOptions()
+	if d.Runs != 3 || d.Timesteps != 10 || d.BlockBytes != 128*MiB {
+		t.Fatalf("DefaultOptions = %+v", d)
+	}
+	q := QuickOptions()
+	if q.Runs >= d.Runs && q.BlockBytes >= d.BlockBytes {
+		t.Fatal("QuickOptions not smaller than default")
+	}
+	var o Options
+	o.defaults()
+	if o.Runs != 3 {
+		t.Fatal("zero Options did not default")
+	}
+}

@@ -1,0 +1,162 @@
+// Package harness runs the paper's evaluation workflows end to end and
+// reproduces its tables and figures. A Run executes the real coupled
+// workflow — Heat2D ranks on the MPI substrate publishing blocks through
+// deisa bridges (or writing HDF5-like files for the post hoc baseline),
+// and the analytics computing a real incremental PCA on the received
+// data — while every cost-bearing operation is priced by the calibrated
+// platform model, so virtual times land at the paper's scale even though
+// the arrays are kept small.
+//
+// Five systems are available, matching §3.3:
+//
+//	DASK (post hoc)  — simulation writes chunked files to the shared PFS;
+//	                   plain Dask analytics read them back. Old or new
+//	                   IPCA drivers.
+//	DEISA1           — the HiPC'21 baseline: plain scatter, per-timestep
+//	                   metadata, R distributed queues, 5 s heartbeats,
+//	                   old IPCA.
+//	DEISA2           — this paper with a 60 s heartbeat interval.
+//	DEISA3           — this paper with heartbeats disabled (the full
+//	                   version), new multidimensional IPCA.
+package harness
+
+import (
+	"math"
+
+	"deisago/internal/dask"
+	"deisago/internal/netsim"
+	"deisago/internal/pfs"
+)
+
+// Model is the calibrated platform cost model (the counterpart of the
+// Irene/TGCC Skylake platform in §3).
+type Model struct {
+	Net  netsim.Config
+	PFS  pfs.Config
+	Dask dask.Config
+
+	// MachineNodes is the machine size allocations are drawn from.
+	MachineNodes int
+	// CoresPerNode matches Irene's 2×24-core Skylake nodes.
+	CoresPerNode int
+	// RanksPerNode and WorkersPerNode follow the paper's layout (two
+	// processes per node).
+	RanksPerNode, WorkersPerNode int
+
+	// CellCost is the modelled compute time per grid cell per iteration
+	// (calibrated so a 128 MiB block integrates in ≈1.2 s, the paper's
+	// flat "Simulation" curve).
+	CellCost float64
+	// FeaturesModel is the modelled feature (X) extent of the analytics
+	// matrices; the modelled per-block sample count follows from the
+	// block size.
+	FeaturesModel int
+	// FlopTime prices analytics floating-point work (Python-kernel
+	// effective rate).
+	FlopTime float64
+	// FoldCostPerByte prices the centering/stacking pass over a block.
+	FoldCostPerByte float64
+	// MetaEntryCost prices one metadata entry processed by the scheduler
+	// (drives the DEISA1 per-timestep metadata overload).
+	MetaEntryCost float64
+	// NComponents is the extracted component count (paper: 2).
+	NComponents int
+
+	// HeartbeatDEISA1/2 are the bridge heartbeat intervals of the
+	// baseline systems; DEISA3 uses +Inf.
+	HeartbeatDEISA1 float64
+	HeartbeatDEISA2 float64
+}
+
+// DefaultModel returns the calibration used by EXPERIMENTS.md.
+func DefaultModel() Model {
+	return Model{
+		Net: netsim.Config{
+			NodesPerSwitch:  16,
+			LinkBandwidth:   12.5e9, // EDR InfiniBand, 100 Gb/s
+			PruneFactor:     2,
+			HopLatency:      1e-6,
+			SoftwareLatency: 3e-5,
+			JitterFrac:      0.08,
+			Seed:            1,
+		},
+		PFS: pfs.Config{
+			OSTs:         8,
+			OSTBandwidth: 75 << 20, // 600 MiB/s aggregate effective
+			StripeSize:   1 << 20,
+			MetaLatency:  2e-3,
+		},
+		Dask: dask.Config{
+			SchedulerMsgCost:       1e-3,
+			SchedulerTaskCost:      2e-4,
+			ControlMsgBytes:        1 << 10,
+			MetadataBytesPerKey:    256,
+			WorkerTaskOverhead:     1e-4,
+			SerializationBandwidth: 4e8, // includes (de)serialization overheads
+		},
+		MachineNodes:    512,
+		CoresPerNode:    48,
+		RanksPerNode:    2,
+		WorkersPerNode:  2,
+		CellCost:        7.2e-8,
+		FeaturesModel:   4096,
+		FlopTime:        1e-9,
+		FoldCostPerByte: 1e-9,
+		MetaEntryCost:   1e-3,
+		NComponents:     2,
+		HeartbeatDEISA1: 5,
+		HeartbeatDEISA2: 60,
+	}
+}
+
+// System identifies one of the compared workflow implementations.
+type System int
+
+// The five systems of §3.3.
+const (
+	PostHocOldIPCA System = iota
+	PostHocNewIPCA
+	DEISA1
+	DEISA2
+	DEISA3
+)
+
+// String names the system as in the paper's figures.
+func (s System) String() string {
+	switch s {
+	case PostHocOldIPCA:
+		return "PostHoc-IPCA"
+	case PostHocNewIPCA:
+		return "PostHoc-newIPCA"
+	case DEISA1:
+		return "DEISA1"
+	case DEISA2:
+		return "DEISA2"
+	case DEISA3:
+		return "DEISA3"
+	}
+	return "unknown"
+}
+
+// InTransit reports whether the system couples simulation and analytics
+// through deisa (vs. the post hoc file-based baseline).
+func (s System) InTransit() bool { return s >= DEISA1 }
+
+// NewIPCA reports whether the system uses the multidimensional
+// whole-graph IPCA of §3.2.
+func (s System) NewIPCA() bool {
+	return s == PostHocNewIPCA || s == DEISA2 || s == DEISA3
+}
+
+// Heartbeat returns the bridge heartbeat interval for a system under a
+// model.
+func (m Model) Heartbeat(s System) float64 {
+	switch s {
+	case DEISA1:
+		return m.HeartbeatDEISA1
+	case DEISA2:
+		return m.HeartbeatDEISA2
+	default:
+		return math.Inf(1)
+	}
+}

@@ -1,0 +1,127 @@
+package harness
+
+import (
+	"fmt"
+
+	"deisago/internal/core"
+	"deisago/internal/h5"
+	"deisago/internal/pdi"
+	"deisago/internal/pfs"
+)
+
+// This file generates the PDI configuration (the paper's Listing 1) that
+// drives each simulation rank: the same YAML text works for every rank,
+// with rank-specific values exposed as metadata. Routing the harness
+// through PDI keeps the paper's separation of concerns in the measured
+// path: the Heat2D code only shares `temp`; whether that becomes a deisa
+// scatter or an HDF5 chunk write is configuration.
+
+// deisaConfigYAML is the in-transit configuration (deisa plugin).
+const deisaConfigYAML = `
+metadata: { step: int, cfg: config_t, rank: int }
+data:
+  temp:
+    type: array
+    subtype: double
+    size: [ '$cfg.loc[0]', '$cfg.loc[1]' ]
+plugins:
+  PdiPluginDeisa:
+    scheduler_info: scheduler.json
+    init_on: init
+    time_step: '$step'
+    deisa_arrays:
+      G_temp:
+        type: array
+        subtype: double
+        size:
+          - '$cfg.maxTimeStep'
+          - '$cfg.loc[0]'
+          - '$cfg.loc[1] * $cfg.proc[1]'
+        subsize:
+          - 1
+          - '$cfg.loc[0]'
+          - '$cfg.loc[1]'
+        start:
+          - '$step'
+          - 0
+          - '$cfg.loc[1] * $rank'
+        timedim: 0
+    map_in:
+      temp: G_temp
+`
+
+// posthocConfigYAML is the post hoc configuration (HDF5 plugin).
+const posthocConfigYAML = `
+metadata: { step: int, cfg: config_t, rank: int }
+data:
+  temp:
+    type: array
+    subtype: double
+    size: [ '$cfg.loc[0]', '$cfg.loc[1]' ]
+plugins:
+  PdiPluginHDF5:
+    file: sim.h5
+    time_step: '$step'
+    datasets:
+      G_temp:
+        size:
+          - '$cfg.maxTimeStep'
+          - '$cfg.loc[0]'
+          - '$cfg.loc[1] * $cfg.proc[1]'
+        subsize:
+          - 1
+          - '$cfg.loc[0]'
+          - '$cfg.loc[1]'
+        start:
+          - '$step'
+          - 0
+          - '$cfg.loc[1] * $rank'
+    map_in:
+      temp: G_temp
+`
+
+// newRankSystem builds one rank's PDI system with the harness metadata
+// exposed.
+func newRankSystem(cfg Config, rank int, yaml string) (*pdi.System, error) {
+	sys, err := pdi.New(yaml)
+	if err != nil {
+		return nil, fmt.Errorf("harness: pdi config: %w", err)
+	}
+	sys.Expose("rank", rank)
+	sys.Expose("step", 0)
+	sys.Expose("cfg", map[string]any{
+		"loc":         []int{cfg.RealLocalX, cfg.RealLocalY},
+		"proc":        []int{1, cfg.Ranks},
+		"maxTimeStep": cfg.Timesteps,
+	})
+	return sys, nil
+}
+
+// newDeisaRankSystem wires a bridge into a rank's PDI system.
+func newDeisaRankSystem(cfg Config, rank int, bridge *core.Bridge) (*pdi.System, error) {
+	sys, err := newRankSystem(cfg, rank, deisaConfigYAML)
+	if err != nil {
+		return nil, err
+	}
+	if err := sys.AddPlugin(core.NewPdiPluginDeisa(bridge)); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+// newPostHocRankSystem wires the HDF5 plugin (attached to a pre-created
+// file, as rank 0 would create it) into a rank's PDI system.
+func newPostHocRankSystem(cfg Config, rank int, file *h5.File, fsys *pfs.FS) (*pdi.System, error) {
+	sys, err := newRankSystem(cfg, rank, posthocConfigYAML)
+	if err != nil {
+		return nil, err
+	}
+	plugin := h5.NewPdiPlugin(fsys)
+	if err := sys.AddPlugin(plugin); err != nil {
+		return nil, err
+	}
+	if err := plugin.AttachFile(file); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}

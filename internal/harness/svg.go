@@ -1,0 +1,208 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// SVG rendering of experiment tables: grouped bar charts with error bars
+// matching the paper's figure style, and the Figure 5 per-rank panels.
+// Pure text generation — no graphics dependencies.
+
+var svgPalette = []string{
+	"#c44e52", // red    (post hoc / first bar)
+	"#dd8452", // orange (post hoc new)
+	"#8172b3", // violet (DEISA1)
+	"#55a868", // green  (simulation)
+	"#4c72b0", // blue   (DEISA3)
+	"#937860",
+}
+
+// RenderSVG draws the table as a grouped bar chart with error bars.
+func (t *Table) RenderSVG(width, height int) string {
+	const (
+		marginL = 70
+		marginR = 20
+		marginT = 40
+		marginB = 70
+	)
+	plotW := float64(width - marginL - marginR)
+	plotH := float64(height - marginT - marginB)
+
+	maxY := 0.0
+	for _, s := range t.Series {
+		for i := range s.Mean {
+			if v := s.Mean[i] + s.Std[i]; v > maxY {
+				maxY = v
+			}
+		}
+	}
+	if maxY <= 0 {
+		maxY = 1
+	}
+	maxY *= 1.08
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`, width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="22" font-size="13" font-weight="bold">%s</text>`, marginL, escapeXML(t.Title))
+
+	// Y axis with 5 gridlines.
+	for i := 0; i <= 5; i++ {
+		v := maxY * float64(i) / 5
+		y := float64(marginT) + plotH*(1-float64(i)/5)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`,
+			marginL, y, width-marginR, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="10" text-anchor="end">%s</text>`,
+			marginL-6, y+3, formatTick(v))
+	}
+	fmt.Fprintf(&b, `<text x="14" y="%.1f" font-size="11" transform="rotate(-90 14 %.1f)" text-anchor="middle">%s</text>`,
+		float64(marginT)+plotH/2, float64(marginT)+plotH/2, escapeXML(t.YLabel))
+
+	// Grouped bars.
+	groups := len(t.XTicks)
+	bars := len(t.Series)
+	if groups > 0 && bars > 0 {
+		groupW := plotW / float64(groups)
+		barW := groupW * 0.8 / float64(bars)
+		for gi, tick := range t.XTicks {
+			gx := float64(marginL) + groupW*float64(gi)
+			for si, s := range t.Series {
+				if gi >= len(s.Mean) {
+					continue
+				}
+				v, sd := s.Mean[gi], s.Std[gi]
+				h := plotH * v / maxY
+				x := gx + groupW*0.1 + barW*float64(si)
+				y := float64(marginT) + plotH - h
+				fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`,
+					x, y, barW*0.92, h, svgPalette[si%len(svgPalette)])
+				if sd > 0 {
+					cx := x + barW*0.46
+					y1 := float64(marginT) + plotH - plotH*(v+sd)/maxY
+					y2 := float64(marginT) + plotH - plotH*math.Max(v-sd, 0)/maxY
+					fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black" stroke-width="1"/>`,
+						cx, y1, cx, y2)
+				}
+			}
+			fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="11" text-anchor="middle">%s</text>`,
+				gx+groupW/2, height-marginB+16, escapeXML(tick))
+		}
+	}
+	fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="11" text-anchor="middle">%s</text>`,
+		float64(marginL)+plotW/2, height-marginB+34, escapeXML(t.XLabel))
+
+	// Legend.
+	lx, ly := marginL, height-marginB+46
+	for si, s := range t.Series {
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`,
+			lx, ly, svgPalette[si%len(svgPalette)])
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="10">%s</text>`, lx+14, ly+9, escapeXML(s.Label))
+		lx += 16 + 7*len(s.Label)
+	}
+	b.WriteString("</svg>")
+	return b.String()
+}
+
+// RenderFig5SVG draws the Figure 5 panel grid: per-rank mean
+// communication time (line) with a ±std band, one panel per run.
+func RenderFig5SVG(runs []Fig5Run, width, height int) string {
+	cols := 3
+	rows := (len(runs) + cols - 1) / cols
+	if rows == 0 {
+		rows = 1
+	}
+	panelW := width / cols
+	panelH := height / rows
+
+	maxY := 0.0
+	for _, r := range runs {
+		for i := range r.Mean {
+			if v := r.Mean[i] + r.Std[i]; v > maxY {
+				maxY = v
+			}
+		}
+	}
+	if maxY <= 0 {
+		maxY = 1
+	}
+	maxY *= 1.05
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`, width, height)
+	for i, r := range runs {
+		px := (i % cols) * panelW
+		py := (i / cols) * panelH
+		b.WriteString(renderFig5Panel(r, px, py, panelW, panelH, maxY))
+	}
+	b.WriteString("</svg>")
+	return b.String()
+}
+
+func renderFig5Panel(r Fig5Run, px, py, w, h int, maxY float64) string {
+	const (
+		mL = 44
+		mR = 10
+		mT = 26
+		mB = 26
+	)
+	plotW := float64(w - mL - mR)
+	plotH := float64(h - mT - mB)
+	n := len(r.Mean)
+	if n == 0 {
+		return ""
+	}
+	xAt := func(i int) float64 { return float64(px+mL) + plotW*float64(i)/float64(n-1) }
+	yAt := func(v float64) float64 { return float64(py+mT) + plotH*(1-math.Min(v, maxY)/maxY) }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="#999"/>`,
+		px+mL, py+mT, w-mL-mR, h-mT-mB)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11" font-weight="bold">%s run %d</text>`,
+		px+mL, py+16, r.System, r.Run+1)
+	// Std band (the paper's red band).
+	var band strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&band, "%.1f,%.1f ", xAt(i), yAt(r.Mean[i]+r.Std[i]))
+	}
+	for i := n - 1; i >= 0; i-- {
+		fmt.Fprintf(&band, "%.1f,%.1f ", xAt(i), yAt(math.Max(r.Mean[i]-r.Std[i], 0)))
+	}
+	fmt.Fprintf(&b, `<polygon points="%s" fill="#c44e52" fill-opacity="0.35" stroke="none"/>`,
+		strings.TrimSpace(band.String()))
+	// Mean line.
+	var line strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&line, "%.1f,%.1f ", xAt(i), yAt(r.Mean[i]))
+	}
+	fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="black" stroke-width="1"/>`,
+		strings.TrimSpace(line.String()))
+	// Axis hints.
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="9" text-anchor="end">%s</text>`,
+		px+mL-4, py+mT+8, formatTick(maxY))
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="9" text-anchor="end">0</text>`,
+		px+mL-4, py+h-mB+3)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="9" text-anchor="middle">ranks</text>`,
+		px+mL+int(plotW/2), py+h-8)
+	return b.String()
+}
+
+func formatTick(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 1:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2g", v)
+	}
+}
+
+func escapeXML(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

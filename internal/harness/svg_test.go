@@ -1,0 +1,70 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderSVG(t *testing.T) {
+	tab := &Table{
+		Title:  "Test & Figure",
+		XLabel: "Processes", YLabel: "s/iter",
+		XTicks: []string{"4", "8"},
+		Series: []Series{
+			{Label: "Simulation", Mean: []float64{1.2, 1.2}, Std: []float64{0.01, 0.02}},
+			{Label: "DEISA3", Mean: []float64{0.35, 0.35}, Std: []float64{0, 0}},
+		},
+	}
+	svg := tab.RenderSVG(800, 400)
+	for _, want := range []string{
+		"<svg", "</svg>", "Test &amp; Figure", "Simulation", "DEISA3",
+		"Processes", "s/iter", "<rect", "<line",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	// Error bars only for non-zero std: count black error-bar lines.
+	if n := strings.Count(svg, `stroke="black"`); n != 2 {
+		t.Fatalf("error bars = %d, want 2 (only Simulation has std)", n)
+	}
+}
+
+func TestRenderSVGEmptyAndZero(t *testing.T) {
+	tab := &Table{Title: "empty", XLabel: "x", YLabel: "y"}
+	if svg := tab.RenderSVG(300, 200); !strings.Contains(svg, "</svg>") {
+		t.Fatal("empty table did not render")
+	}
+	tab2 := &Table{
+		Title: "zeros", XTicks: []string{"a"},
+		Series: []Series{{Label: "z", Mean: []float64{0}, Std: []float64{0}}},
+	}
+	if svg := tab2.RenderSVG(300, 200); !strings.Contains(svg, "</svg>") {
+		t.Fatal("all-zero table did not render")
+	}
+}
+
+func TestRenderFig5SVG(t *testing.T) {
+	runs := []Fig5Run{
+		{System: DEISA1, Run: 0, Mean: []float64{1, 2, 3}, Std: []float64{0.5, 0.5, 0.5}},
+		{System: DEISA3, Run: 0, Mean: []float64{1, 1, 1}, Std: []float64{0, 0, 0}},
+	}
+	svg := RenderFig5SVG(runs, 600, 300)
+	for _, want := range []string{"DEISA1 run 1", "DEISA3 run 1", "polygon", "polyline", "ranks"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("Fig5 SVG missing %q", want)
+		}
+	}
+	if svg := RenderFig5SVG(nil, 300, 100); !strings.Contains(svg, "</svg>") {
+		t.Fatal("empty Fig5 grid did not render")
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	cases := map[float64]string{0: "0", 150: "150", 2.5: "2.5", 0.034: "0.034"}
+	for v, want := range cases {
+		if got := formatTick(v); got != want {
+			t.Fatalf("formatTick(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,715 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"deisago/internal/array"
+
+	"deisago/internal/cluster"
+	"deisago/internal/core"
+	"deisago/internal/dask"
+	"deisago/internal/h5"
+	"deisago/internal/mpi"
+	"deisago/internal/ndarray"
+	"deisago/internal/pfs"
+	"deisago/internal/sim"
+	"deisago/internal/taskgraph"
+	"deisago/internal/vtime"
+)
+
+// ArrayName is the deisa virtual array published by the Heat2D workflow.
+const ArrayName = "G_temp"
+
+// Config describes one experiment run.
+type Config struct {
+	System    System
+	Ranks     int
+	Workers   int
+	Timesteps int
+	// BlockBytes is the modelled per-rank data size per timestep.
+	BlockBytes int64
+	// Seed controls the node allocation and link jitter (a "run" in the
+	// paper's sense: different submissions may get different
+	// allocations).
+	Seed int64
+	// RealLocalX/Y size the actual in-memory block; defaults 16×8.
+	RealLocalX, RealLocalY int
+	Model                  Model
+
+	// HeartbeatOverride, when positive, replaces the system's default
+	// bridge heartbeat interval (ablations).
+	HeartbeatOverride float64
+	// ScatteredPlacement disables the time-invariant worker preselection
+	// and spreads a block's timeline across workers (placement ablation).
+	ScatteredPlacement bool
+	// SelectFraction, in (0,1), makes the analytics contract select only
+	// that fraction of the spatial domain (contract ablation); 0 or 1
+	// selects everything. In-transit systems only.
+	SelectFraction float64
+	// FuseGraphs applies taskgraph.Fuse to the analytics graph before
+	// submission (dask.optimization.fuse; new-IPCA systems only).
+	FuseGraphs bool
+	// EnableTrace records task-execution spans (Result.Trace).
+	EnableTrace bool
+}
+
+func (c *Config) defaults() {
+	if c.RealLocalX == 0 {
+		c.RealLocalX = 16
+	}
+	if c.RealLocalY == 0 {
+		c.RealLocalY = 8
+	}
+	if c.Timesteps == 0 {
+		c.Timesteps = 10
+	}
+	if c.Model.CoresPerNode == 0 {
+		c.Model = DefaultModel()
+	}
+}
+
+// Result holds every measurement of one run.
+type Result struct {
+	Config Config
+
+	// SimStepMean is the per-iteration simulation (compute + halo) time,
+	// averaged over ranks and iterations.
+	SimStepMean float64
+	// CommMean/CommStd aggregate the per-iteration coupling cost: the
+	// scatter time for in-transit systems, the file write time post hoc.
+	CommMean, CommStd float64
+	// PerRankCommMean/Std are per-rank statistics over iterations
+	// (Figure 5).
+	PerRankCommMean, PerRankCommStd []float64
+	// SimMakespan is the simulation-side end time (max over ranks).
+	SimMakespan float64
+	// AnalyticsTime is the analytics-side duration, including waiting
+	// for data (in transit) or reading from storage (post hoc).
+	AnalyticsTime float64
+
+	Counters dask.Snapshot
+	// Trace holds task-execution spans when Config.EnableTrace is set.
+	Trace []dask.TraceEvent
+	// FabricBytes is the total traffic that crossed the interconnect.
+	FabricBytes int64
+	// BlocksSent/BlocksSkipped aggregate bridge-side contract filtering.
+	BlocksSent, BlocksSkipped int64
+
+	// Real analytics outputs, for cross-system correctness checks.
+	Components        *ndarray.Array
+	SingularValues    []float64
+	ExplainedVariance []float64
+
+	SimNodes, AnalyticsNodes int
+}
+
+// blockMiB returns the modelled block size in MiB.
+func (r *Result) blockMiB() float64 { return float64(r.Config.BlockBytes) / (1 << 20) }
+
+// SimBandwidthMiBps is the per-process coupling bandwidth (Figure 3a).
+func (r *Result) SimBandwidthMiBps() float64 {
+	if r.CommMean <= 0 {
+		return 0
+	}
+	return r.blockMiB() / r.CommMean
+}
+
+// AnalyticsBandwidthMiBps is total data over analytics time (Figure 3b).
+func (r *Result) AnalyticsBandwidthMiBps() float64 {
+	if r.AnalyticsTime <= 0 {
+		return 0
+	}
+	total := r.blockMiB() * float64(r.Config.Ranks*r.Config.Timesteps)
+	return total / r.AnalyticsTime
+}
+
+// SimCommCostCoreHours is the core·hour cost of the coupling (write or
+// scatter) over the whole run on the simulation nodes (Figure 4a).
+func (r *Result) SimCommCostCoreHours() float64 {
+	return r.CommMean * float64(r.Config.Timesteps) *
+		float64(r.SimNodes*r.Config.Model.CoresPerNode) / 3600
+}
+
+// SimComputeCostCoreHours is the pure-simulation cost over the run.
+func (r *Result) SimComputeCostCoreHours() float64 {
+	return r.SimStepMean * float64(r.Config.Timesteps) *
+		float64(r.SimNodes*r.Config.Model.CoresPerNode) / 3600
+}
+
+// AnalyticsCostCoreHours is the analytics cost over the run (Figure 4b).
+func (r *Result) AnalyticsCostCoreHours() float64 {
+	return r.AnalyticsTime * float64(r.AnalyticsNodes*r.Config.Model.CoresPerNode) / 3600
+}
+
+// Run executes one configuration end to end.
+func Run(cfg Config) (*Result, error) {
+	cfg.defaults()
+	if cfg.Ranks <= 0 || cfg.Workers <= 0 || cfg.Timesteps <= 0 || cfg.BlockBytes <= 0 {
+		return nil, fmt.Errorf("harness: ranks, workers, timesteps and block size must be positive")
+	}
+	if cfg.System.InTransit() {
+		return runInTransit(cfg)
+	}
+	return runPostHoc(cfg)
+}
+
+// env bundles the per-run platform objects.
+type env struct {
+	cfg     Config
+	machine *cluster.Machine
+	place   cluster.Placement
+	layout  cluster.Layout
+	va      *core.VirtualArray
+	pipe    *pipeline
+	heatCfg sim.Config
+}
+
+func setup(cfg Config) (*env, error) {
+	m := cfg.Model
+	layout := cluster.Layout{
+		Workers:        cfg.Workers,
+		WorkersPerNode: m.WorkersPerNode,
+		Ranks:          cfg.Ranks,
+		RanksPerNode:   m.RanksPerNode,
+	}
+	nodes := m.MachineNodes
+	if need := layout.NodesNeeded(); nodes < need {
+		nodes = need
+	}
+	net := m.Net
+	net.Seed = cfg.Seed
+	machine := cluster.NewMachine(net, nodes, m.CoresPerNode)
+	alloc := machine.Allocate(layout.NodesNeeded(), cfg.Seed)
+	place := alloc.Place(layout)
+
+	va := &core.VirtualArray{
+		Name:    ArrayName,
+		Size:    []int{cfg.Timesteps, cfg.RealLocalX, cfg.RealLocalY * cfg.Ranks},
+		Subsize: []int{1, cfg.RealLocalX, cfg.RealLocalY},
+		TimeDim: 0,
+	}
+	if err := va.Validate(); err != nil {
+		return nil, err
+	}
+	realCells := cfg.RealLocalX * cfg.RealLocalY
+	modelCells := cfg.BlockBytes / 8
+	heatCfg := sim.Config{
+		GlobalX:  cfg.RealLocalX,
+		GlobalY:  cfg.RealLocalY * cfg.Ranks,
+		ProcX:    1,
+		ProcY:    cfg.Ranks,
+		Alpha:    0.2,
+		CellCost: float64(modelCells) * m.CellCost / float64(realCells),
+	}
+	if err := heatCfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &env{
+		cfg:     cfg,
+		machine: machine,
+		place:   place,
+		layout:  layout,
+		va:      va,
+		pipe:    newPipeline(cfg),
+		heatCfg: heatCfg,
+	}, nil
+}
+
+func (e *env) daskConfig() dask.Config {
+	d := e.cfg.Model.Dask
+	d.MetadataEntryCost = e.cfg.Model.MetaEntryCost
+	return d
+}
+
+func (e *env) simNodes() int {
+	return (e.cfg.Ranks + e.cfg.Model.RanksPerNode - 1) / e.cfg.Model.RanksPerNode
+}
+
+func (e *env) analyticsNodes() int {
+	return 2 + (e.cfg.Workers+e.cfg.Model.WorkersPerNode-1)/e.cfg.Model.WorkersPerNode
+}
+
+// aggregate fills the measurement part of a Result.
+func aggregate(cfg Config, e *env, stepDur, commDur [][]float64, simEnds []float64) *Result {
+	res := &Result{
+		Config:         cfg,
+		SimNodes:       e.simNodes(),
+		AnalyticsNodes: e.analyticsNodes(),
+	}
+	var steps, comms []float64
+	for r := 0; r < cfg.Ranks; r++ {
+		steps = append(steps, stepDur[r]...)
+		comms = append(comms, commDur[r]...)
+		st := vtime.Summarize(commDur[r])
+		res.PerRankCommMean = append(res.PerRankCommMean, st.Mean)
+		res.PerRankCommStd = append(res.PerRankCommStd, st.Std)
+	}
+	res.SimStepMean = vtime.Summarize(steps).Mean
+	cst := vtime.Summarize(comms)
+	res.CommMean, res.CommStd = cst.Mean, cst.Std
+	res.SimMakespan = vtime.MaxTime(simEnds...)
+	return res
+}
+
+// runInTransit executes DEISA1/2/3.
+func runInTransit(cfg Config) (*Result, error) {
+	e, err := setup(cfg)
+	if err != nil {
+		return nil, err
+	}
+	m := cfg.Model
+	world := mpi.NewWorld(e.machine.Fabric(), e.place.RankNodes)
+	dc := dask.NewCluster(e.machine.Fabric(), e.daskConfig(), e.place.SchedulerNode, e.place.WorkerNodes)
+	defer dc.Close()
+	if cfg.EnableTrace {
+		dc.EnableTracing()
+	}
+
+	mode := core.ModeExternal
+	if cfg.System == DEISA1 {
+		mode = core.ModeDEISA1
+	}
+	hb := m.Heartbeat(cfg.System)
+	if cfg.HeartbeatOverride > 0 {
+		hb = cfg.HeartbeatOverride
+	}
+	var place func(va *core.VirtualArray, pos []int, numWorkers int) int
+	if cfg.ScatteredPlacement {
+		place = func(va *core.VirtualArray, pos []int, numWorkers int) int {
+			// Spread each spatial block's timeline across workers.
+			return (va.WorkerForBlock(pos, numWorkers) + pos[va.TimeDim]) % numWorkers
+		}
+	}
+	bridges := make([]*core.Bridge, cfg.Ranks)
+	for r := 0; r < cfg.Ranks; r++ {
+		bridges[r] = core.NewBridge(core.BridgeConfig{
+			Rank:              r,
+			Cluster:           dc,
+			Node:              e.place.RankNodes[r],
+			HeartbeatInterval: hb,
+			Mode:              mode,
+			ScatterBytes:      cfg.BlockBytes,
+			MetaEntries:       cfg.Ranks,
+			PlaceWorker:       place,
+		})
+	}
+
+	stepDur := newMatrix(cfg.Ranks, cfg.Timesteps)
+	commDur := newMatrix(cfg.Ranks, cfg.Timesteps)
+	simEnds := make([]float64, cfg.Ranks)
+	errs := make(chan error, cfg.Ranks+1)
+
+	var analytics analyticsResult
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var aerr error
+		if cfg.System.NewIPCA() {
+			analytics, aerr = runNewIPCAInTransit(e, dc)
+		} else {
+			analytics, aerr = runOldIPCADeisa1(e, dc)
+		}
+		if aerr != nil {
+			errs <- fmt.Errorf("analytics: %w", aerr)
+		}
+	}()
+
+	init := sim.HotSpotInitial(e.heatCfg)
+	world.Run(0, func(c *mpi.Comm) {
+		r := c.Rank()
+		h, herr := sim.New(e.heatCfg, c, init)
+		if herr != nil {
+			errs <- herr
+			return
+		}
+		// The rank talks only to PDI; the deisa plugin drives the bridge
+		// (Listing 1).
+		sys, serr := newDeisaRankSystem(cfg, r, bridges[r])
+		if serr != nil {
+			errs <- serr
+			return
+		}
+		end, berr := sys.Event("init", 0)
+		if berr != nil {
+			errs <- fmt.Errorf("rank %d init: %w", r, berr)
+			return
+		}
+		c.Clock().Sync(end)
+		for step := 0; step < cfg.Timesteps; step++ {
+			t0 := c.Now()
+			h.Step()
+			t1 := c.Now()
+			stepDur[r][step] = t1 - t0
+			sys.Expose("step", step)
+			end, perr := sys.Share("temp", h.Local(), t1)
+			if perr != nil {
+				errs <- fmt.Errorf("rank %d step %d: %w", r, step, perr)
+				return
+			}
+			c.Clock().Sync(end)
+			commDur[r][step] = c.Now() - t1
+		}
+		if _, ferr := sys.Finalize(c.Now()); ferr != nil {
+			errs <- ferr
+			return
+		}
+		simEnds[r] = c.Now()
+	})
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return nil, err
+	}
+
+	res := aggregate(cfg, e, stepDur, commDur, simEnds)
+	res.AnalyticsTime = analytics.duration
+	res.Components = analytics.components
+	res.SingularValues = analytics.singularValues
+	res.ExplainedVariance = analytics.explainedVariance
+	res.Counters = dc.Counters().Snapshot()
+	res.Trace = dc.TraceEvents()
+	_, res.FabricBytes = e.machine.Fabric().Transfers()
+	for _, b := range bridges {
+		sent, skipped := b.Stats()
+		res.BlocksSent += sent
+		res.BlocksSkipped += skipped
+	}
+	return res, nil
+}
+
+// runPostHoc executes the DASK baseline: simulation writes chunked files
+// to the shared PFS, then plain Dask analytics read them back.
+func runPostHoc(cfg Config) (*Result, error) {
+	e, err := setup(cfg)
+	if err != nil {
+		return nil, err
+	}
+	m := cfg.Model
+	fs := pfs.New(m.PFS)
+	file, t0 := h5.Create(fs, "sim.h5", 0)
+	ds, t0, err := file.CreateDataset(ArrayName, e.va.Size, e.va.Subsize, t0)
+	if err != nil {
+		return nil, err
+	}
+	realBlockBytes := int64(cfg.RealLocalX*cfg.RealLocalY) * 8
+	scale := cfg.BlockBytes / realBlockBytes
+	if scale < 1 {
+		scale = 1
+	}
+	ds.SetSizeScale(scale)
+
+	world := mpi.NewWorld(e.machine.Fabric(), e.place.RankNodes)
+	stepDur := newMatrix(cfg.Ranks, cfg.Timesteps)
+	writeDur := newMatrix(cfg.Ranks, cfg.Timesteps)
+	simEnds := make([]float64, cfg.Ranks)
+	errs := make(chan error, cfg.Ranks)
+
+	init := sim.HotSpotInitial(e.heatCfg)
+	world.Run(t0, func(c *mpi.Comm) {
+		r := c.Rank()
+		h, herr := sim.New(e.heatCfg, c, init)
+		if herr != nil {
+			errs <- herr
+			return
+		}
+		// The rank talks only to PDI; the HDF5 plugin writes the chunks.
+		sys, serr := newPostHocRankSystem(cfg, r, file, fs)
+		if serr != nil {
+			errs <- serr
+			return
+		}
+		for step := 0; step < cfg.Timesteps; step++ {
+			s0 := c.Now()
+			h.Step()
+			s1 := c.Now()
+			stepDur[r][step] = s1 - s0
+			sys.Expose("step", step)
+			end, werr := sys.Share("temp", h.Local(), s1)
+			if werr != nil {
+				errs <- fmt.Errorf("rank %d write %d: %w", r, step, werr)
+				return
+			}
+			c.Clock().Sync(end)
+			writeDur[r][step] = end - s1
+		}
+		simEnds[r] = c.Now()
+	})
+	close(errs)
+	for err := range errs {
+		return nil, err
+	}
+	simEnd := vtime.MaxTime(simEnds...)
+
+	// Analytics phase: a fresh Dask deployment reading from the PFS.
+	dc := dask.NewCluster(e.machine.Fabric(), e.daskConfig(), e.place.SchedulerNode, e.place.WorkerNodes)
+	defer dc.Close()
+	if cfg.EnableTrace {
+		dc.EnableTracing()
+	}
+	client := dc.NewClient("analytics", e.place.ClientNode, math.Inf(1))
+	client.Compute(simEnd) // the analytics job starts when the data is complete
+
+	var analytics analyticsResult
+	if cfg.System.NewIPCA() {
+		analytics, err = runNewIPCAPostHoc(e, client, ds, simEnd)
+	} else {
+		analytics, err = runOldIPCAPostHoc(e, client, ds, simEnd)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	res := aggregate(cfg, e, stepDur, writeDur, simEnds)
+	res.Trace = dc.TraceEvents()
+	_, res.FabricBytes = e.machine.Fabric().Transfers()
+	res.AnalyticsTime = analytics.duration
+	res.Components = analytics.components
+	res.SingularValues = analytics.singularValues
+	res.ExplainedVariance = analytics.explainedVariance
+	res.Counters = dc.Counters().Snapshot()
+	return res, nil
+}
+
+func newMatrix(rows, cols int) [][]float64 {
+	out := make([][]float64, rows)
+	for i := range out {
+		out[i] = make([]float64, cols)
+	}
+	return out
+}
+
+// analyticsResult is what every analytics driver returns.
+type analyticsResult struct {
+	duration          float64
+	components        *ndarray.Array
+	singularValues    []float64
+	explainedVariance []float64
+}
+
+func extractResults(vals []any) analyticsResult {
+	return analyticsResult{
+		components:        vals[0].(*ndarray.Array),
+		singularValues:    vals[1].([]float64),
+		explainedVariance: vals[2].([]float64),
+	}
+}
+
+// runNewIPCAInTransit is the Listing-2 flow: descriptors, selection,
+// contract, then one ahead-of-time graph over every external block.
+func runNewIPCAInTransit(e *env, dc *dask.Cluster) (analyticsResult, error) {
+	cfg := e.cfg
+	d := core.Connect(dc, e.place.ClientNode)
+	set, err := d.GetDeisaArrays()
+	if err != nil {
+		return analyticsResult{}, err
+	}
+	da, err := set.Get(ArrayName)
+	if err != nil {
+		return analyticsResult{}, err
+	}
+	blocks := cfg.Ranks
+	if f := cfg.SelectFraction; f > 0 && f < 1 {
+		blocks = int(f * float64(cfg.Ranks))
+		if blocks < 1 {
+			blocks = 1
+		}
+		da.Select(
+			array.Range{Start: 0, Stop: cfg.Timesteps},
+			array.Range{Start: 0, Stop: cfg.RealLocalX},
+			array.Range{Start: 0, Stop: blocks * cfg.RealLocalY},
+		)
+	} else {
+		da.SelectAll()
+	}
+	if _, err := set.ValidateContract(); err != nil {
+		return analyticsResult{}, err
+	}
+
+	g := taskgraph.New()
+	var prev taskgraph.Key
+	for t := 0; t < cfg.Timesteps; t++ {
+		sketches := make([]taskgraph.Key, 0, blocks)
+		for b := 0; b < blocks; b++ {
+			blockKey := e.va.BlockKey([]int{t, 0, b})
+			sketches = append(sketches,
+				e.pipe.addFoldSketch(g, fmt.Sprintf("t%03d-b%04d", t, b), blockKey))
+		}
+		prev = e.pipe.addFit(g, taskgraph.Key(fmt.Sprintf("ipca-state-%03d", t)), prev, sketches)
+	}
+	targets := e.pipe.addExtract(g, "ipca", prev)
+	g = e.maybeFuse(g, targets)
+	futs, err := d.Client().Submit(g, targets)
+	if err != nil {
+		return analyticsResult{}, err
+	}
+	vals, err := d.Client().Gather(futs)
+	if err != nil {
+		return analyticsResult{}, err
+	}
+	out := extractResults(vals)
+	out.duration = d.Client().Now()
+	return out, nil
+}
+
+// maybeFuse applies the fuse optimization when configured.
+func (e *env) maybeFuse(g *taskgraph.Graph, targets []taskgraph.Key) *taskgraph.Graph {
+	if !e.cfg.FuseGraphs {
+		return g
+	}
+	keep := map[taskgraph.Key]bool{}
+	for _, t := range targets {
+		keep[t] = true
+	}
+	return taskgraph.Fuse(g, keep)
+}
+
+// runOldIPCADeisa1 is the DEISA1 analytics driver: per-timestep queue
+// coordination and per-batch submissions of the old (non-graph-fused)
+// IPCA — a statistics pass and a fit pass in separate graphs.
+func runOldIPCADeisa1(e *env, dc *dask.Cluster) (analyticsResult, error) {
+	cfg := e.cfg
+	client := dc.NewClient("analytics", e.place.ClientNode, math.Inf(1))
+	ad := core.NewDeisa1Adaptor(client, cfg.Ranks)
+	if _, err := ad.GetDeisaArrays(); err != nil {
+		return analyticsResult{}, err
+	}
+	var prev taskgraph.Key
+	for t := 0; t < cfg.Timesteps; t++ {
+		keys, err := ad.NextStepKeys()
+		if err != nil {
+			return analyticsResult{}, err
+		}
+		prev, err = oldIPCAStep(e, client, t, prev, func(g *taskgraph.Graph, pass string, b int) taskgraph.Key {
+			return keys[b] // data already in worker memory
+		})
+		if err != nil {
+			return analyticsResult{}, err
+		}
+	}
+	return gatherExtract(e, client, prev)
+}
+
+// runNewIPCAPostHoc reads every chunk once inside a single graph.
+func runNewIPCAPostHoc(e *env, client *dask.Client, ds *h5.Dataset, start float64) (analyticsResult, error) {
+	cfg := e.cfg
+	g := taskgraph.New()
+	var prev taskgraph.Key
+	for t := 0; t < cfg.Timesteps; t++ {
+		sketches := make([]taskgraph.Key, 0, cfg.Ranks)
+		for b := 0; b < cfg.Ranks; b++ {
+			read := e.pipe.addRead(g, fmt.Sprintf("t%03d-b%04d", t, b), ds, t, b)
+			sketches = append(sketches,
+				e.pipe.addFoldSketch(g, fmt.Sprintf("t%03d-b%04d", t, b), read))
+		}
+		prev = e.pipe.addFit(g, taskgraph.Key(fmt.Sprintf("ipca-state-%03d", t)), prev, sketches)
+	}
+	targets := e.pipe.addExtract(g, "ipca", prev)
+	g = e.maybeFuse(g, targets)
+	futs, err := client.Submit(g, targets)
+	if err != nil {
+		return analyticsResult{}, err
+	}
+	vals, err := client.Gather(futs)
+	if err != nil {
+		return analyticsResult{}, err
+	}
+	out := extractResults(vals)
+	out.duration = client.Now() - start
+	return out, nil
+}
+
+// runOldIPCAPostHoc submits per-batch graphs; each pass re-reads its
+// chunks from the PFS (the duplicate-read effect of §3.3.1).
+func runOldIPCAPostHoc(e *env, client *dask.Client, ds *h5.Dataset, start float64) (analyticsResult, error) {
+	cfg := e.cfg
+	var prev taskgraph.Key
+	for t := 0; t < cfg.Timesteps; t++ {
+		var err error
+		prev, err = oldIPCAStep(e, client, t, prev, func(g *taskgraph.Graph, pass string, b int) taskgraph.Key {
+			return e.pipe.addRead(g, fmt.Sprintf("%s-t%03d-b%04d", pass, t, b), ds, t, b)
+		})
+		if err != nil {
+			return analyticsResult{}, err
+		}
+	}
+	out, err := gatherExtract(e, client, prev)
+	if err != nil {
+		return analyticsResult{}, err
+	}
+	out.duration -= start
+	return out, nil
+}
+
+// oldIPCAStep performs one timestep of the old IPCA: a statistics pass
+// and a fit pass, each submitted (and awaited) as its own graph. source
+// supplies the per-block input key for a pass, adding read tasks to the
+// pass's graph when the data lives on storage.
+func oldIPCAStep(e *env, client *dask.Client, t int, prev taskgraph.Key,
+	source func(g *taskgraph.Graph, pass string, b int) taskgraph.Key) (taskgraph.Key, error) {
+	cfg := e.cfg
+	// Pass A: batch statistics (mean/var), one pass over the data.
+	gA := taskgraph.New()
+	var foldsA []taskgraph.Key
+	for b := 0; b < cfg.Ranks; b++ {
+		src := source(gA, "A", b)
+		foldsA = append(foldsA, e.pipe.addFold(gA, fmt.Sprintf("A-t%03d-b%04d", t, b), src))
+	}
+	statsKey := taskgraph.Key(fmt.Sprintf("stats-%03d", t))
+	gA.AddFn(statsKey, foldsA, func(in []any) (any, error) {
+		var total, count float64
+		for _, v := range in {
+			m := v.(*ndarray.Array)
+			total += m.Sum()
+			count += float64(m.Size())
+		}
+		if count == 0 {
+			return 0.0, nil
+		}
+		return total / count, nil
+	}, 1e-4)
+	futsA, err := client.Submit(gA, []taskgraph.Key{statsKey})
+	if err != nil {
+		return "", err
+	}
+	if err := client.Wait(futsA); err != nil {
+		return "", err
+	}
+	// Pass B: sketches and the partial fit.
+	gB := taskgraph.New()
+	var sketches []taskgraph.Key
+	for b := 0; b < cfg.Ranks; b++ {
+		src := source(gB, "B", b)
+		fold := e.pipe.addFold(gB, fmt.Sprintf("B-t%03d-b%04d", t, b), src)
+		sketches = append(sketches, e.pipe.addSketch(gB, fmt.Sprintf("B-t%03d-b%04d", t, b), fold))
+	}
+	stateKey := e.pipe.addFit(gB, taskgraph.Key(fmt.Sprintf("ipca-state-%03d", t)), prev, sketches)
+	futsB, err := client.Submit(gB, []taskgraph.Key{stateKey})
+	if err != nil {
+		return "", err
+	}
+	if err := client.Wait(futsB); err != nil {
+		return "", err
+	}
+	return stateKey, nil
+}
+
+// gatherExtract submits the extraction graph for the final state and
+// gathers the results.
+func gatherExtract(e *env, client *dask.Client, state taskgraph.Key) (analyticsResult, error) {
+	g := taskgraph.New()
+	targets := e.pipe.addExtract(g, "ipca", state)
+	futs, err := client.Submit(g, targets)
+	if err != nil {
+		return analyticsResult{}, err
+	}
+	vals, err := client.Gather(futs)
+	if err != nil {
+		return analyticsResult{}, err
+	}
+	out := extractResults(vals)
+	out.duration = client.Now()
+	return out, nil
+}

@@ -1,0 +1,334 @@
+// Package linalg provides the dense linear algebra needed by the ML stack:
+// Householder QR and a one-sided Jacobi singular value decomposition. In
+// the original system this role is filled by LAPACK via NumPy/scikit-learn;
+// here it is implemented from scratch on ndarray so the whole repository
+// is stdlib-only.
+package linalg
+
+import (
+	"fmt"
+	"math"
+
+	"deisago/internal/ndarray"
+)
+
+// Eye returns the n×n identity matrix.
+func Eye(n int) *ndarray.Array {
+	a := ndarray.New(n, n)
+	for i := 0; i < n; i++ {
+		a.Set(1, i, i)
+	}
+	return a
+}
+
+// QR computes the reduced QR factorization of an m×n matrix with m >= n:
+// A = Q·R with Q m×n having orthonormal columns and R n×n upper
+// triangular. The diagonal of R is non-negative.
+func QR(a *ndarray.Array) (q, r *ndarray.Array) {
+	if a.NDim() != 2 {
+		panic("linalg: QR requires a 2-d array")
+	}
+	m, n := a.Dim(0), a.Dim(1)
+	if m < n {
+		panic(fmt.Sprintf("linalg: QR requires m >= n, got %dx%d", m, n))
+	}
+	// Work on a copy in full Q form via Householder reflectors.
+	R := a.Copy()
+	// Accumulate Q as product of reflectors applied to identity (m×m is
+	// wasteful; keep m×n panel and apply reflectors from the left in
+	// reverse to the first n columns of I).
+	vs := make([][]float64, 0, n)
+	for k := 0; k < n; k++ {
+		// Build reflector for column k below the diagonal.
+		var norm float64
+		for i := k; i < m; i++ {
+			x := R.At(i, k)
+			norm += x * x
+		}
+		norm = math.Sqrt(norm)
+		v := make([]float64, m)
+		if norm == 0 {
+			vs = append(vs, nil)
+			continue
+		}
+		alpha := -norm
+		if R.At(k, k) < 0 {
+			alpha = norm
+		}
+		for i := k; i < m; i++ {
+			v[i] = R.At(i, k)
+		}
+		v[k] -= alpha
+		var vnorm float64
+		for i := k; i < m; i++ {
+			vnorm += v[i] * v[i]
+		}
+		if vnorm == 0 {
+			vs = append(vs, nil)
+			continue
+		}
+		// Apply H = I - 2 v vᵀ / (vᵀv) to R's trailing columns.
+		for j := k; j < n; j++ {
+			var dot float64
+			for i := k; i < m; i++ {
+				dot += v[i] * R.At(i, j)
+			}
+			f := 2 * dot / vnorm
+			for i := k; i < m; i++ {
+				R.Set(R.At(i, j)-f*v[i], i, j)
+			}
+		}
+		vs = append(vs, v)
+	}
+	// Q = H_0 H_1 ... H_{n-1} · I_{m×n}.
+	Q := ndarray.New(m, n)
+	for j := 0; j < n; j++ {
+		Q.Set(1, j, j)
+	}
+	for k := n - 1; k >= 0; k-- {
+		v := vs[k]
+		if v == nil {
+			continue
+		}
+		var vnorm float64
+		for i := k; i < m; i++ {
+			vnorm += v[i] * v[i]
+		}
+		for j := 0; j < n; j++ {
+			var dot float64
+			for i := k; i < m; i++ {
+				dot += v[i] * Q.At(i, j)
+			}
+			f := 2 * dot / vnorm
+			for i := k; i < m; i++ {
+				Q.Set(Q.At(i, j)-f*v[i], i, j)
+			}
+		}
+	}
+	// Zero the strictly-lower part of R and truncate to n×n.
+	Rn := ndarray.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			Rn.Set(R.At(i, j), i, j)
+		}
+	}
+	// Normalize sign so diag(R) >= 0.
+	for i := 0; i < n; i++ {
+		if Rn.At(i, i) < 0 {
+			for j := i; j < n; j++ {
+				Rn.Set(-Rn.At(i, j), i, j)
+			}
+			for r := 0; r < m; r++ {
+				Q.Set(-Q.At(r, i), r, i)
+			}
+		}
+	}
+	return Q, Rn
+}
+
+// SVD computes the thin singular value decomposition A = U·diag(S)·Vᵀ of
+// an m×n matrix using one-sided Jacobi rotations. U is m×k, S has length
+// k, V is n×k, with k = min(m, n) and S sorted in non-increasing order.
+// Columns of U and V are orthonormal; zero singular values yield
+// arbitrary orthonormal-completion columns in U.
+func SVD(a *ndarray.Array) (u *ndarray.Array, s []float64, v *ndarray.Array) {
+	if a.NDim() != 2 {
+		panic("linalg: SVD requires a 2-d array")
+	}
+	m, n := a.Dim(0), a.Dim(1)
+	if m >= n {
+		return svdTall(a)
+	}
+	// A = U S Vᵀ  ⇔  Aᵀ = V S Uᵀ.
+	v2, s2, u2 := svdTall(a.Transpose().Copy())
+	return u2, s2, v2
+}
+
+// svdTall handles m >= n via one-sided Jacobi on the columns of A.
+func svdTall(a *ndarray.Array) (u *ndarray.Array, s []float64, v *ndarray.Array) {
+	m, n := a.Dim(0), a.Dim(1)
+	U := a.Copy()
+	V := Eye(n)
+	ud := U.Data()
+	vd := V.Data()
+
+	col := func(buf []float64, stride, j, i int) float64 { return buf[i*stride+j] }
+	setcol := func(buf []float64, stride, j, i int, x float64) { buf[i*stride+j] = x }
+
+	const maxSweeps = 60
+	tol := 1e-14
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				var app, aqq, apq float64
+				for i := 0; i < m; i++ {
+					x := col(ud, n, p, i)
+					y := col(ud, n, q, i)
+					app += x * x
+					aqq += y * y
+					apq += x * y
+				}
+				if math.Abs(apq) <= tol*math.Sqrt(app*aqq) || apq == 0 {
+					continue
+				}
+				off += apq * apq
+				// Jacobi rotation that zeroes the (p,q) entry of AᵀA.
+				tau := (aqq - app) / (2 * apq)
+				var t float64
+				if tau >= 0 {
+					t = 1 / (tau + math.Sqrt(1+tau*tau))
+				} else {
+					t = -1 / (-tau + math.Sqrt(1+tau*tau))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				sn := c * t
+				for i := 0; i < m; i++ {
+					x := col(ud, n, p, i)
+					y := col(ud, n, q, i)
+					setcol(ud, n, p, i, c*x-sn*y)
+					setcol(ud, n, q, i, sn*x+c*y)
+				}
+				for i := 0; i < n; i++ {
+					x := col(vd, n, p, i)
+					y := col(vd, n, q, i)
+					setcol(vd, n, p, i, c*x-sn*y)
+					setcol(vd, n, q, i, sn*x+c*y)
+				}
+			}
+		}
+		if off == 0 {
+			break
+		}
+	}
+
+	// Singular values are column norms of the rotated A; normalize U.
+	s = make([]float64, n)
+	for j := 0; j < n; j++ {
+		var norm float64
+		for i := 0; i < m; i++ {
+			x := col(ud, n, j, i)
+			norm += x * x
+		}
+		s[j] = math.Sqrt(norm)
+	}
+	// Sort descending, permuting columns of U and V.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for i := 0; i < n; i++ {
+		best := i
+		for j := i + 1; j < n; j++ {
+			if s[order[j]] > s[order[best]] {
+				best = j
+			}
+		}
+		order[i], order[best] = order[best], order[i]
+	}
+	Us := ndarray.New(m, n)
+	Vs := ndarray.New(n, n)
+	sorted := make([]float64, n)
+	for jj, oj := range order {
+		sorted[jj] = s[oj]
+		if s[oj] > 0 {
+			inv := 1 / s[oj]
+			for i := 0; i < m; i++ {
+				Us.Set(col(ud, n, oj, i)*inv, i, jj)
+			}
+		} else {
+			// Zero singular value: leave a unit vector orthogonal-ish
+			// (best effort; completed below).
+			Us.Set(1, jj%m, jj)
+		}
+		for i := 0; i < n; i++ {
+			Vs.Set(col(vd, n, oj, i), i, jj)
+		}
+	}
+	orthonormalizeZeroCols(Us, sorted)
+	return Us, sorted, Vs
+}
+
+// orthonormalizeZeroCols re-orthonormalizes U columns that correspond to
+// zero singular values against the non-zero ones (modified Gram-Schmidt).
+func orthonormalizeZeroCols(u *ndarray.Array, s []float64) {
+	m, n := u.Dim(0), u.Dim(1)
+	for j := 0; j < n; j++ {
+		if s[j] > 0 {
+			continue
+		}
+		// Try basis vectors until one survives projection.
+		for trial := 0; trial < m; trial++ {
+			vec := make([]float64, m)
+			vec[(j+trial)%m] = 1
+			for k := 0; k < n; k++ {
+				if k == j {
+					continue
+				}
+				var dot float64
+				for i := 0; i < m; i++ {
+					dot += vec[i] * u.At(i, k)
+				}
+				for i := 0; i < m; i++ {
+					vec[i] -= dot * u.At(i, k)
+				}
+			}
+			var norm float64
+			for i := 0; i < m; i++ {
+				norm += vec[i] * vec[i]
+			}
+			norm = math.Sqrt(norm)
+			if norm > 1e-8 {
+				for i := 0; i < m; i++ {
+					u.Set(vec[i]/norm, i, j)
+				}
+				break
+			}
+		}
+	}
+}
+
+// Reconstruct returns U·diag(S)·Vᵀ, for verifying decompositions.
+func Reconstruct(u *ndarray.Array, s []float64, v *ndarray.Array) *ndarray.Array {
+	k := len(s)
+	us := ndarray.New(u.Dim(0), k)
+	for i := 0; i < u.Dim(0); i++ {
+		for j := 0; j < k; j++ {
+			us.Set(u.At(i, j)*s[j], i, j)
+		}
+	}
+	return ndarray.MatMul(us, v.Transpose())
+}
+
+// IsOrthonormalCols reports whether the columns of a are orthonormal
+// within tol.
+func IsOrthonormalCols(a *ndarray.Array, tol float64) bool {
+	gram := ndarray.MatMul(a.Transpose(), a)
+	n := gram.Dim(0)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(gram.At(i, j)-want) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsUpperTriangular reports whether a square matrix is upper triangular
+// within tol.
+func IsUpperTriangular(a *ndarray.Array, tol float64) bool {
+	n := a.Dim(0)
+	for i := 1; i < n; i++ {
+		for j := 0; j < i; j++ {
+			if math.Abs(a.At(i, j)) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}

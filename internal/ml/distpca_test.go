@@ -1,0 +1,128 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"deisago/internal/ndarray"
+	"deisago/internal/taskgraph"
+)
+
+func TestDistributedPCAMatchesLocal(t *testing.T) {
+	_, cl := graphTestCluster(t)
+	rng := rand.New(rand.NewSource(7))
+	// Three row blocks of a 36×6 matrix.
+	full := lowRankData(rng, 36, 6, 6)
+	var blocks []*ndarray.Array
+	for i := 0; i < 3; i++ {
+		blocks = append(blocks, full.Slice(
+			ndarray.Range{Start: i * 12, Stop: (i + 1) * 12},
+			ndarray.Range{Start: 0, Stop: 6}).Copy())
+	}
+	local := NewPCA(3)
+	if err := local.Fit(full); err != nil {
+		t.Fatal(err)
+	}
+
+	g := taskgraph.New()
+	keys := addBatchTasks(g, "pca", blocks)
+	res := BuildDistributedPCA(g, "dpca", keys, 3, 12, 6)
+	futs, err := cl.Submit(g, []taskgraph.Key{res.Components, res.SingularValues, res.ExplainedVariance})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := cl.Gather(futs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comps := vals[0].(*ndarray.Array)
+	// Components match up to sign per row (svdFlip normalizes both, but
+	// numerically compare |dot| of corresponding rows).
+	for r := 0; r < 3; r++ {
+		dot := 0.0
+		for c := 0; c < 6; c++ {
+			dot += comps.At(r, c) * local.Components.At(r, c)
+		}
+		if math.Abs(math.Abs(dot)-1) > 1e-8 {
+			t.Fatalf("component %d misaligned: |dot| = %v", r, math.Abs(dot))
+		}
+	}
+	svs := vals[1].([]float64)
+	for i := range svs {
+		if math.Abs(svs[i]-local.SingularValues[i]) > 1e-8*(1+local.SingularValues[i]) {
+			t.Fatalf("singular values: %v vs %v", svs, local.SingularValues)
+		}
+	}
+	evs := vals[2].([]float64)
+	for i := range evs {
+		if math.Abs(evs[i]-local.ExplainedVariance[i]) > 1e-8*(1+local.ExplainedVariance[i]) {
+			t.Fatalf("explained variance: %v vs %v", evs, local.ExplainedVariance)
+		}
+	}
+}
+
+func TestDistributedPCAWideBlocks(t *testing.T) {
+	// Blocks with fewer rows than features exercise the padding path.
+	_, cl := graphTestCluster(t)
+	rng := rand.New(rand.NewSource(8))
+	full := lowRankData(rng, 12, 8, 3)
+	var blocks []*ndarray.Array
+	for i := 0; i < 4; i++ {
+		blocks = append(blocks, full.Slice(
+			ndarray.Range{Start: i * 3, Stop: (i + 1) * 3},
+			ndarray.Range{Start: 0, Stop: 8}).Copy())
+	}
+	local := NewPCA(2)
+	if err := local.Fit(full); err != nil {
+		t.Fatal(err)
+	}
+	g := taskgraph.New()
+	keys := addBatchTasks(g, "w", blocks)
+	res := BuildDistributedPCA(g, "wpca", keys, 2, 3, 8)
+	futs, err := cl.Submit(g, []taskgraph.Key{res.SingularValues})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := cl.Gather(futs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svs := vals[0].([]float64)
+	for i := range svs {
+		if math.Abs(svs[i]-local.SingularValues[i]) > 1e-8*(1+local.SingularValues[i]) {
+			t.Fatalf("wide-block singular values: %v vs %v", svs, local.SingularValues)
+		}
+	}
+}
+
+func TestDistributedPCAErrors(t *testing.T) {
+	_, cl := graphTestCluster(t)
+	// Feature mismatch across blocks errs at runtime.
+	g := taskgraph.New()
+	keys := addBatchTasks(g, "bad", []*ndarray.Array{ndarray.New(4, 3), ndarray.New(4, 5)})
+	res := BuildDistributedPCA(g, "bpca", keys, 2, 4, 3)
+	futs, err := cl.Submit(g, []taskgraph.Key{res.Components})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Gather(futs); err == nil {
+		t.Fatal("feature mismatch accepted")
+	}
+}
+
+func TestDistributedPCAPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"no blocks": func() { BuildDistributedPCA(taskgraph.New(), "x", nil, 2, 4, 4) },
+		"bad k":     func() { BuildDistributedPCA(taskgraph.New(), "x", []taskgraph.Key{"a"}, 0, 4, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

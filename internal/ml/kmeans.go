@@ -1,0 +1,158 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"deisago/internal/ndarray"
+)
+
+// MiniBatchKMeans is an online k-means clusterer (the
+// sklearn.cluster.MiniBatchKMeans update rule): each batch assigns
+// points to their nearest center and moves every center toward the
+// batch mean of its points with a per-center learning rate 1/count.
+// Like incremental PCA it consumes data batch-by-batch with constant
+// memory, so it slots directly into the deisa external-task chain — the
+// "other ML models" direction of the paper's §5.
+type MiniBatchKMeans struct {
+	K int
+
+	Centers      *ndarray.Array // (K × features)
+	Counts       []int64        // points assigned to each center so far
+	Inertia      float64        // sum of squared distances of the last batch
+	NSamplesSeen int
+
+	seed int64
+}
+
+// NewMiniBatchKMeans returns a clusterer with K centers. The seed makes
+// the first-batch initialization deterministic.
+func NewMiniBatchKMeans(k int, seed int64) *MiniBatchKMeans {
+	if k <= 0 {
+		panic("ml: K must be positive")
+	}
+	return &MiniBatchKMeans{K: k, seed: seed}
+}
+
+// Clone returns a deep copy (for task-graph state threading).
+func (m *MiniBatchKMeans) Clone() *MiniBatchKMeans {
+	out := &MiniBatchKMeans{
+		K:            m.K,
+		Inertia:      m.Inertia,
+		NSamplesSeen: m.NSamplesSeen,
+		seed:         m.seed,
+	}
+	if m.Centers != nil {
+		out.Centers = m.Centers.Copy()
+	}
+	out.Counts = append([]int64(nil), m.Counts...)
+	return out
+}
+
+// SizeBytes models the state's wire size.
+func (m *MiniBatchKMeans) SizeBytes() int64 {
+	var n int64 = 64
+	if m.Centers != nil {
+		n += int64(m.Centers.Size()) * 8
+	}
+	return n + int64(len(m.Counts))*8
+}
+
+// initCenters seeds centers with a k-means++-style greedy choice over
+// the first batch.
+func (m *MiniBatchKMeans) initCenters(x *ndarray.Array) error {
+	n, f := x.Dim(0), x.Dim(1)
+	if n < m.K {
+		return fmt.Errorf("ml: first batch has %d samples, need at least K=%d", n, m.K)
+	}
+	rng := rand.New(rand.NewSource(m.seed))
+	m.Centers = ndarray.New(m.K, f)
+	chosen := []int{rng.Intn(n)}
+	m.Centers.Slice(ndarray.Range{Start: 0, Stop: 1}, ndarray.Range{Start: 0, Stop: f}).
+		CopyFrom(x.Slice(ndarray.Range{Start: chosen[0], Stop: chosen[0] + 1}, ndarray.Range{Start: 0, Stop: f}))
+	for c := 1; c < m.K; c++ {
+		// Pick the point farthest (in squared distance) from its nearest
+		// chosen center (deterministic greedy variant of k-means++).
+		best, bestD := -1, -1.0
+		for i := 0; i < n; i++ {
+			d := math.Inf(1)
+			for cc := 0; cc < c; cc++ {
+				d = math.Min(d, sqDist(x, i, m.Centers, cc))
+			}
+			if d > bestD {
+				best, bestD = i, d
+			}
+		}
+		m.Centers.Slice(ndarray.Range{Start: c, Stop: c + 1}, ndarray.Range{Start: 0, Stop: f}).
+			CopyFrom(x.Slice(ndarray.Range{Start: best, Stop: best + 1}, ndarray.Range{Start: 0, Stop: f}))
+	}
+	m.Counts = make([]int64, m.K)
+	return nil
+}
+
+func sqDist(a *ndarray.Array, i int, b *ndarray.Array, j int) float64 {
+	f := a.Dim(1)
+	var s float64
+	for c := 0; c < f; c++ {
+		d := a.At(i, c) - b.At(j, c)
+		s += d * d
+	}
+	return s
+}
+
+// PartialFit folds one batch (samples × features) into the clustering.
+func (m *MiniBatchKMeans) PartialFit(x *ndarray.Array) error {
+	if x.NDim() != 2 {
+		return fmt.Errorf("ml: PartialFit wants a 2-d batch, got shape %v", x.Shape())
+	}
+	if m.Centers == nil {
+		if err := m.initCenters(x); err != nil {
+			return err
+		}
+	}
+	n, f := x.Dim(0), x.Dim(1)
+	if f != m.Centers.Dim(1) {
+		return fmt.Errorf("ml: batch has %d features, model fitted with %d", f, m.Centers.Dim(1))
+	}
+	m.Inertia = 0
+	for i := 0; i < n; i++ {
+		// Nearest center.
+		best, bestD := 0, math.Inf(1)
+		for c := 0; c < m.K; c++ {
+			if d := sqDist(x, i, m.Centers, c); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		m.Inertia += bestD
+		m.Counts[best]++
+		lr := 1 / float64(m.Counts[best])
+		for col := 0; col < f; col++ {
+			old := m.Centers.At(best, col)
+			m.Centers.Set(old+lr*(x.At(i, col)-old), best, col)
+		}
+	}
+	m.NSamplesSeen += n
+	return nil
+}
+
+// Predict assigns each sample to its nearest center.
+func (m *MiniBatchKMeans) Predict(x *ndarray.Array) ([]int, error) {
+	if m.Centers == nil {
+		return nil, fmt.Errorf("ml: Predict before fit")
+	}
+	if x.NDim() != 2 || x.Dim(1) != m.Centers.Dim(1) {
+		return nil, fmt.Errorf("ml: Predict input shape %v does not match %d features", x.Shape(), m.Centers.Dim(1))
+	}
+	out := make([]int, x.Dim(0))
+	for i := range out {
+		best, bestD := 0, math.Inf(1)
+		for c := 0; c < m.K; c++ {
+			if d := sqDist(x, i, m.Centers, c); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		out[i] = best
+	}
+	return out, nil
+}

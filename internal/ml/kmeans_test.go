@@ -1,0 +1,212 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"deisago/internal/ndarray"
+	"deisago/internal/taskgraph"
+)
+
+// clusteredData draws n points around each of the given centers with the
+// given spread.
+func clusteredData(rng *rand.Rand, centers [][]float64, n int, spread float64) *ndarray.Array {
+	f := len(centers[0])
+	out := ndarray.New(n*len(centers), f)
+	for ci, c := range centers {
+		for i := 0; i < n; i++ {
+			for j := 0; j < f; j++ {
+				out.Set(c[j]+spread*rng.NormFloat64(), ci*n+i, j)
+			}
+		}
+	}
+	// Shuffle rows so batches mix clusters.
+	rows := out.Dim(0)
+	for i := rows - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		for col := 0; col < f; col++ {
+			a, b := out.At(i, col), out.At(j, col)
+			out.Set(b, i, col)
+			out.Set(a, j, col)
+		}
+	}
+	return out
+}
+
+var testCenters = [][]float64{{0, 0}, {10, 0}, {0, 10}}
+
+func TestMiniBatchKMeansRecoverClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := clusteredData(rng, testCenters, 60, 0.3)
+	km := NewMiniBatchKMeans(3, 7)
+	// Feed in batches of 30.
+	for start := 0; start < x.Dim(0); start += 30 {
+		batch := x.Slice(ndarray.Range{Start: start, Stop: start + 30},
+			ndarray.Range{Start: 0, Stop: 2}).Copy()
+		if err := km.PartialFit(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Every true center must have a learned center within 1.0.
+	for _, c := range testCenters {
+		best := math.Inf(1)
+		for k := 0; k < 3; k++ {
+			d := math.Hypot(km.Centers.At(k, 0)-c[0], km.Centers.At(k, 1)-c[1])
+			best = math.Min(best, d)
+		}
+		if best > 1.0 {
+			t.Fatalf("no center near %v (closest %.2f): %v", c, best, km.Centers)
+		}
+	}
+	if km.NSamplesSeen != 180 {
+		t.Fatalf("NSamplesSeen = %d", km.NSamplesSeen)
+	}
+}
+
+func TestMiniBatchKMeansPredict(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := clusteredData(rng, testCenters, 40, 0.2)
+	km := NewMiniBatchKMeans(3, 3)
+	if err := km.PartialFit(x); err != nil {
+		t.Fatal(err)
+	}
+	// Points near a true center all get the same label.
+	probe := ndarray.FromSlice([]float64{
+		0.1, -0.1,
+		-0.2, 0.2,
+		10.1, 0.1,
+		9.8, -0.2,
+	}, 4, 2)
+	labels, err := km.Predict(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels[0] != labels[1] || labels[2] != labels[3] || labels[0] == labels[2] {
+		t.Fatalf("labels = %v", labels)
+	}
+}
+
+func TestMiniBatchKMeansDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := clusteredData(rng, testCenters, 20, 0.2)
+	a := NewMiniBatchKMeans(3, 11)
+	b := NewMiniBatchKMeans(3, 11)
+	if err := a.PartialFit(x); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.PartialFit(x.Copy()); err != nil {
+		t.Fatal(err)
+	}
+	if !ndarray.Equal(a.Centers, b.Centers) {
+		t.Fatal("same seed, different centers")
+	}
+}
+
+func TestMiniBatchKMeansCloneAndSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := clusteredData(rng, testCenters, 10, 0.2)
+	km := NewMiniBatchKMeans(3, 1)
+	before := km.SizeBytes()
+	if err := km.PartialFit(x); err != nil {
+		t.Fatal(err)
+	}
+	if km.SizeBytes() <= before {
+		t.Fatal("SizeBytes did not grow")
+	}
+	cl := km.Clone()
+	cl.Centers.Set(999, 0, 0)
+	cl.Counts[0] = 12345
+	if km.Centers.At(0, 0) == 999 || km.Counts[0] == 12345 {
+		t.Fatal("Clone aliases state")
+	}
+}
+
+func TestMiniBatchKMeansErrors(t *testing.T) {
+	km := NewMiniBatchKMeans(5, 1)
+	if err := km.PartialFit(ndarray.New(3, 2)); err == nil {
+		t.Fatal("first batch smaller than K accepted")
+	}
+	km2 := NewMiniBatchKMeans(2, 1)
+	rng := rand.New(rand.NewSource(5))
+	if err := km2.PartialFit(clusteredData(rng, testCenters[:2], 10, 0.1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := km2.PartialFit(ndarray.New(5, 7)); err == nil {
+		t.Fatal("feature change accepted")
+	}
+	if _, err := km2.Predict(ndarray.New(2, 7)); err == nil {
+		t.Fatal("predict feature mismatch accepted")
+	}
+	if _, err := NewMiniBatchKMeans(2, 1).Predict(ndarray.New(2, 2)); err == nil {
+		t.Fatal("predict before fit accepted")
+	}
+	if err := km2.PartialFit(ndarray.New(4)); err == nil {
+		t.Fatal("1-d batch accepted")
+	}
+}
+
+func TestNewMiniBatchKMeansPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewMiniBatchKMeans(0, 1)
+}
+
+// TestKMeansChainOnCluster threads mini-batch k-means state through a
+// distributed task chain, exactly like the IPCA chain — demonstrating
+// that the external-task pattern is model-agnostic (§5).
+func TestKMeansChainOnCluster(t *testing.T) {
+	_, cl := graphTestCluster(t)
+	rng := rand.New(rand.NewSource(6))
+	var batches []*ndarray.Array
+	local := NewMiniBatchKMeans(3, 9)
+	for i := 0; i < 4; i++ {
+		b := clusteredData(rng, testCenters, 15, 0.25)
+		batches = append(batches, b)
+		if err := local.PartialFit(b.Copy()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := taskgraph.New()
+	keys := addBatchTasks(g, "km", batches)
+	var prev taskgraph.Key
+	for i, bk := range keys {
+		stateKey := taskgraph.Key("km-state-" + string(rune('0'+i)))
+		deps := []taskgraph.Key{bk}
+		hasPrev := prev != ""
+		if hasPrev {
+			deps = []taskgraph.Key{prev, bk}
+		}
+		g.AddFn(stateKey, deps, func(in []any) (any, error) {
+			var km *MiniBatchKMeans
+			var batch *ndarray.Array
+			if hasPrev {
+				km = in[0].(*MiniBatchKMeans).Clone()
+				batch = in[1].(*ndarray.Array)
+			} else {
+				km = NewMiniBatchKMeans(3, 9)
+				batch = in[0].(*ndarray.Array)
+			}
+			if err := km.PartialFit(batch); err != nil {
+				return nil, err
+			}
+			return km, nil
+		}, 1e-4)
+		prev = stateKey
+	}
+	futs, err := cl.Submit(g, []taskgraph.Key{prev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := cl.Gather(futs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := vals[0].(*MiniBatchKMeans)
+	if !ndarray.AllClose(dist.Centers, local.Centers, 1e-12) {
+		t.Fatal("distributed k-means differs from local")
+	}
+}

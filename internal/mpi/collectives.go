@@ -1,0 +1,85 @@
+package mpi
+
+import "fmt"
+
+// Additional collectives beyond the core set in mpi.go.
+
+const (
+	tagScatter = -100 - iota
+	tagAlltoall
+	tagReduceScatter
+)
+
+// Scatter distributes root's per-rank buffers: rank i receives
+// chunks[i]. Non-root ranks pass nil. Every rank returns its chunk.
+func (c *Comm) Scatter(root int, chunks [][]float64) []float64 {
+	c.checkPeer(root)
+	if c.rank == root {
+		if len(chunks) != c.world.size {
+			panic(fmt.Sprintf("mpi: Scatter needs %d chunks, got %d", c.world.size, len(chunks)))
+		}
+		for r := 0; r < c.world.size; r++ {
+			if r != root {
+				c.send(r, tagScatter, chunks[r])
+			}
+		}
+		out := make([]float64, len(chunks[root]))
+		copy(out, chunks[root])
+		return out
+	}
+	return c.recv(root, tagScatter)
+}
+
+// Alltoall performs a personalized all-to-all exchange: each rank
+// provides one buffer per destination and receives one buffer per
+// source, indexed by rank.
+func (c *Comm) Alltoall(chunks [][]float64) [][]float64 {
+	if len(chunks) != c.world.size {
+		panic(fmt.Sprintf("mpi: Alltoall needs %d chunks, got %d", c.world.size, len(chunks)))
+	}
+	for r := 0; r < c.world.size; r++ {
+		if r != c.rank {
+			c.send(r, tagAlltoall, chunks[r])
+		}
+	}
+	out := make([][]float64, c.world.size)
+	own := make([]float64, len(chunks[c.rank]))
+	copy(own, chunks[c.rank])
+	out[c.rank] = own
+	for r := 0; r < c.world.size; r++ {
+		if r != c.rank {
+			out[r] = c.recv(r, tagAlltoall)
+		}
+	}
+	return out
+}
+
+// ReduceScatter reduces equal-length per-rank contributions elementwise
+// and scatters the result: rank i receives the reduced segment i, where
+// data is the rank's full-length contribution split into size segments
+// of equal length.
+func (c *Comm) ReduceScatter(op Op, data []float64) []float64 {
+	n := c.world.size
+	if len(data)%n != 0 {
+		panic(fmt.Sprintf("mpi: ReduceScatter length %d not divisible by %d ranks", len(data), n))
+	}
+	seg := len(data) / n
+	// Send each segment to its owner.
+	for r := 0; r < n; r++ {
+		if r != c.rank {
+			c.send(r, tagReduceScatter, data[r*seg:(r+1)*seg])
+		}
+	}
+	acc := make([]float64, seg)
+	copy(acc, data[c.rank*seg:(c.rank+1)*seg])
+	for r := 0; r < n; r++ {
+		if r == c.rank {
+			continue
+		}
+		part := c.recv(r, tagReduceScatter)
+		for i := range acc {
+			acc[i] = op(acc[i], part[i])
+		}
+	}
+	return acc
+}

@@ -1,0 +1,134 @@
+package mpi
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestScatter(t *testing.T) {
+	w := testWorld(3)
+	got := make([][]float64, 3)
+	w.Run(0, func(c *Comm) {
+		var chunks [][]float64
+		if c.Rank() == 1 {
+			chunks = [][]float64{{10}, {20, 21}, {30}}
+		}
+		got[c.Rank()] = c.Scatter(1, chunks)
+	})
+	if got[0][0] != 10 || got[1][1] != 21 || got[2][0] != 30 {
+		t.Fatalf("Scatter got %v", got)
+	}
+}
+
+func TestScatterCopiesRootChunk(t *testing.T) {
+	w := testWorld(2)
+	w.Run(0, func(c *Comm) {
+		if c.Rank() != 0 {
+			c.Scatter(0, nil)
+			return
+		}
+		chunks := [][]float64{{1}, {2}}
+		out := c.Scatter(0, chunks)
+		chunks[0][0] = 99
+		if out[0] != 1 {
+			t.Error("Scatter aliased root buffer")
+		}
+	})
+}
+
+func TestAlltoall(t *testing.T) {
+	w := testWorld(3)
+	results := make([][][]float64, 3)
+	w.Run(0, func(c *Comm) {
+		chunks := make([][]float64, 3)
+		for d := 0; d < 3; d++ {
+			chunks[d] = []float64{float64(c.Rank()*10 + d)}
+		}
+		results[c.Rank()] = c.Alltoall(chunks)
+	})
+	// results[r][s][0] must equal s*10 + r.
+	for r := 0; r < 3; r++ {
+		for s := 0; s < 3; s++ {
+			if results[r][s][0] != float64(s*10+r) {
+				t.Fatalf("Alltoall[%d][%d] = %v, want %d", r, s, results[r][s], s*10+r)
+			}
+		}
+	}
+}
+
+func TestReduceScatter(t *testing.T) {
+	w := testWorld(2)
+	got := make([][]float64, 2)
+	w.Run(0, func(c *Comm) {
+		// Each rank contributes [r, r+1, r+2, r+3]; segments of length 2.
+		data := []float64{float64(c.Rank()), float64(c.Rank() + 1), float64(c.Rank() + 2), float64(c.Rank() + 3)}
+		got[c.Rank()] = c.ReduceScatter(Sum, data)
+	})
+	// Sum contributions: [0+1, 1+2, 2+3, 3+4] = [1,3,5,7].
+	if got[0][0] != 1 || got[0][1] != 3 {
+		t.Fatalf("rank0 segment = %v, want [1 3]", got[0])
+	}
+	if got[1][0] != 5 || got[1][1] != 7 {
+		t.Fatalf("rank1 segment = %v, want [5 7]", got[1])
+	}
+}
+
+// Property: ReduceScatter(Sum) concatenated over ranks equals the full
+// Allreduce(Sum).
+func TestReduceScatterMatchesAllreduceQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(4) + 1
+		seg := rng.Intn(4) + 1
+		inputs := make([][]float64, n)
+		for r := range inputs {
+			inputs[r] = make([]float64, n*seg)
+			for i := range inputs[r] {
+				inputs[r][i] = rng.NormFloat64()
+			}
+		}
+		w := testWorld(n)
+		rs := make([][]float64, n)
+		var full [][]float64 = make([][]float64, n)
+		w.Run(0, func(c *Comm) {
+			rs[c.Rank()] = c.ReduceScatter(Sum, inputs[c.Rank()])
+			full[c.Rank()] = c.Allreduce(Sum, inputs[c.Rank()])
+		})
+		for r := 0; r < n; r++ {
+			for i := 0; i < seg; i++ {
+				if math.Abs(rs[r][i]-full[0][r*seg+i]) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectivePanics(t *testing.T) {
+	w := testWorld(2)
+	w.Run(0, func(c *Comm) {
+		if c.Rank() != 0 {
+			return
+		}
+		for name, fn := range map[string]func(){
+			"scatter count":  func() { c.Scatter(0, [][]float64{{1}}) },
+			"alltoall count": func() { c.Alltoall([][]float64{{1}}) },
+			"rs divisible":   func() { c.ReduceScatter(Sum, []float64{1, 2, 3}) },
+		} {
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Errorf("%s did not panic", name)
+					}
+				}()
+				fn()
+			}()
+		}
+	})
+}

@@ -1,0 +1,389 @@
+// Package mpi implements the message-passing substrate the paper's
+// simulations run on: an SPMD world of ranks with typed point-to-point
+// messages, the usual collectives, and Cartesian topologies for stencil
+// codes. Ranks are goroutines in one process; messages move real data
+// through channels and carry virtual timestamps computed by the network
+// fabric, so communication cost and congestion appear in virtual time
+// exactly as they would on the modelled cluster.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+
+	"deisago/internal/netsim"
+	"deisago/internal/vtime"
+)
+
+// Op is a reduction operator for Reduce/Allreduce.
+type Op func(a, b float64) float64
+
+// Predefined reduction operators.
+var (
+	Sum Op = func(a, b float64) float64 { return a + b }
+	Max Op = func(a, b float64) float64 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	Min Op = func(a, b float64) float64 {
+		if a < b {
+			return a
+		}
+		return b
+	}
+)
+
+// Internal tags; user tags must be non-negative.
+const (
+	tagBarrierUp = -1 - iota
+	tagBarrierDown
+	tagBcast
+	tagReduce
+	tagGather
+	tagAllgather
+)
+
+type message struct {
+	from int
+	tag  int
+	data []float64
+	at   vtime.Time
+}
+
+type inbox struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []message
+}
+
+func newInbox() *inbox {
+	b := &inbox{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *inbox) put(m message) {
+	b.mu.Lock()
+	b.queue = append(b.queue, m)
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// take blocks until a message with the given source and tag is available
+// and removes the first such message (per-pair FIFO order).
+func (b *inbox) take(from, tag int) message {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		for i, m := range b.queue {
+			if m.from == from && m.tag == tag {
+				b.queue = append(b.queue[:i], b.queue[i+1:]...)
+				return m
+			}
+		}
+		b.cond.Wait()
+	}
+}
+
+// World is a communicator universe: a set of ranks placed on fabric nodes.
+type World struct {
+	size    int
+	fabric  *netsim.Fabric
+	nodes   []netsim.NodeID
+	inboxes []*inbox
+
+	// SendOverhead is the sender-side software cost per message in
+	// virtual seconds (packing, matching).
+	SendOverhead vtime.Dur
+}
+
+// NewWorld creates a world of len(rankNodes) ranks; rank r runs on fabric
+// node rankNodes[r].
+func NewWorld(fabric *netsim.Fabric, rankNodes []netsim.NodeID) *World {
+	if len(rankNodes) == 0 {
+		panic("mpi: world needs at least one rank")
+	}
+	w := &World{
+		size:         len(rankNodes),
+		fabric:       fabric,
+		nodes:        append([]netsim.NodeID(nil), rankNodes...),
+		SendOverhead: 2e-6,
+	}
+	for range rankNodes {
+		w.inboxes = append(w.inboxes, newInbox())
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Node returns the fabric node hosting a rank.
+func (w *World) Node(rank int) netsim.NodeID { return w.nodes[rank] }
+
+// Run executes f once per rank, each on its own goroutine, and waits for
+// all of them to return. Each invocation receives that rank's Comm, whose
+// clock starts at the given origin.
+func (w *World) Run(origin vtime.Time, f func(c *Comm)) {
+	var wg sync.WaitGroup
+	for r := 0; r < w.size; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			f(&Comm{world: w, rank: r, clock: vtime.NewClock(origin)})
+		}(r)
+	}
+	wg.Wait()
+}
+
+// Comm is one rank's communicator handle. A Comm must only be used from
+// the goroutine running that rank.
+type Comm struct {
+	world *World
+	rank  int
+	clock *vtime.Clock
+}
+
+// Rank returns this rank's index.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.world.size }
+
+// Clock returns this rank's virtual clock.
+func (c *Comm) Clock() *vtime.Clock { return c.clock }
+
+// Now returns the rank's current virtual time.
+func (c *Comm) Now() vtime.Time { return c.clock.Now() }
+
+// Compute advances this rank's clock by d seconds of local work.
+func (c *Comm) Compute(d vtime.Dur) { c.clock.Advance(d) }
+
+// World returns the enclosing world.
+func (c *Comm) World() *World { return c.world }
+
+func (c *Comm) checkPeer(r int) {
+	if r < 0 || r >= c.world.size {
+		panic(fmt.Sprintf("mpi: rank %d out of range [0,%d)", r, c.world.size))
+	}
+}
+
+func (c *Comm) send(to, tag int, data []float64) {
+	c.checkPeer(to)
+	depart := c.clock.Advance(c.world.SendOverhead)
+	arrive := c.world.fabric.Transfer(c.world.nodes[c.rank], c.world.nodes[to],
+		int64(len(data))*8, depart)
+	// Copy so sender may reuse its buffer, as with MPI_Send semantics.
+	cp := make([]float64, len(data))
+	copy(cp, data)
+	c.world.inboxes[to].put(message{from: c.rank, tag: tag, data: cp, at: arrive})
+}
+
+func (c *Comm) recv(from, tag int) []float64 {
+	c.checkPeer(from)
+	m := c.world.inboxes[c.rank].take(from, tag)
+	c.clock.Sync(m.at)
+	return m.data
+}
+
+// Send transmits data to another rank with a non-negative user tag.
+// It is buffered (never blocks on the receiver).
+func (c *Comm) Send(to, tag int, data []float64) {
+	if tag < 0 {
+		panic("mpi: user tags must be non-negative")
+	}
+	c.send(to, tag, data)
+}
+
+// Recv blocks until a message with the given source and tag arrives and
+// returns its payload. The rank's clock is synced to the arrival time.
+func (c *Comm) Recv(from, tag int) []float64 {
+	if tag < 0 {
+		panic("mpi: user tags must be non-negative")
+	}
+	return c.recv(from, tag)
+}
+
+// Sendrecv exchanges buffers with a partner rank (both sides must call
+// it), a common stencil halo-exchange primitive.
+func (c *Comm) Sendrecv(partner, tag int, out []float64) []float64 {
+	c.Send(partner, tag, out)
+	return c.Recv(partner, tag)
+}
+
+// Barrier synchronizes all ranks: no rank's clock proceeds past the
+// barrier before every rank has entered it. Implemented as a flat
+// gather-to-0 plus broadcast.
+func (c *Comm) Barrier() {
+	if c.world.size == 1 {
+		return
+	}
+	if c.rank == 0 {
+		for r := 1; r < c.world.size; r++ {
+			c.recv(r, tagBarrierUp)
+		}
+		for r := 1; r < c.world.size; r++ {
+			c.send(r, tagBarrierDown, nil)
+		}
+		return
+	}
+	c.send(0, tagBarrierUp, nil)
+	c.recv(0, tagBarrierDown)
+}
+
+// Bcast distributes root's buffer to every rank; each rank returns its
+// copy (root returns the input itself).
+func (c *Comm) Bcast(root int, data []float64) []float64 {
+	c.checkPeer(root)
+	if c.world.size == 1 {
+		return data
+	}
+	if c.rank == root {
+		for r := 0; r < c.world.size; r++ {
+			if r != root {
+				c.send(r, tagBcast, data)
+			}
+		}
+		return data
+	}
+	return c.recv(root, tagBcast)
+}
+
+// Reduce combines equal-length buffers elementwise with op onto root.
+// Non-root ranks return nil.
+func (c *Comm) Reduce(root int, op Op, data []float64) []float64 {
+	c.checkPeer(root)
+	if c.rank != root {
+		c.send(root, tagReduce, data)
+		return nil
+	}
+	acc := make([]float64, len(data))
+	copy(acc, data)
+	for r := 0; r < c.world.size; r++ {
+		if r == root {
+			continue
+		}
+		part := c.recv(r, tagReduce)
+		if len(part) != len(acc) {
+			panic(fmt.Sprintf("mpi: Reduce length mismatch: %d vs %d", len(part), len(acc)))
+		}
+		for i := range acc {
+			acc[i] = op(acc[i], part[i])
+		}
+	}
+	return acc
+}
+
+// Allreduce is Reduce to rank 0 followed by Bcast.
+func (c *Comm) Allreduce(op Op, data []float64) []float64 {
+	red := c.Reduce(0, op, data)
+	return c.Bcast(0, red)
+}
+
+// Gather collects each rank's buffer at root; root returns a slice of
+// per-rank buffers indexed by rank, others return nil.
+func (c *Comm) Gather(root int, data []float64) [][]float64 {
+	c.checkPeer(root)
+	if c.rank != root {
+		c.send(root, tagGather, data)
+		return nil
+	}
+	out := make([][]float64, c.world.size)
+	cp := make([]float64, len(data))
+	copy(cp, data)
+	out[root] = cp
+	for r := 0; r < c.world.size; r++ {
+		if r != root {
+			out[r] = c.recv(r, tagGather)
+		}
+	}
+	return out
+}
+
+// Allgather gives every rank the per-rank buffers of all ranks.
+func (c *Comm) Allgather(data []float64) [][]float64 {
+	if c.world.size == 1 {
+		cp := make([]float64, len(data))
+		copy(cp, data)
+		return [][]float64{cp}
+	}
+	for r := 0; r < c.world.size; r++ {
+		if r != c.rank {
+			c.send(r, tagAllgather, data)
+		}
+	}
+	out := make([][]float64, c.world.size)
+	cp := make([]float64, len(data))
+	copy(cp, data)
+	out[c.rank] = cp
+	for r := 0; r < c.world.size; r++ {
+		if r != c.rank {
+			out[r] = c.recv(r, tagAllgather)
+		}
+	}
+	return out
+}
+
+// Cart is a non-periodic Cartesian process topology over a communicator.
+type Cart struct {
+	comm *Comm
+	dims []int
+}
+
+// CartCreate builds a Cartesian topology; the product of dims must equal
+// the world size.
+func (c *Comm) CartCreate(dims []int) *Cart {
+	n := 1
+	for _, d := range dims {
+		if d <= 0 {
+			panic("mpi: Cartesian dims must be positive")
+		}
+		n *= d
+	}
+	if n != c.world.size {
+		panic(fmt.Sprintf("mpi: Cartesian dims %v product %d != world size %d", dims, n, c.world.size))
+	}
+	return &Cart{comm: c, dims: append([]int(nil), dims...)}
+}
+
+// Dims returns the topology extents.
+func (ct *Cart) Dims() []int { return append([]int(nil), ct.dims...) }
+
+// Coords returns the Cartesian coordinates of a rank (row-major).
+func (ct *Cart) Coords(rank int) []int {
+	out := make([]int, len(ct.dims))
+	for i := len(ct.dims) - 1; i >= 0; i-- {
+		out[i] = rank % ct.dims[i]
+		rank /= ct.dims[i]
+	}
+	return out
+}
+
+// RankOf returns the rank at the given coordinates, or -1 if any
+// coordinate is outside the (non-periodic) topology.
+func (ct *Cart) RankOf(coords []int) int {
+	if len(coords) != len(ct.dims) {
+		panic("mpi: coordinate rank mismatch")
+	}
+	r := 0
+	for i, x := range coords {
+		if x < 0 || x >= ct.dims[i] {
+			return -1
+		}
+		r = r*ct.dims[i] + x
+	}
+	return r
+}
+
+// Shift returns the source and destination ranks for a displacement along
+// one dimension, -1 at the boundary (like MPI_PROC_NULL).
+func (ct *Cart) Shift(dim, disp int) (src, dst int) {
+	me := ct.Coords(ct.comm.rank)
+	up := append([]int(nil), me...)
+	up[dim] += disp
+	dn := append([]int(nil), me...)
+	dn[dim] -= disp
+	return ct.RankOf(dn), ct.RankOf(up)
+}

@@ -1,0 +1,153 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+)
+
+// Sub-communicators (MPI_Comm_split): ranks calling Split with the same
+// color form a new communicator whose ranks are ordered by world rank.
+// Sub-communicator traffic is tag-translated onto the parent so it never
+// collides with world traffic or with other splits.
+
+// subTagBase starts the reserved tag region for sub-communicators; each
+// split instance gets a disjoint tag window of subTagSpan tags.
+const (
+	subTagBase = -1 << 20
+	subTagSpan = 1 << 10
+)
+
+var splitSeq atomic.Int64
+
+// SubComm is a communicator over a subset of world ranks.
+type SubComm struct {
+	parent  *Comm
+	members []int // world ranks, sorted; index = subcomm rank
+	rank    int   // this process's subcomm rank
+	tagBase int
+}
+
+// Split partitions the world by color (every rank must call it, in the
+// same sequence of Split calls). Ranks passing a negative color receive
+// nil (MPI_UNDEFINED). The returned sub-communicator orders ranks by
+// world rank.
+func (c *Comm) Split(color int) *SubComm {
+	// Agree on a split sequence number: rank 0 allocates and broadcasts.
+	var seq int64
+	if c.Rank() == 0 {
+		seq = splitSeq.Add(1)
+	}
+	seqv := c.Bcast(0, []float64{float64(seq)})
+	seq = int64(seqv[0])
+
+	// Exchange colors.
+	all := c.Allgather([]float64{float64(color)})
+	var members []int
+	for r := 0; r < c.Size(); r++ {
+		if int(all[r][0]) == color {
+			members = append(members, r)
+		}
+	}
+	if color < 0 {
+		return nil
+	}
+	sort.Ints(members)
+	sub := &SubComm{
+		parent:  c,
+		members: members,
+		tagBase: subTagBase + int(seq)*subTagSpan + color*31,
+	}
+	for i, m := range members {
+		if m == c.Rank() {
+			sub.rank = i
+		}
+	}
+	return sub
+}
+
+// Rank returns this process's rank within the sub-communicator.
+func (s *SubComm) Rank() int { return s.rank }
+
+// Size returns the sub-communicator size.
+func (s *SubComm) Size() int { return len(s.members) }
+
+// WorldRank translates a subcomm rank to the world rank.
+func (s *SubComm) WorldRank(r int) int {
+	if r < 0 || r >= len(s.members) {
+		panic(fmt.Sprintf("mpi: subcomm rank %d out of range [0,%d)", r, len(s.members)))
+	}
+	return s.members[r]
+}
+
+func (s *SubComm) tag(user int) int {
+	if user < 0 || user >= subTagSpan/2 {
+		panic(fmt.Sprintf("mpi: subcomm tags must be in [0,%d)", subTagSpan/2))
+	}
+	return s.tagBase + user
+}
+
+// Send transmits data to a subcomm rank.
+func (s *SubComm) Send(to, tag int, data []float64) {
+	s.parent.send(s.WorldRank(to), s.tag(tag), data)
+}
+
+// Recv blocks for a message from a subcomm rank.
+func (s *SubComm) Recv(from, tag int) []float64 {
+	return s.parent.recv(s.WorldRank(from), s.tag(tag))
+}
+
+// Barrier synchronizes the sub-communicator.
+func (s *SubComm) Barrier() {
+	if s.Size() == 1 {
+		return
+	}
+	bt := s.tag(subTagSpan/2 - 1)
+	if s.rank == 0 {
+		for r := 1; r < s.Size(); r++ {
+			s.parent.recv(s.WorldRank(r), bt)
+		}
+		for r := 1; r < s.Size(); r++ {
+			s.parent.send(s.WorldRank(r), bt, nil)
+		}
+		return
+	}
+	s.parent.send(s.WorldRank(0), bt, nil)
+	s.parent.recv(s.WorldRank(0), bt)
+}
+
+// Bcast distributes root's buffer within the sub-communicator.
+func (s *SubComm) Bcast(root int, data []float64) []float64 {
+	bt := s.tag(subTagSpan/2 - 2)
+	if s.rank == root {
+		for r := 0; r < s.Size(); r++ {
+			if r != root {
+				s.parent.send(s.WorldRank(r), bt, data)
+			}
+		}
+		return data
+	}
+	return s.parent.recv(s.WorldRank(root), bt)
+}
+
+// Allreduce combines equal-length buffers elementwise across the
+// sub-communicator.
+func (s *SubComm) Allreduce(op Op, data []float64) []float64 {
+	rt := s.tag(subTagSpan/2 - 3)
+	if s.rank != 0 {
+		s.parent.send(s.WorldRank(0), rt, data)
+		return s.Bcast(0, nil)
+	}
+	acc := make([]float64, len(data))
+	copy(acc, data)
+	for r := 1; r < s.Size(); r++ {
+		part := s.parent.recv(s.WorldRank(r), rt)
+		if len(part) != len(acc) {
+			panic(fmt.Sprintf("mpi: subcomm Allreduce length mismatch: %d vs %d", len(part), len(acc)))
+		}
+		for i := range acc {
+			acc[i] = op(acc[i], part[i])
+		}
+	}
+	return s.Bcast(0, acc)
+}

@@ -1,0 +1,139 @@
+package mpi
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSplitByParity(t *testing.T) {
+	w := testWorld(6)
+	var mu sync.Mutex
+	ranks := map[int][2]int{} // world rank -> (sub rank, sub size)
+	w.Run(0, func(c *Comm) {
+		sub := c.Split(c.Rank() % 2)
+		mu.Lock()
+		ranks[c.Rank()] = [2]int{sub.Rank(), sub.Size()}
+		mu.Unlock()
+	})
+	// Even group: world 0,2,4 -> sub 0,1,2. Odd group: 1,3,5 -> 0,1,2.
+	want := map[int][2]int{
+		0: {0, 3}, 2: {1, 3}, 4: {2, 3},
+		1: {0, 3}, 3: {1, 3}, 5: {2, 3},
+	}
+	for wr, exp := range want {
+		if ranks[wr] != exp {
+			t.Fatalf("world rank %d: got %v, want %v", wr, ranks[wr], exp)
+		}
+	}
+}
+
+func TestSplitUndefinedColor(t *testing.T) {
+	w := testWorld(3)
+	var mu sync.Mutex
+	nils := 0
+	w.Run(0, func(c *Comm) {
+		color := 0
+		if c.Rank() == 2 {
+			color = -1 // MPI_UNDEFINED
+		}
+		sub := c.Split(color)
+		if sub == nil {
+			mu.Lock()
+			nils++
+			mu.Unlock()
+			return
+		}
+		if sub.Size() != 2 {
+			t.Errorf("subcomm size = %d, want 2", sub.Size())
+		}
+	})
+	if nils != 1 {
+		t.Fatalf("undefined-color ranks = %d, want 1", nils)
+	}
+}
+
+func TestSplitSendRecvIsolation(t *testing.T) {
+	// Two groups exchange messages on the same user tag without
+	// cross-talk; world-level messages on the same tag also stay apart.
+	w := testWorld(4)
+	got := make([]float64, 4)
+	w.Run(0, func(c *Comm) {
+		sub := c.Split(c.Rank() / 2) // {0,1} and {2,3}
+		partner := 1 - sub.Rank()
+		sub.Send(partner, 7, []float64{float64(100*c.Rank() + 7)})
+		got[c.Rank()] = sub.Recv(partner, 7)[0]
+	})
+	want := []float64{107, 7, 307, 207}
+	for r, v := range got {
+		if v != want[r] {
+			t.Fatalf("rank %d got %v, want %v", r, v, want[r])
+		}
+	}
+}
+
+func TestSplitCollectives(t *testing.T) {
+	w := testWorld(4)
+	sums := make([]float64, 4)
+	bcasts := make([]float64, 4)
+	w.Run(0, func(c *Comm) {
+		sub := c.Split(c.Rank() % 2)
+		sum := sub.Allreduce(Sum, []float64{float64(c.Rank())})
+		sums[c.Rank()] = sum[0]
+		var data []float64
+		if sub.Rank() == 0 {
+			data = []float64{float64(c.Rank() + 50)}
+		}
+		bcasts[c.Rank()] = sub.Bcast(0, data)[0]
+		sub.Barrier()
+	})
+	// Even group {0,2}: sum 2; odd {1,3}: sum 4.
+	if sums[0] != 2 || sums[2] != 2 || sums[1] != 4 || sums[3] != 4 {
+		t.Fatalf("subcomm sums = %v", sums)
+	}
+	// Bcast roots: world 0 (even), world 1 (odd).
+	if bcasts[0] != 50 || bcasts[2] != 50 || bcasts[1] != 51 || bcasts[3] != 51 {
+		t.Fatalf("subcomm bcasts = %v", bcasts)
+	}
+}
+
+func TestSequentialSplitsDoNotCollide(t *testing.T) {
+	w := testWorld(2)
+	w.Run(0, func(c *Comm) {
+		a := c.Split(0)
+		b := c.Split(0)
+		partner := 1 - a.Rank()
+		// Same user tag on two different subcomms.
+		a.Send(partner, 3, []float64{1})
+		b.Send(partner, 3, []float64{2})
+		if got := b.Recv(partner, 3)[0]; got != 2 {
+			t.Errorf("subcomm B received %v, want 2", got)
+		}
+		if got := a.Recv(partner, 3)[0]; got != 1 {
+			t.Errorf("subcomm A received %v, want 1", got)
+		}
+	})
+}
+
+func TestSubCommPanics(t *testing.T) {
+	w := testWorld(2)
+	w.Run(0, func(c *Comm) {
+		sub := c.Split(0)
+		if c.Rank() != 0 {
+			return
+		}
+		for name, fn := range map[string]func(){
+			"bad rank": func() { sub.WorldRank(5) },
+			"neg tag":  func() { sub.Send(1, -1, nil) },
+			"big tag":  func() { sub.Send(1, subTagSpan, nil) },
+		} {
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Errorf("%s did not panic", name)
+					}
+				}()
+				fn()
+			}()
+		}
+	})
+}

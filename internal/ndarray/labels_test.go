@@ -1,0 +1,110 @@
+package ndarray
+
+import (
+	"testing"
+)
+
+func TestNewLabeled(t *testing.T) {
+	a := FromSlice(seq(24), 2, 3, 4)
+	l := NewLabeled(a, "t", "X", "Y")
+	if l.DimLen("t") != 2 || l.DimLen("X") != 3 || l.DimLen("Y") != 4 {
+		t.Fatal("DimLen wrong")
+	}
+}
+
+func TestNewLabeledPanics(t *testing.T) {
+	a := FromSlice(seq(6), 2, 3)
+	for name, fn := range map[string]func(){
+		"count":     func() { NewLabeled(a, "t") },
+		"duplicate": func() { NewLabeled(a, "t", "t") },
+		"missing":   func() { NewLabeled(a, "t", "X").DimLen("Y") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestStackToMatrix(t *testing.T) {
+	// 2x3 array labeled (X, Y); samples=Y, features=X as in the paper's
+	// fit(gt, ["t","X","Y"], ["X"], ["Y"]).
+	a := FromSlice(seq(6), 2, 3) // X=2, Y=3
+	l := NewLabeled(a, "X", "Y")
+	m := l.StackToMatrix([]string{"Y"}, []string{"X"})
+	if m.Dim(0) != 3 || m.Dim(1) != 2 {
+		t.Fatalf("matrix shape %v, want [3 2]", m.Shape())
+	}
+	// m[y][x] must equal a[x][y].
+	for x := 0; x < 2; x++ {
+		for y := 0; y < 3; y++ {
+			if m.At(y, x) != a.At(x, y) {
+				t.Fatalf("m[%d,%d]=%v, want %v", y, x, m.At(y, x), a.At(x, y))
+			}
+		}
+	}
+}
+
+func TestStackToMatrixMultiDim(t *testing.T) {
+	// 4-d (a,b,c,d): samples (a,c) flattened, features (b,d) flattened.
+	arr := FromSlice(seq(2*3*4*5), 2, 3, 4, 5)
+	l := NewLabeled(arr, "a", "b", "c", "d")
+	m := l.StackToMatrix([]string{"a", "c"}, []string{"b", "d"})
+	if m.Dim(0) != 8 || m.Dim(1) != 15 {
+		t.Fatalf("matrix shape %v, want [8 15]", m.Shape())
+	}
+	// Row index = a*4+c; col index = b*5+d.
+	if m.At(1*4+2, 1*5+3) != arr.At(1, 1, 2, 3) {
+		t.Fatal("multidim fold wrong")
+	}
+}
+
+func TestStackToMatrixPanicsOnPartialDims(t *testing.T) {
+	a := FromSlice(seq(6), 2, 3)
+	l := NewLabeled(a, "X", "Y")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for unpartitioned dims")
+		}
+	}()
+	l.StackToMatrix([]string{"Y"}, []string{"Y"})
+}
+
+func TestSplitBatches(t *testing.T) {
+	// (t=3, X=2, Y=4): split along t; each batch is (Y=4 samples, X=2 features).
+	arr := FromSlice(seq(24), 3, 2, 4)
+	l := NewLabeled(arr, "t", "X", "Y")
+	batches := l.SplitBatches("t", []string{"Y"}, []string{"X"})
+	if len(batches) != 3 {
+		t.Fatalf("got %d batches", len(batches))
+	}
+	for ti, b := range batches {
+		if b.Dim(0) != 4 || b.Dim(1) != 2 {
+			t.Fatalf("batch %d shape %v", ti, b.Shape())
+		}
+		for x := 0; x < 2; x++ {
+			for y := 0; y < 4; y++ {
+				if b.At(y, x) != arr.At(ti, x, y) {
+					t.Fatalf("batch %d [%d,%d] = %v, want %v", ti, y, x, b.At(y, x), arr.At(ti, x, y))
+				}
+			}
+		}
+	}
+}
+
+func TestSplitBatchesConcatEqualsFullStack(t *testing.T) {
+	// Concatenating per-t batches along samples must equal folding (t,Y)
+	// together as samples in one shot.
+	arr := FromSlice(seq(30), 5, 3, 2) // t=5, X=3, Y=2
+	l := NewLabeled(arr, "t", "X", "Y")
+	batches := l.SplitBatches("t", []string{"Y"}, []string{"X"})
+	full := l.StackToMatrix([]string{"t", "Y"}, []string{"X"})
+	got := Concat(0, batches...)
+	if !Equal(got, full) {
+		t.Fatal("batch concat != full stack")
+	}
+}

@@ -1,0 +1,610 @@
+// Package ndarray implements a dense, strided, float64 n-dimensional
+// array. It is the in-memory data container for simulation blocks, Dask
+// chunks, and the ML algorithms in this repository — the role NumPy plays
+// in the original Python system.
+//
+// Arrays use row-major (C) layout by default. Slice and Transpose return
+// views that share the underlying buffer; Contiguous materializes a view
+// into a fresh row-major array.
+package ndarray
+
+import (
+	"fmt"
+	"math"
+)
+
+// Array is a strided view over a float64 buffer.
+type Array struct {
+	shape   []int
+	strides []int // element (not byte) strides
+	data    []float64
+	offset  int
+}
+
+// New returns a zero-filled array of the given shape. A zero-dimensional
+// array (no arguments) holds a single scalar.
+func New(shape ...int) *Array {
+	n := checkShape(shape)
+	return fromBuffer(make([]float64, n), append([]int(nil), shape...))
+}
+
+// FromSlice wraps data in an array of the given shape. The buffer is used
+// directly (not copied); len(data) must equal the shape's element count.
+func FromSlice(data []float64, shape ...int) *Array {
+	n := checkShape(shape)
+	if len(data) != n {
+		panic(fmt.Sprintf("ndarray: buffer length %d does not match shape %v (%d elements)", len(data), shape, n))
+	}
+	return fromBuffer(data, append([]int(nil), shape...))
+}
+
+func fromBuffer(data []float64, shape []int) *Array {
+	return &Array{shape: shape, strides: contiguousStrides(shape), data: data}
+}
+
+func checkShape(shape []int) int {
+	n := 1
+	for _, s := range shape {
+		if s < 0 {
+			panic(fmt.Sprintf("ndarray: negative dimension in shape %v", shape))
+		}
+		n *= s
+	}
+	return n
+}
+
+func contiguousStrides(shape []int) []int {
+	st := make([]int, len(shape))
+	acc := 1
+	for i := len(shape) - 1; i >= 0; i-- {
+		st[i] = acc
+		acc *= shape[i]
+	}
+	return st
+}
+
+// Shape returns a copy of the array's shape.
+func (a *Array) Shape() []int { return append([]int(nil), a.shape...) }
+
+// NDim returns the number of dimensions.
+func (a *Array) NDim() int { return len(a.shape) }
+
+// Size returns the total number of elements.
+func (a *Array) Size() int { return checkShape(a.shape) }
+
+// Dim returns the length of dimension i.
+func (a *Array) Dim(i int) int { return a.shape[i] }
+
+// IsContiguous reports whether the view is row-major contiguous with
+// offset 0 covering its whole buffer region.
+func (a *Array) IsContiguous() bool {
+	cs := contiguousStrides(a.shape)
+	for i := range cs {
+		if a.shape[i] > 1 && a.strides[i] != cs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (a *Array) flatIndex(idx []int) int {
+	if len(idx) != len(a.shape) {
+		panic(fmt.Sprintf("ndarray: %d indices for %d-d array", len(idx), len(a.shape)))
+	}
+	p := a.offset
+	for i, x := range idx {
+		if x < 0 || x >= a.shape[i] {
+			panic(fmt.Sprintf("ndarray: index %d out of range [0,%d) in dim %d", x, a.shape[i], i))
+		}
+		p += x * a.strides[i]
+	}
+	return p
+}
+
+// At returns the element at the given indices.
+func (a *Array) At(idx ...int) float64 { return a.data[a.flatIndex(idx)] }
+
+// Set stores v at the given indices.
+func (a *Array) Set(v float64, idx ...int) { a.data[a.flatIndex(idx)] = v }
+
+// Data returns the underlying buffer when the array is contiguous; it
+// panics otherwise. The returned slice aliases the array.
+func (a *Array) Data() []float64 {
+	if !a.IsContiguous() {
+		panic("ndarray: Data on non-contiguous view; call Contiguous first")
+	}
+	return a.data[a.offset : a.offset+a.Size()]
+}
+
+// Fill sets every element of the array (or view) to v.
+func (a *Array) Fill(v float64) {
+	it := newIterator(a.shape)
+	for it.next() {
+		a.data[a.offsetOf(it.idx)] = v
+	}
+}
+
+func (a *Array) offsetOf(idx []int) int {
+	p := a.offset
+	for i, x := range idx {
+		p += x * a.strides[i]
+	}
+	return p
+}
+
+// Copy returns a fresh contiguous array with the same contents.
+func (a *Array) Copy() *Array {
+	out := New(a.shape...)
+	it := newIterator(a.shape)
+	buf := out.data
+	i := 0
+	for it.next() {
+		buf[i] = a.data[a.offsetOf(it.idx)]
+		i++
+	}
+	return out
+}
+
+// Contiguous returns the array itself if contiguous, or a contiguous copy.
+func (a *Array) Contiguous() *Array {
+	if a.IsContiguous() {
+		return a
+	}
+	return a.Copy()
+}
+
+// Reshape returns a view (when possible) or copy with a new shape holding
+// the same elements in row-major order. One dimension may be -1 to be
+// inferred.
+func (a *Array) Reshape(shape ...int) *Array {
+	shape = append([]int(nil), shape...)
+	infer := -1
+	known := 1
+	for i, s := range shape {
+		if s == -1 {
+			if infer != -1 {
+				panic("ndarray: at most one -1 dimension in Reshape")
+			}
+			infer = i
+		} else {
+			known *= s
+		}
+	}
+	if infer != -1 {
+		if known == 0 || a.Size()%known != 0 {
+			panic(fmt.Sprintf("ndarray: cannot infer dimension reshaping %v to %v", a.shape, shape))
+		}
+		shape[infer] = a.Size() / known
+	}
+	if checkShape(shape) != a.Size() {
+		panic(fmt.Sprintf("ndarray: cannot reshape %v (%d elems) to %v", a.shape, a.Size(), shape))
+	}
+	c := a.Contiguous()
+	return &Array{shape: shape, strides: contiguousStrides(shape), data: c.data, offset: c.offset}
+}
+
+// Transpose returns a view with permuted dimensions. With no arguments the
+// dimension order is reversed.
+func (a *Array) Transpose(perm ...int) *Array {
+	if len(perm) == 0 {
+		perm = make([]int, len(a.shape))
+		for i := range perm {
+			perm[i] = len(a.shape) - 1 - i
+		}
+	}
+	if len(perm) != len(a.shape) {
+		panic("ndarray: permutation length mismatch")
+	}
+	seen := make([]bool, len(perm))
+	shape := make([]int, len(perm))
+	strides := make([]int, len(perm))
+	for i, p := range perm {
+		if p < 0 || p >= len(a.shape) || seen[p] {
+			panic(fmt.Sprintf("ndarray: bad permutation %v", perm))
+		}
+		seen[p] = true
+		shape[i] = a.shape[p]
+		strides[i] = a.strides[p]
+	}
+	return &Array{shape: shape, strides: strides, data: a.data, offset: a.offset}
+}
+
+// Range selects [Start, Stop) in one dimension.
+type Range struct {
+	Start, Stop int
+}
+
+// All returns a Range covering a whole dimension of length n.
+func All(n int) Range { return Range{0, n} }
+
+// Len returns the range's length.
+func (r Range) Len() int { return r.Stop - r.Start }
+
+// Slice returns a view restricted to the given half-open ranges, one per
+// dimension.
+func (a *Array) Slice(ranges ...Range) *Array {
+	if len(ranges) != len(a.shape) {
+		panic(fmt.Sprintf("ndarray: %d ranges for %d-d array", len(ranges), len(a.shape)))
+	}
+	out := &Array{
+		shape:   make([]int, len(ranges)),
+		strides: append([]int(nil), a.strides...),
+		data:    a.data,
+		offset:  a.offset,
+	}
+	for i, r := range ranges {
+		if r.Start < 0 || r.Stop > a.shape[i] || r.Start > r.Stop {
+			panic(fmt.Sprintf("ndarray: range [%d,%d) invalid for dim %d of length %d", r.Start, r.Stop, i, a.shape[i]))
+		}
+		out.offset += r.Start * a.strides[i]
+		out.shape[i] = r.Len()
+	}
+	return out
+}
+
+// Row returns row i of a 2-D array as a view of shape [cols].
+func (a *Array) Row(i int) *Array {
+	if len(a.shape) != 2 {
+		panic("ndarray: Row requires a 2-d array")
+	}
+	return &Array{
+		shape:   []int{a.shape[1]},
+		strides: []int{a.strides[1]},
+		data:    a.data,
+		offset:  a.offset + i*a.strides[0],
+	}
+}
+
+// Col returns column j of a 2-D array as a view of shape [rows].
+func (a *Array) Col(j int) *Array {
+	if len(a.shape) != 2 {
+		panic("ndarray: Col requires a 2-d array")
+	}
+	return &Array{
+		shape:   []int{a.shape[0]},
+		strides: []int{a.strides[0]},
+		data:    a.data,
+		offset:  a.offset + j*a.strides[1],
+	}
+}
+
+// iterator walks a shape in row-major order.
+type iterator struct {
+	shape []int
+	idx   []int
+	first bool
+	done  bool
+}
+
+func newIterator(shape []int) *iterator {
+	it := &iterator{shape: shape, idx: make([]int, len(shape)), first: true}
+	for _, s := range shape {
+		if s == 0 {
+			it.done = true
+		}
+	}
+	return it
+}
+
+func (it *iterator) next() bool {
+	if it.done {
+		return false
+	}
+	if it.first {
+		it.first = false
+		return true
+	}
+	for d := len(it.shape) - 1; d >= 0; d-- {
+		it.idx[d]++
+		if it.idx[d] < it.shape[d] {
+			return true
+		}
+		it.idx[d] = 0
+	}
+	it.done = true
+	return false
+}
+
+func sameShape(a, b *Array) {
+	if len(a.shape) != len(b.shape) {
+		panic(fmt.Sprintf("ndarray: shape mismatch %v vs %v", a.shape, b.shape))
+	}
+	for i := range a.shape {
+		if a.shape[i] != b.shape[i] {
+			panic(fmt.Sprintf("ndarray: shape mismatch %v vs %v", a.shape, b.shape))
+		}
+	}
+}
+
+// zipApply writes f(a[i], b[i]) into a fresh array.
+func zipApply(a, b *Array, f func(x, y float64) float64) *Array {
+	sameShape(a, b)
+	out := New(a.shape...)
+	it := newIterator(a.shape)
+	i := 0
+	for it.next() {
+		out.data[i] = f(a.data[a.offsetOf(it.idx)], b.data[b.offsetOf(it.idx)])
+		i++
+	}
+	return out
+}
+
+// Add returns a + b elementwise.
+func Add(a, b *Array) *Array { return zipApply(a, b, func(x, y float64) float64 { return x + y }) }
+
+// Sub returns a - b elementwise.
+func Sub(a, b *Array) *Array { return zipApply(a, b, func(x, y float64) float64 { return x - y }) }
+
+// Mul returns a * b elementwise.
+func Mul(a, b *Array) *Array { return zipApply(a, b, func(x, y float64) float64 { return x * y }) }
+
+// Scale returns a copy of the array with every element multiplied by s.
+func (a *Array) Scale(s float64) *Array {
+	out := a.Copy()
+	buf := out.Data()
+	for i := range buf {
+		buf[i] *= s
+	}
+	return out
+}
+
+// AddScalar returns a copy with s added to every element.
+func (a *Array) AddScalar(s float64) *Array {
+	out := a.Copy()
+	buf := out.Data()
+	for i := range buf {
+		buf[i] += s
+	}
+	return out
+}
+
+// Apply returns a copy with f applied to every element.
+func (a *Array) Apply(f func(float64) float64) *Array {
+	out := a.Copy()
+	buf := out.Data()
+	for i := range buf {
+		buf[i] = f(buf[i])
+	}
+	return out
+}
+
+// Sum returns the sum of all elements.
+func (a *Array) Sum() float64 {
+	var s float64
+	it := newIterator(a.shape)
+	for it.next() {
+		s += a.data[a.offsetOf(it.idx)]
+	}
+	return s
+}
+
+// Mean returns the mean of all elements (0 for an empty array).
+func (a *Array) Mean() float64 {
+	n := a.Size()
+	if n == 0 {
+		return 0
+	}
+	return a.Sum() / float64(n)
+}
+
+// SumAxis sums over one dimension, returning an array of rank n-1.
+func (a *Array) SumAxis(axis int) *Array {
+	return a.reduceAxis(axis, 0, func(acc, x float64) float64 { return acc + x })
+}
+
+// MeanAxis averages over one dimension.
+func (a *Array) MeanAxis(axis int) *Array {
+	n := a.shape[axis]
+	out := a.SumAxis(axis)
+	if n == 0 {
+		return out
+	}
+	return out.Scale(1 / float64(n))
+}
+
+// MaxAxis reduces one dimension with max.
+func (a *Array) MaxAxis(axis int) *Array {
+	return a.reduceAxis(axis, math.Inf(-1), math.Max)
+}
+
+// MinAxis reduces one dimension with min.
+func (a *Array) MinAxis(axis int) *Array {
+	return a.reduceAxis(axis, math.Inf(1), math.Min)
+}
+
+func (a *Array) reduceAxis(axis int, init float64, f func(acc, x float64) float64) *Array {
+	if axis < 0 || axis >= len(a.shape) {
+		panic(fmt.Sprintf("ndarray: axis %d out of range for rank %d", axis, len(a.shape)))
+	}
+	outShape := make([]int, 0, len(a.shape)-1)
+	for i, s := range a.shape {
+		if i != axis {
+			outShape = append(outShape, s)
+		}
+	}
+	out := New(outShape...)
+	for i := range out.data {
+		out.data[i] = init
+	}
+	it := newIterator(a.shape)
+	outIdx := make([]int, len(outShape))
+	for it.next() {
+		k := 0
+		for d, x := range it.idx {
+			if d != axis {
+				outIdx[k] = x
+				k++
+			}
+		}
+		p := out.flatIndex(outIdx)
+		out.data[p] = f(out.data[p], a.data[a.offsetOf(it.idx)])
+	}
+	return out
+}
+
+// Norm returns the Frobenius norm.
+func (a *Array) Norm() float64 {
+	var s float64
+	it := newIterator(a.shape)
+	for it.next() {
+		v := a.data[a.offsetOf(it.idx)]
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Dot returns the inner product of two arrays of identical shape.
+func Dot(a, b *Array) float64 {
+	sameShape(a, b)
+	var s float64
+	it := newIterator(a.shape)
+	for it.next() {
+		s += a.data[a.offsetOf(it.idx)] * b.data[b.offsetOf(it.idx)]
+	}
+	return s
+}
+
+// MatMul multiplies two 2-D arrays (m×k)·(k×n) → (m×n).
+func MatMul(a, b *Array) *Array {
+	if len(a.shape) != 2 || len(b.shape) != 2 {
+		panic("ndarray: MatMul requires 2-d arrays")
+	}
+	m, k, k2, n := a.shape[0], a.shape[1], b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("ndarray: MatMul inner dimensions differ: %v · %v", a.shape, b.shape))
+	}
+	ac, bc := a.Contiguous(), b.Contiguous()
+	out := New(m, n)
+	ad := ac.Data()
+	bd := bc.Data()
+	od := out.Data()
+	// ikj loop order for cache-friendly access to b and out rows.
+	for i := 0; i < m; i++ {
+		arow := ad[i*k : (i+1)*k]
+		orow := od[i*n : (i+1)*n]
+		for kk := 0; kk < k; kk++ {
+			av := arow[kk]
+			if av == 0 {
+				continue
+			}
+			brow := bd[kk*n : (kk+1)*n]
+			for j := 0; j < n; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// Stack concatenates arrays of identical shape along a new leading axis.
+func Stack(arrays ...*Array) *Array {
+	if len(arrays) == 0 {
+		panic("ndarray: Stack of nothing")
+	}
+	for _, a := range arrays[1:] {
+		sameShape(arrays[0], a)
+	}
+	shape := append([]int{len(arrays)}, arrays[0].shape...)
+	out := New(shape...)
+	per := arrays[0].Size()
+	for i, a := range arrays {
+		copy(out.data[i*per:(i+1)*per], a.Contiguous().Data())
+	}
+	return out
+}
+
+// Concat concatenates arrays along an existing axis.
+func Concat(axis int, arrays ...*Array) *Array {
+	if len(arrays) == 0 {
+		panic("ndarray: Concat of nothing")
+	}
+	rank := arrays[0].NDim()
+	if axis < 0 || axis >= rank {
+		panic(fmt.Sprintf("ndarray: Concat axis %d out of range for rank %d", axis, rank))
+	}
+	outShape := arrays[0].Shape()
+	for _, a := range arrays[1:] {
+		if a.NDim() != rank {
+			panic("ndarray: Concat rank mismatch")
+		}
+		for d := 0; d < rank; d++ {
+			if d == axis {
+				continue
+			}
+			if a.shape[d] != outShape[d] {
+				panic(fmt.Sprintf("ndarray: Concat shape mismatch in dim %d", d))
+			}
+		}
+		outShape[axis] += a.shape[axis]
+	}
+	out := New(outShape...)
+	at := 0
+	for _, a := range arrays {
+		ranges := make([]Range, rank)
+		for d := 0; d < rank; d++ {
+			ranges[d] = All(outShape[d])
+		}
+		ranges[axis] = Range{at, at + a.shape[axis]}
+		out.Slice(ranges...).CopyFrom(a)
+		at += a.shape[axis]
+	}
+	return out
+}
+
+// CopyFrom copies src's elements into the (possibly strided) destination
+// view. Shapes must match.
+func (a *Array) CopyFrom(src *Array) {
+	sameShape(a, src)
+	it := newIterator(a.shape)
+	for it.next() {
+		a.data[a.offsetOf(it.idx)] = src.data[src.offsetOf(it.idx)]
+	}
+}
+
+// Equal reports exact elementwise equality of shape and contents.
+func Equal(a, b *Array) bool {
+	if len(a.shape) != len(b.shape) {
+		return false
+	}
+	for i := range a.shape {
+		if a.shape[i] != b.shape[i] {
+			return false
+		}
+	}
+	it := newIterator(a.shape)
+	for it.next() {
+		if a.data[a.offsetOf(it.idx)] != b.data[b.offsetOf(it.idx)] {
+			return false
+		}
+	}
+	return true
+}
+
+// AllClose reports elementwise |a-b| <= tol for arrays of equal shape.
+func AllClose(a, b *Array, tol float64) bool {
+	if len(a.shape) != len(b.shape) {
+		return false
+	}
+	for i := range a.shape {
+		if a.shape[i] != b.shape[i] {
+			return false
+		}
+	}
+	it := newIterator(a.shape)
+	for it.next() {
+		x := a.data[a.offsetOf(it.idx)]
+		y := b.data[b.offsetOf(it.idx)]
+		if math.Abs(x-y) > tol || math.IsNaN(x) != math.IsNaN(y) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders small arrays for debugging.
+func (a *Array) String() string {
+	if a.Size() > 200 {
+		return fmt.Sprintf("ndarray.Array(shape=%v)", a.shape)
+	}
+	return fmt.Sprintf("ndarray.Array(shape=%v, data=%v)", a.shape, a.Copy().Data())
+}

@@ -1,0 +1,262 @@
+// Package netsim models the interconnect of the evaluation platform: a
+// pruned fat-tree of EDR-InfiniBand-class links, as on the Irene/TGCC
+// Skylake partition used by the paper.
+//
+// The model is intentionally small: two switch levels (leaf switches and a
+// non-blocking spine), full-duplex node links, and pruned uplinks whose
+// aggregate bandwidth is a fraction of the attached node bandwidth. Every
+// shared element (node NIC egress/ingress, leaf uplink up/down) is a
+// vtime.Resource, so congestion produces FCFS queueing delays in virtual
+// time. A transfer occupies each link on its path in a pipelined (cut
+// through) fashion: the path bandwidth is the minimum link bandwidth and
+// hot links delay the whole flow.
+//
+// The paper's Experiment II (Figure 5) attributes run-to-run variability
+// to which leaf switch each allocated node lands on; Fabric exposes hop
+// counts and per-link jitter so the harness can reproduce that effect.
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"deisago/internal/vtime"
+)
+
+// NodeID identifies a compute node in the fabric.
+type NodeID int
+
+// Config describes the fabric hardware.
+type Config struct {
+	// NodesPerSwitch is the number of nodes attached to one leaf switch.
+	NodesPerSwitch int
+	// LinkBandwidth is the node-to-leaf link bandwidth in bytes/second
+	// (per direction; links are full duplex).
+	LinkBandwidth float64
+	// PruneFactor divides the leaf uplink aggregate bandwidth: an uplink
+	// carries NodesPerSwitch*LinkBandwidth/PruneFactor bytes/second.
+	// PruneFactor 1 is a non-blocking tree; the paper's platform uses a
+	// pruned tree, so values > 1 are typical.
+	PruneFactor float64
+	// HopLatency is the per-hop latency in seconds.
+	HopLatency float64
+	// SoftwareLatency is a fixed per-message software overhead in seconds
+	// (driver, protocol) charged once per transfer.
+	SoftwareLatency float64
+	// JitterFrac, if non-zero, scales a deterministic pseudo-random
+	// multiplicative jitter of ±JitterFrac applied to each transfer's
+	// service time. Seeded from Seed, so runs are reproducible.
+	JitterFrac float64
+	// Seed seeds the jitter stream.
+	Seed int64
+}
+
+// DefaultConfig returns a configuration calibrated to an EDR InfiniBand
+// (100 Gb/s) pruned fat-tree, as described in the paper's evaluation.
+func DefaultConfig() Config {
+	return Config{
+		NodesPerSwitch:  16,
+		LinkBandwidth:   12.5e9, // 100 Gb/s
+		PruneFactor:     2,
+		HopLatency:      1e-6,
+		SoftwareLatency: 30e-6,
+		JitterFrac:      0,
+		Seed:            1,
+	}
+}
+
+type node struct {
+	id      NodeID
+	leaf    int
+	egress  *vtime.Resource
+	ingress *vtime.Resource
+}
+
+type leafSwitch struct {
+	up   *vtime.Resource // toward the spine
+	down *vtime.Resource // from the spine
+}
+
+// Fabric is a simulated interconnect. All methods are safe for concurrent
+// use.
+type Fabric struct {
+	cfg    Config
+	nodes  []*node
+	leaves []*leafSwitch
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	transfers int64
+	bytes     int64
+}
+
+// New builds a fabric with numNodes nodes. Nodes are assigned to leaf
+// switches in blocks of cfg.NodesPerSwitch, in node-ID order; use a
+// cluster allocation layer to permute which logical node gets which ID
+// when modelling varying batch-scheduler allocations.
+func New(cfg Config, numNodes int) *Fabric {
+	if cfg.NodesPerSwitch <= 0 {
+		panic("netsim: NodesPerSwitch must be positive")
+	}
+	if cfg.LinkBandwidth <= 0 {
+		panic("netsim: LinkBandwidth must be positive")
+	}
+	if cfg.PruneFactor <= 0 {
+		cfg.PruneFactor = 1
+	}
+	if numNodes <= 0 {
+		panic("netsim: need at least one node")
+	}
+	f := &Fabric{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	nLeaves := (numNodes + cfg.NodesPerSwitch - 1) / cfg.NodesPerSwitch
+	for l := 0; l < nLeaves; l++ {
+		f.leaves = append(f.leaves, &leafSwitch{
+			up:   vtime.NewResource(fmt.Sprintf("leaf%d-up", l)),
+			down: vtime.NewResource(fmt.Sprintf("leaf%d-down", l)),
+		})
+	}
+	for i := 0; i < numNodes; i++ {
+		f.nodes = append(f.nodes, &node{
+			id:      NodeID(i),
+			leaf:    i / cfg.NodesPerSwitch,
+			egress:  vtime.NewResource(fmt.Sprintf("node%d-eg", i)),
+			ingress: vtime.NewResource(fmt.Sprintf("node%d-in", i)),
+		})
+	}
+	return f
+}
+
+// Config returns the fabric configuration.
+func (f *Fabric) Config() Config { return f.cfg }
+
+// NumNodes returns the number of nodes.
+func (f *Fabric) NumNodes() int { return len(f.nodes) }
+
+// Leaf returns the leaf-switch index of a node.
+func (f *Fabric) Leaf(n NodeID) int {
+	return f.nodes[f.check(n)].leaf
+}
+
+// Hops returns the number of switch hops between two nodes: 0 on the same
+// node, 2 within one leaf switch, 4 across the spine.
+func (f *Fabric) Hops(from, to NodeID) int {
+	a, b := f.nodes[f.check(from)], f.nodes[f.check(to)]
+	switch {
+	case a.id == b.id:
+		return 0
+	case a.leaf == b.leaf:
+		return 2
+	default:
+		return 4
+	}
+}
+
+func (f *Fabric) check(n NodeID) int {
+	if int(n) < 0 || int(n) >= len(f.nodes) {
+		panic(fmt.Sprintf("netsim: node %d out of range [0,%d)", n, len(f.nodes)))
+	}
+	return int(n)
+}
+
+func (f *Fabric) uplinkBandwidth() float64 {
+	return f.cfg.LinkBandwidth * float64(f.cfg.NodesPerSwitch) / f.cfg.PruneFactor
+}
+
+func (f *Fabric) jitter() float64 {
+	if f.cfg.JitterFrac == 0 {
+		return 1
+	}
+	f.mu.Lock()
+	j := 1 + f.cfg.JitterFrac*(2*f.rng.Float64()-1)
+	f.mu.Unlock()
+	if j < 0.05 {
+		j = 0.05
+	}
+	return j
+}
+
+// Transfer simulates moving size bytes from one node to another, departing
+// at the given virtual time, and returns the arrival time. Local (same
+// node) transfers cost only the software latency. The transfer occupies
+// every shared link on its path; links are acquired in path order with
+// pipelined starts, so the effective bandwidth is the minimum along the
+// path and congestion at any link delays delivery.
+func (f *Fabric) Transfer(from, to NodeID, size int64, depart vtime.Time) vtime.Time {
+	if size < 0 {
+		panic("netsim: negative transfer size")
+	}
+	a, b := f.nodes[f.check(from)], f.nodes[f.check(to)]
+
+	f.mu.Lock()
+	f.transfers++
+	f.bytes += size
+	f.mu.Unlock()
+
+	t := depart + f.cfg.SoftwareLatency
+	if a.id == b.id {
+		return t
+	}
+	j := f.jitter()
+	linkD := j * float64(size) / f.cfg.LinkBandwidth
+	hops := f.Hops(from, to)
+	lat := f.cfg.HopLatency * float64(hops)
+
+	// Pipelined (cut-through) occupancy: each link along the path is
+	// requested starting from the previous link's service *start*, so an
+	// uncongested path costs one serialization, while a congested link
+	// stalls the flow.
+	start, end := a.egress.Acquire(t, linkD)
+	if hops == 4 {
+		upD := j * float64(size) / f.uplinkBandwidth()
+		s2, e2 := f.leaves[a.leaf].up.Acquire(start, upD)
+		s3, e3 := f.leaves[b.leaf].down.Acquire(s2, upD)
+		start, end = s3, vtime.MaxTime(end, e2, e3)
+	}
+	_, e4 := b.ingress.Acquire(start, linkD)
+	end = vtime.MaxTime(end, e4)
+	return end + lat
+}
+
+// TransferDuration returns the unloaded (contention-free, jitter-free)
+// duration of a transfer of size bytes between the two nodes. It is useful
+// for analytic checks in tests.
+func (f *Fabric) TransferDuration(from, to NodeID, size int64) vtime.Dur {
+	if from == to {
+		return f.cfg.SoftwareLatency
+	}
+	d := f.cfg.SoftwareLatency + float64(size)/f.cfg.LinkBandwidth +
+		f.cfg.HopLatency*float64(f.Hops(from, to))
+	if f.Hops(from, to) == 4 {
+		// The slowest pipeline stage bounds cut-through transfers.
+		up := float64(size) / f.uplinkBandwidth()
+		if up > float64(size)/f.cfg.LinkBandwidth {
+			d = f.cfg.SoftwareLatency + up + f.cfg.HopLatency*4
+		}
+	}
+	return d
+}
+
+// Transfers returns the number of transfers and total bytes moved.
+func (f *Fabric) Transfers() (n int64, bytes int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.transfers, f.bytes
+}
+
+// Reset returns every link to idle at time zero and clears counters. The
+// jitter stream is re-seeded so repeated runs are identical.
+func (f *Fabric) Reset() {
+	f.mu.Lock()
+	f.transfers, f.bytes = 0, 0
+	f.rng = rand.New(rand.NewSource(f.cfg.Seed))
+	f.mu.Unlock()
+	for _, n := range f.nodes {
+		n.egress.Reset()
+		n.ingress.Reset()
+	}
+	for _, l := range f.leaves {
+		l.up.Reset()
+		l.down.Reset()
+	}
+}

@@ -1,0 +1,227 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func testConfig() Config {
+	return Config{
+		NodesPerSwitch:  4,
+		LinkBandwidth:   1e9,
+		PruneFactor:     2,
+		HopLatency:      1e-6,
+		SoftwareLatency: 10e-6,
+	}
+}
+
+func TestTopology(t *testing.T) {
+	f := New(testConfig(), 10)
+	if f.NumNodes() != 10 {
+		t.Fatalf("NumNodes = %d", f.NumNodes())
+	}
+	// 10 nodes, 4 per switch -> leaves 0..2.
+	wantLeaf := []int{0, 0, 0, 0, 1, 1, 1, 1, 2, 2}
+	for i, w := range wantLeaf {
+		if got := f.Leaf(NodeID(i)); got != w {
+			t.Fatalf("Leaf(%d) = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestHops(t *testing.T) {
+	f := New(testConfig(), 10)
+	cases := []struct {
+		a, b NodeID
+		want int
+	}{
+		{0, 0, 0},
+		{0, 3, 2}, // same leaf
+		{0, 4, 4}, // across spine
+		{8, 9, 2},
+	}
+	for _, c := range cases {
+		if got := f.Hops(c.a, c.b); got != c.want {
+			t.Fatalf("Hops(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := f.Hops(c.b, c.a); got != c.want {
+			t.Fatalf("Hops not symmetric for (%d,%d)", c.a, c.b)
+		}
+	}
+}
+
+func TestLocalTransfer(t *testing.T) {
+	f := New(testConfig(), 4)
+	got := f.Transfer(1, 1, 1<<30, 5)
+	want := 5 + testConfig().SoftwareLatency
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("local transfer arrive = %v, want %v", got, want)
+	}
+}
+
+func TestUnloadedSameLeafTransfer(t *testing.T) {
+	cfg := testConfig()
+	f := New(cfg, 4)
+	size := int64(1e6)
+	got := f.Transfer(0, 1, size, 0)
+	want := cfg.SoftwareLatency + float64(size)/cfg.LinkBandwidth + 2*cfg.HopLatency
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("arrive = %v, want %v", got, want)
+	}
+	if d := f.TransferDuration(0, 1, size); math.Abs(d-want) > 1e-9 {
+		t.Fatalf("TransferDuration = %v, want %v", d, want)
+	}
+}
+
+func TestCrossSpineSlowerWhenPruned(t *testing.T) {
+	cfg := testConfig()
+	cfg.PruneFactor = 8 // uplink bw = 4*1e9/8 = 0.5e9 < link bw
+	f := New(cfg, 8)
+	size := int64(1e8)
+	local := f.TransferDuration(0, 1, size)
+	remote := f.TransferDuration(0, 5, size)
+	if remote <= local {
+		t.Fatalf("cross-spine (%v) should exceed same-leaf (%v) on a heavily pruned tree", remote, local)
+	}
+}
+
+func TestContentionQueueing(t *testing.T) {
+	cfg := testConfig()
+	f := New(cfg, 4)
+	size := int64(1e8) // 0.1 s at 1 GB/s
+	// Two flows into the same ingress NIC at node 1, both depart at 0.
+	a1 := f.Transfer(0, 1, size, 0)
+	a2 := f.Transfer(2, 1, size, 0)
+	// Second flow must queue behind the first at node 1's ingress.
+	if a2 < a1+0.09 {
+		t.Fatalf("no queueing: first=%v second=%v", a1, a2)
+	}
+}
+
+func TestTransferCounters(t *testing.T) {
+	f := New(testConfig(), 4)
+	f.Transfer(0, 1, 100, 0)
+	f.Transfer(1, 2, 200, 0)
+	n, b := f.Transfers()
+	if n != 2 || b != 300 {
+		t.Fatalf("counters = (%d,%d), want (2,300)", n, b)
+	}
+	f.Reset()
+	n, b = f.Transfers()
+	if n != 0 || b != 0 {
+		t.Fatalf("Reset left counters (%d,%d)", n, b)
+	}
+}
+
+func TestResetReproducible(t *testing.T) {
+	cfg := testConfig()
+	cfg.JitterFrac = 0.3
+	cfg.Seed = 42
+	f := New(cfg, 8)
+	var first []float64
+	for i := 0; i < 5; i++ {
+		first = append(first, f.Transfer(0, 5, 1e7, 0))
+	}
+	f.Reset()
+	for i := 0; i < 5; i++ {
+		if got := f.Transfer(0, 5, 1e7, 0); got != first[i] {
+			t.Fatalf("run not reproducible after Reset: transfer %d = %v, want %v", i, got, first[i])
+		}
+	}
+}
+
+func TestJitterBounded(t *testing.T) {
+	cfg := testConfig()
+	cfg.JitterFrac = 0.2
+	cfg.Seed = 7
+	f := New(cfg, 4)
+	size := int64(1e8)
+	base := float64(size) / cfg.LinkBandwidth
+	for i := 0; i < 100; i++ {
+		f.Reset()
+		arr := f.Transfer(0, 1, size, 0)
+		d := arr - cfg.SoftwareLatency - 2*cfg.HopLatency
+		if d < base*0.79 || d > base*1.21 {
+			t.Fatalf("jittered duration %v outside ±20%% of %v", d, base)
+		}
+	}
+}
+
+// Property: arrival time is always strictly after departure, monotone in
+// size, and hop counts are in {0,2,4}.
+func TestTransferQuick(t *testing.T) {
+	cfg := testConfig()
+	f := New(cfg, 12)
+	q := func(a, b uint8, sz uint32, depart float64) bool {
+		from := NodeID(int(a) % 12)
+		to := NodeID(int(b) % 12)
+		d := math.Abs(depart)
+		if math.IsNaN(d) || math.IsInf(d, 0) || d > 1e9 {
+			d = math.Mod(d, 1e9)
+		}
+		if math.IsNaN(d) {
+			d = 0
+		}
+		f.Reset()
+		arr := f.Transfer(from, to, int64(sz), d)
+		if arr <= d {
+			return false
+		}
+		h := f.Hops(from, to)
+		return h == 0 || h == 2 || h == 4
+	}
+	if err := quick.Check(q, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAggregateBandwidthShared(t *testing.T) {
+	// n senders to n distinct receivers across the spine share the pruned
+	// uplink: total completion approx n*size/uplinkBW, not size/linkBW.
+	cfg := testConfig()
+	cfg.PruneFactor = 4
+	f := New(cfg, 8)
+	size := int64(4e8)
+	var last float64
+	for i := 0; i < 4; i++ {
+		arr := f.Transfer(NodeID(i), NodeID(4+i), size, 0)
+		if arr > last {
+			last = arr
+		}
+	}
+	upBW := cfg.LinkBandwidth * float64(cfg.NodesPerSwitch) / cfg.PruneFactor
+	want := 4 * float64(size) / upBW
+	if last < want*0.9 {
+		t.Fatalf("uplink sharing not enforced: makespan %v, want >= %v", last, want*0.9)
+	}
+}
+
+func TestDefaultConfigSane(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.LinkBandwidth != 12.5e9 {
+		t.Fatalf("default link bandwidth = %v, want 100 Gb/s", cfg.LinkBandwidth)
+	}
+	f := New(cfg, 64)
+	if f.NumNodes() != 64 {
+		t.Fatal("node count")
+	}
+}
+
+func TestPanicsOnBadInput(t *testing.T) {
+	f := New(testConfig(), 2)
+	for name, fn := range map[string]func(){
+		"negative size": func() { f.Transfer(0, 1, -1, 0) },
+		"bad node":      func() { f.Hops(0, 99) },
+		"zero nodes":    func() { New(testConfig(), 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,49 @@
+package pdi_test
+
+import (
+	"fmt"
+
+	"deisago/internal/pdi"
+)
+
+func ExampleEvalExpr() {
+	ctx := map[string]any{
+		"step": int64(3),
+		"rank": int64(5),
+		"cfg": map[string]any{
+			"loc":  []any{int64(8), int64(16)},
+			"proc": []any{int64(2), int64(3)},
+		},
+	}
+	// The expressions of the paper's Listing 1.
+	x, _ := pdi.EvalExpr("$cfg.loc[0] * ($rank % $cfg.proc[0])", ctx)
+	y, _ := pdi.EvalExpr("$cfg.loc[1] * ($rank / $cfg.proc[0])", ctx)
+	fmt.Printf("block start for rank 5 at step 3: (%v, %v, %v)\n", ctx["step"], x, y)
+	// Output: block start for rank 5 at step 3: (3, 8, 32)
+}
+
+func ExampleParseYAML() {
+	cfg, _ := pdi.ParseYAML(`
+data:
+  temp:
+    size: [ '$cfg.loc[0]', '$cfg.loc[1]' ]
+plugins:
+  PdiPluginDeisa:
+    time_step: '$step'
+`)
+	data := cfg["data"].(map[string]any)
+	temp := data["temp"].(map[string]any)
+	fmt.Println(temp["size"].([]any)[0])
+	// Output: $cfg.loc[0]
+}
+
+func ExampleSystem_Share() {
+	sys, _ := pdi.New(`
+data:
+  field: { size: [2, 2] }
+plugins: {}
+`)
+	sys.Expose("step", 0)
+	fmt.Println(sys.HasData("field"), sys.HasData("ghost"))
+	// Output: true false
+}

@@ -1,0 +1,352 @@
+// Package pdi reimplements the PDI data interface used by the paper to
+// decouple I/O concerns from the simulation (§2.3): the simulation
+// exposes metadata and shares data buffers under configured names, and
+// plugins react to share/event notifications. It includes a parser for
+// the YAML subset used by deisa configuration files (Listing 1) and an
+// evaluator for the $-expressions embedded in them (e.g.
+// '$cfg.loc[0] * ($rank % $cfg.proc[0])').
+package pdi
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseYAML parses the YAML subset used by deisa configuration files:
+// nested maps by indentation, block lists with "- item", inline scalars
+// (ints, floats, bools, bare or quoted strings), and # comments. The top
+// level must be a map.
+func ParseYAML(src string) (map[string]any, error) {
+	lines, err := logicalLines(src)
+	if err != nil {
+		return nil, err
+	}
+	v, rest, err := parseBlock(lines, 0)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("pdi: trailing content at line %d: %q", rest[0].num, rest[0].text)
+	}
+	m, ok := v.(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("pdi: top-level YAML must be a map, got %T", v)
+	}
+	return m, nil
+}
+
+type line struct {
+	indent int
+	text   string
+	num    int
+}
+
+func logicalLines(src string) ([]line, error) {
+	var out []line
+	for i, raw := range strings.Split(src, "\n") {
+		txt := stripComment(raw)
+		trimmed := strings.TrimLeft(txt, " ")
+		if strings.TrimSpace(trimmed) == "" {
+			continue
+		}
+		if strings.Contains(txt, "\t") {
+			return nil, fmt.Errorf("pdi: line %d: tabs are not allowed in YAML indentation", i+1)
+		}
+		out = append(out, line{indent: len(txt) - len(trimmed), text: strings.TrimSpace(trimmed), num: i + 1})
+	}
+	return out, nil
+}
+
+// stripComment removes a trailing # comment not inside quotes.
+func stripComment(s string) string {
+	inS, inD := false, false
+	for i, r := range s {
+		switch r {
+		case '\'':
+			if !inD {
+				inS = !inS
+			}
+		case '"':
+			if !inS {
+				inD = !inD
+			}
+		case '#':
+			if !inS && !inD {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+// parseBlock parses lines at the given indentation into a map or list.
+func parseBlock(lines []line, indent int) (any, []line, error) {
+	if len(lines) == 0 {
+		return map[string]any{}, lines, nil
+	}
+	if lines[0].indent != indent {
+		return nil, lines, fmt.Errorf("pdi: line %d: unexpected indent %d, want %d", lines[0].num, lines[0].indent, indent)
+	}
+	if strings.HasPrefix(lines[0].text, "- ") || lines[0].text == "-" {
+		return parseList(lines, indent)
+	}
+	return parseMap(lines, indent)
+}
+
+func parseMap(lines []line, indent int) (any, []line, error) {
+	out := map[string]any{}
+	for len(lines) > 0 {
+		l := lines[0]
+		if l.indent < indent {
+			break
+		}
+		if l.indent > indent {
+			return nil, lines, fmt.Errorf("pdi: line %d: unexpected indent", l.num)
+		}
+		if strings.HasPrefix(l.text, "- ") {
+			return nil, lines, fmt.Errorf("pdi: line %d: list item inside map", l.num)
+		}
+		key, rest, ok := splitKey(l.text)
+		if !ok {
+			return nil, lines, fmt.Errorf("pdi: line %d: expected 'key: value', got %q", l.num, l.text)
+		}
+		if _, dup := out[key]; dup {
+			return nil, lines, fmt.Errorf("pdi: line %d: duplicate key %q", l.num, key)
+		}
+		lines = lines[1:]
+		if rest != "" {
+			v, err := parseScalarOrFlow(rest, l.num)
+			if err != nil {
+				return nil, lines, err
+			}
+			out[key] = v
+			continue
+		}
+		// Nested block (or empty value).
+		if len(lines) == 0 || lines[0].indent <= indent {
+			out[key] = nil
+			continue
+		}
+		child, remaining, err := parseBlock(lines, lines[0].indent)
+		if err != nil {
+			return nil, lines, err
+		}
+		out[key] = child
+		lines = remaining
+	}
+	return out, lines, nil
+}
+
+func parseList(lines []line, indent int) (any, []line, error) {
+	var out []any
+	for len(lines) > 0 {
+		l := lines[0]
+		if l.indent < indent {
+			break
+		}
+		if l.indent > indent {
+			return nil, lines, fmt.Errorf("pdi: line %d: unexpected indent in list", l.num)
+		}
+		if !strings.HasPrefix(l.text, "-") {
+			break
+		}
+		item := strings.TrimSpace(strings.TrimPrefix(l.text, "-"))
+		lines = lines[1:]
+		if item == "" {
+			// Nested block item.
+			if len(lines) == 0 || lines[0].indent <= indent {
+				out = append(out, nil)
+				continue
+			}
+			child, remaining, err := parseBlock(lines, lines[0].indent)
+			if err != nil {
+				return nil, lines, err
+			}
+			out = append(out, child)
+			lines = remaining
+			continue
+		}
+		if key, rest, ok := splitKey(item); ok && rest == "" && len(lines) > 0 && lines[0].indent > indent {
+			// "- key:" starting an inline map item.
+			child, remaining, err := parseBlock(lines, lines[0].indent)
+			if err != nil {
+				return nil, lines, err
+			}
+			out = append(out, map[string]any{key: child})
+			lines = remaining
+			continue
+		} else if ok && rest != "" {
+			v, err := parseScalarOrFlow(rest, l.num)
+			if err != nil {
+				return nil, lines, err
+			}
+			out = append(out, map[string]any{key: v})
+			continue
+		}
+		v, err := parseScalarOrFlow(item, l.num)
+		if err != nil {
+			return nil, lines, err
+		}
+		out = append(out, v)
+	}
+	return out, lines, nil
+}
+
+// splitKey splits "key: rest" at the first top-level colon.
+func splitKey(s string) (key, rest string, ok bool) {
+	inS, inD := false, false
+	for i, r := range s {
+		switch r {
+		case '\'':
+			if !inD {
+				inS = !inS
+			}
+		case '"':
+			if !inS {
+				inD = !inD
+			}
+		case ':':
+			if inS || inD {
+				continue
+			}
+			if i+1 < len(s) && s[i+1] != ' ' {
+				continue
+			}
+			return strings.TrimSpace(s[:i]), strings.TrimSpace(s[i+1:]), true
+		}
+	}
+	if strings.HasSuffix(s, ":") {
+		return strings.TrimSpace(s[:len(s)-1]), "", true
+	}
+	return "", "", false
+}
+
+// parseScalarOrFlow parses an inline value: a flow list [a, b, c], a flow
+// map {k: v, ...}, or a scalar.
+func parseScalarOrFlow(s string, lineNum int) (any, error) {
+	s = strings.TrimSpace(s)
+	switch {
+	case strings.HasPrefix(s, "[") && strings.HasSuffix(s, "]"):
+		inner := strings.TrimSpace(s[1 : len(s)-1])
+		if inner == "" {
+			return []any{}, nil
+		}
+		parts, err := splitFlow(inner)
+		if err != nil {
+			return nil, fmt.Errorf("pdi: line %d: %w", lineNum, err)
+		}
+		out := make([]any, len(parts))
+		for i, p := range parts {
+			v, err := parseScalarOrFlow(p, lineNum)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	case strings.HasPrefix(s, "{") && strings.HasSuffix(s, "}"):
+		inner := strings.TrimSpace(s[1 : len(s)-1])
+		out := map[string]any{}
+		if inner == "" {
+			return out, nil
+		}
+		parts, err := splitFlow(inner)
+		if err != nil {
+			return nil, fmt.Errorf("pdi: line %d: %w", lineNum, err)
+		}
+		for _, p := range parts {
+			key, rest, ok := splitKeyFlow(p)
+			if !ok {
+				return nil, fmt.Errorf("pdi: line %d: bad flow-map entry %q", lineNum, p)
+			}
+			v, err := parseScalarOrFlow(rest, lineNum)
+			if err != nil {
+				return nil, err
+			}
+			out[key] = v
+		}
+		return out, nil
+	}
+	if strings.HasPrefix(s, "[") || strings.HasPrefix(s, "{") {
+		return nil, fmt.Errorf("pdi: line %d: unterminated flow collection %q", lineNum, s)
+	}
+	return parseScalar(s), nil
+}
+
+// splitKeyFlow splits "key: value" inside a flow map, where the value may
+// not contain a space after the colon requirement.
+func splitKeyFlow(s string) (key, rest string, ok bool) {
+	i := strings.Index(s, ":")
+	if i < 0 {
+		return "", "", false
+	}
+	return strings.TrimSpace(s[:i]), strings.TrimSpace(s[i+1:]), true
+}
+
+// splitFlow splits a comma-separated flow sequence, respecting nesting
+// and quotes.
+func splitFlow(s string) ([]string, error) {
+	var out []string
+	depth := 0
+	inS, inD := false, false
+	start := 0
+	for i, r := range s {
+		switch r {
+		case '\'':
+			if !inD {
+				inS = !inS
+			}
+		case '"':
+			if !inS {
+				inD = !inD
+			}
+		case '[', '{':
+			if !inS && !inD {
+				depth++
+			}
+		case ']', '}':
+			if !inS && !inD {
+				depth--
+				if depth < 0 {
+					return nil, fmt.Errorf("unbalanced brackets in %q", s)
+				}
+			}
+		case ',':
+			if depth == 0 && !inS && !inD {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	if depth != 0 || inS || inD {
+		return nil, fmt.Errorf("unbalanced flow sequence %q", s)
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	return out, nil
+}
+
+// parseScalar interprets an unquoted scalar: int, float, bool, null, or
+// string. Quoted strings keep their contents verbatim.
+func parseScalar(s string) any {
+	if len(s) >= 2 {
+		if (s[0] == '\'' && s[len(s)-1] == '\'') || (s[0] == '"' && s[len(s)-1] == '"') {
+			return s[1 : len(s)-1]
+		}
+	}
+	switch s {
+	case "null", "~":
+		return nil
+	case "true":
+		return true
+	case "false":
+		return false
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return i
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f
+	}
+	return s
+}

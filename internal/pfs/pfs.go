@@ -1,0 +1,275 @@
+// Package pfs simulates a Lustre-like parallel file system: a metadata
+// server plus a set of object storage targets (OSTs) over which file data
+// is striped. Every OST and the MDS are vtime.Resources, so concurrent
+// writers share the file system's aggregate bandwidth with FCFS queueing —
+// the effect that makes the paper's post hoc baseline stop scaling
+// (Figures 2a/3a: per-process write bandwidth halves whenever the process
+// count doubles, because total PFS bandwidth is fixed).
+//
+// File contents are held in memory; virtual time is the only "cost" of
+// I/O. All methods are safe for concurrent use.
+package pfs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"deisago/internal/vtime"
+)
+
+// Config describes the file system hardware.
+type Config struct {
+	// OSTs is the number of object storage targets.
+	OSTs int
+	// OSTBandwidth is each OST's bandwidth in bytes/second. Aggregate
+	// file-system bandwidth is OSTs*OSTBandwidth.
+	OSTBandwidth float64
+	// StripeSize is the striping unit in bytes.
+	StripeSize int64
+	// MetaLatency is the metadata-server service time per operation
+	// (create, open, stat) in seconds.
+	MetaLatency float64
+}
+
+// DefaultConfig returns a configuration calibrated so the simulated
+// machine's post hoc writes saturate around 0.8 GiB/s aggregate, matching
+// the magnitude the paper observed on Irene's Lustre for this workload.
+func DefaultConfig() Config {
+	return Config{
+		OSTs:         8,
+		OSTBandwidth: 100 << 20, // 100 MiB/s each -> 800 MiB/s aggregate
+		StripeSize:   1 << 20,
+		MetaLatency:  2e-3,
+	}
+}
+
+type file struct {
+	mu   sync.Mutex
+	data []byte
+}
+
+func (f *file) writeAt(off int64, p []byte) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	end := off + int64(len(p))
+	if int64(len(f.data)) < end {
+		grown := make([]byte, end)
+		copy(grown, f.data)
+		f.data = grown
+	}
+	copy(f.data[off:end], p)
+}
+
+func (f *file) readAt(off, n int64) ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if off < 0 || off+n > int64(len(f.data)) {
+		return nil, fmt.Errorf("pfs: read [%d,%d) beyond EOF %d", off, off+n, len(f.data))
+	}
+	out := make([]byte, n)
+	copy(out, f.data[off:off+n])
+	return out, nil
+}
+
+// FS is a simulated parallel file system.
+type FS struct {
+	cfg  Config
+	mds  *vtime.Resource
+	osts []*vtime.Resource
+
+	mu    sync.Mutex
+	files map[string]*file
+
+	bytesRead    int64
+	bytesWritten int64
+}
+
+// New creates an empty file system.
+func New(cfg Config) *FS {
+	if cfg.OSTs <= 0 || cfg.OSTBandwidth <= 0 || cfg.StripeSize <= 0 {
+		panic("pfs: OSTs, OSTBandwidth and StripeSize must be positive")
+	}
+	fs := &FS{
+		cfg:   cfg,
+		mds:   vtime.NewResource("mds"),
+		files: make(map[string]*file),
+	}
+	for i := 0; i < cfg.OSTs; i++ {
+		fs.osts = append(fs.osts, vtime.NewResource(fmt.Sprintf("ost%d", i)))
+	}
+	return fs
+}
+
+// Config returns the file system configuration.
+func (fs *FS) Config() Config { return fs.cfg }
+
+// AggregateBandwidth returns the file system's total bandwidth in
+// bytes/second.
+func (fs *FS) AggregateBandwidth() float64 {
+	return float64(fs.cfg.OSTs) * fs.cfg.OSTBandwidth
+}
+
+// Create makes (or truncates) a file, charging one metadata operation.
+// It returns the completion time.
+func (fs *FS) Create(path string, at vtime.Time) vtime.Time {
+	_, end := fs.mds.Acquire(at, fs.cfg.MetaLatency)
+	fs.mu.Lock()
+	fs.files[path] = &file{}
+	fs.mu.Unlock()
+	return end
+}
+
+// Exists reports whether a file exists.
+func (fs *FS) Exists(path string) bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	_, ok := fs.files[path]
+	return ok
+}
+
+// Remove deletes a file, charging one metadata operation.
+func (fs *FS) Remove(path string, at vtime.Time) (vtime.Time, error) {
+	fs.mu.Lock()
+	_, ok := fs.files[path]
+	delete(fs.files, path)
+	fs.mu.Unlock()
+	if !ok {
+		return at, fmt.Errorf("pfs: remove %s: no such file", path)
+	}
+	_, end := fs.mds.Acquire(at, fs.cfg.MetaLatency)
+	return end, nil
+}
+
+// List returns all file paths in lexical order.
+func (fs *FS) List() []string {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	out := make([]string, 0, len(fs.files))
+	for p := range fs.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Size returns a file's length in bytes, or an error if it does not exist.
+func (fs *FS) Size(path string) (int64, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[path]
+	if !ok {
+		return 0, fmt.Errorf("pfs: stat %s: no such file", path)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return int64(len(f.data)), nil
+}
+
+func (fs *FS) lookup(path string) (*file, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[path]
+	if !ok {
+		return nil, fmt.Errorf("pfs: %s: no such file", path)
+	}
+	return f, nil
+}
+
+// stripeCost charges each OST touched by the byte range [off, off+n) for
+// its share of the transfer and returns the completion time.
+func (fs *FS) stripeCost(off, n int64, at vtime.Time) vtime.Time {
+	if n == 0 {
+		return at
+	}
+	end := at
+	ss := fs.cfg.StripeSize
+	for pos := off; pos < off+n; {
+		stripe := pos / ss
+		stripeEnd := (stripe + 1) * ss
+		chunkEnd := off + n
+		if stripeEnd < chunkEnd {
+			chunkEnd = stripeEnd
+		}
+		bytes := chunkEnd - pos
+		ost := fs.osts[int(stripe)%len(fs.osts)]
+		_, e := ost.Acquire(at, float64(bytes)/fs.cfg.OSTBandwidth)
+		if e > end {
+			end = e
+		}
+		pos = chunkEnd
+	}
+	return end
+}
+
+// WriteAt writes p at the given offset, growing the file as needed, and
+// returns the virtual completion time.
+func (fs *FS) WriteAt(path string, off int64, p []byte, at vtime.Time) (vtime.Time, error) {
+	return fs.WriteAtCost(path, off, p, int64(len(p)), at)
+}
+
+// WriteAtCost is WriteAt with an explicit modelled transfer size: the
+// stored bytes are p, but the OSTs are charged for costBytes. Harness
+// code uses it to let small test data stand in for paper-scale blocks.
+func (fs *FS) WriteAtCost(path string, off int64, p []byte, costBytes int64, at vtime.Time) (vtime.Time, error) {
+	if off < 0 {
+		return at, fmt.Errorf("pfs: negative offset %d", off)
+	}
+	if costBytes < 0 {
+		return at, fmt.Errorf("pfs: negative cost size %d", costBytes)
+	}
+	f, err := fs.lookup(path)
+	if err != nil {
+		return at, err
+	}
+	f.writeAt(off, p)
+	fs.mu.Lock()
+	fs.bytesWritten += costBytes
+	fs.mu.Unlock()
+	return fs.stripeCost(off, costBytes, at), nil
+}
+
+// ReadAt reads n bytes at the given offset and returns the data and the
+// virtual completion time.
+func (fs *FS) ReadAt(path string, off, n int64, at vtime.Time) ([]byte, vtime.Time, error) {
+	return fs.ReadAtCost(path, off, n, n, at)
+}
+
+// ReadAtCost is ReadAt with an explicit modelled transfer size (see
+// WriteAtCost).
+func (fs *FS) ReadAtCost(path string, off, n, costBytes int64, at vtime.Time) ([]byte, vtime.Time, error) {
+	if costBytes < 0 {
+		return nil, at, fmt.Errorf("pfs: negative cost size %d", costBytes)
+	}
+	f, err := fs.lookup(path)
+	if err != nil {
+		return nil, at, err
+	}
+	data, err := f.readAt(off, n)
+	if err != nil {
+		return nil, at, err
+	}
+	fs.mu.Lock()
+	fs.bytesRead += costBytes
+	fs.mu.Unlock()
+	return data, fs.stripeCost(off, costBytes, at), nil
+}
+
+// Traffic returns total bytes read and written since creation or Reset.
+func (fs *FS) Traffic() (read, written int64) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.bytesRead, fs.bytesWritten
+}
+
+// ResetTime returns all OSTs and the MDS to idle at time zero without
+// touching file contents, and clears traffic counters.
+func (fs *FS) ResetTime() {
+	fs.mds.Reset()
+	for _, o := range fs.osts {
+		o.Reset()
+	}
+	fs.mu.Lock()
+	fs.bytesRead, fs.bytesWritten = 0, 0
+	fs.mu.Unlock()
+}

@@ -1,0 +1,46 @@
+package taskgraph_test
+
+import (
+	"fmt"
+
+	"deisago/internal/taskgraph"
+)
+
+func ExampleGraph_TopoSort() {
+	g := taskgraph.New()
+	g.AddFn("a", nil, func([]any) (any, error) { return 1, nil }, 0)
+	g.AddFn("b", []taskgraph.Key{"a"}, func(in []any) (any, error) { return 2, nil }, 0)
+	g.AddFn("c", []taskgraph.Key{"a", "b"}, func(in []any) (any, error) { return 3, nil }, 0)
+	order, _ := g.TopoSort([]taskgraph.Key{"c"}, nil)
+	fmt.Println(order)
+	// Output: [a b c]
+}
+
+func ExampleFuse() {
+	// read -> decode -> normalize is a linear chain: Fuse collapses it
+	// into one task keyed by the tail.
+	g := taskgraph.New()
+	g.AddFn("read", nil, func([]any) (any, error) { return 10.0, nil }, 1)
+	g.AddFn("decode", []taskgraph.Key{"read"}, func(in []any) (any, error) {
+		return in[0].(float64) * 2, nil
+	}, 1)
+	g.AddFn("normalize", []taskgraph.Key{"decode"}, func(in []any) (any, error) {
+		return in[0].(float64) / 4, nil
+	}, 1)
+	fused := taskgraph.Fuse(g, map[taskgraph.Key]bool{"normalize": true})
+	fmt.Println("tasks:", fused.Len())
+	v, _ := fused.Get("normalize").Fn(nil)
+	fmt.Println("value:", v)
+	// Output:
+	// tasks: 1
+	// value: 5
+}
+
+func ExampleGraph_Cull() {
+	g := taskgraph.New()
+	g.AddFn("wanted", nil, func([]any) (any, error) { return nil, nil }, 0)
+	g.AddFn("unused", nil, func([]any) (any, error) { return nil, nil }, 0)
+	culled, _ := g.Cull([]taskgraph.Key{"wanted"}, nil)
+	fmt.Println(culled.Keys())
+	// Output: [wanted]
+}

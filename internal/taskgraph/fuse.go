@@ -1,0 +1,128 @@
+package taskgraph
+
+import "fmt"
+
+// Fuse collapses linear task chains — sequences where each task is the
+// sole dependency of its sole dependent — into single tasks, composing
+// their bodies. This is dask.optimization.fuse: it cuts per-task
+// scheduler overhead and intermediate transfers for pipelines like
+// read→fold→sketch.
+//
+// Tasks in keep (typically the submission targets and keys referenced by
+// later graphs) are never fused away. Data/external placeholder tasks
+// and dynamically-timed tasks are not fused (timed bodies need their own
+// execution slot). The returned graph contains new fused tasks plus the
+// untouched remainder; the original graph is not modified.
+func Fuse(g *Graph, keep map[Key]bool) *Graph {
+	dependents := g.Dependents()
+	// fusable: exactly one dependent, that dependent has exactly one
+	// dependency, both are plain Fn tasks, and the task is not kept.
+	canFuseInto := func(k Key) (Key, bool) {
+		t := g.Get(k)
+		if t == nil || t.Fn == nil || keep[k] {
+			return "", false
+		}
+		deps := dependents[k]
+		if len(deps) != 1 {
+			return "", false
+		}
+		succ := g.Get(deps[0])
+		if succ == nil || succ.Fn == nil || len(succ.Deps) != 1 {
+			return "", false
+		}
+		return succ.Key, true
+	}
+
+	out := New()
+	fusedInto := map[Key]Key{} // original key -> surviving fused key
+	visited := map[Key]bool{}
+
+	for _, k := range g.Keys() {
+		if visited[k] {
+			continue
+		}
+		// Walk to the head of this key's chain.
+		head := k
+		for {
+			t := g.Get(head)
+			if t == nil || len(t.Deps) != 1 {
+				break
+			}
+			pred := t.Deps[0]
+			if succ, ok := canFuseInto(pred); !ok || succ != head {
+				break
+			}
+			head = pred
+		}
+		// Collect the maximal chain from head.
+		chain := []Key{head}
+		cur := head
+		for {
+			succ, ok := canFuseInto(cur)
+			if !ok {
+				break
+			}
+			chain = append(chain, succ)
+			cur = succ
+		}
+		for _, c := range chain {
+			visited[c] = true
+		}
+		if len(chain) == 1 {
+			out.Add(g.Get(head))
+			continue
+		}
+		// Fuse: the surviving task keeps the tail's key (what dependents
+		// and targets reference) and the head's dependencies.
+		tail := chain[len(chain)-1]
+		fns := make([]Fn, len(chain))
+		var cost float64
+		for i, c := range chain {
+			fns[i] = g.Get(c).Fn
+			cost += g.Get(c).Cost
+		}
+		headDeps := append([]Key(nil), g.Get(head).Deps...)
+		fused := &Task{
+			Key:  tail,
+			Deps: headDeps,
+			Fn: func(in []any) (any, error) {
+				v, err := fns[0](in)
+				if err != nil {
+					return nil, err
+				}
+				for _, f := range fns[1:] {
+					v, err = f([]any{v})
+					if err != nil {
+						return nil, err
+					}
+				}
+				return v, nil
+			},
+			Cost:     cost,
+			OutBytes: g.Get(tail).OutBytes,
+			Priority: g.Get(tail).Priority,
+		}
+		out.Add(fused)
+		for _, c := range chain[:len(chain)-1] {
+			fusedInto[c] = tail
+		}
+	}
+
+	// Rewrite dependencies that pointed at fused-away keys. A dependency
+	// on an interior chain key would be a graph bug (interior keys have
+	// exactly one dependent by construction), so only self-consistent
+	// graphs arrive here; still, verify.
+	for _, k := range out.Keys() {
+		t := out.Get(k)
+		for i, d := range t.Deps {
+			if tail, ok := fusedInto[d]; ok {
+				if tail == k {
+					continue // the fused task's own internal edge
+				}
+				panic(fmt.Sprintf("taskgraph: dependency %q of %q was fused into %q", d, k, tail))
+			}
+			_ = i
+		}
+	}
+	return out
+}

@@ -1,0 +1,180 @@
+package taskgraph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// chainGraph builds a linear chain c0 -> c1 -> ... -> c{n-1} where c0
+// returns base and each link adds 1.
+func chainGraph(n int, base float64) *Graph {
+	g := New()
+	g.AddFn("c0", nil, func([]any) (any, error) { return base, nil }, 1)
+	for i := 1; i < n; i++ {
+		g.AddFn(Key(fmt.Sprintf("c%d", i)), []Key{Key(fmt.Sprintf("c%d", i-1))},
+			func(in []any) (any, error) { return in[0].(float64) + 1, nil }, 1)
+	}
+	return g
+}
+
+func evalGraph(t *testing.T, g *Graph, target Key) any {
+	t.Helper()
+	order, err := g.TopoSort([]Key{target}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := map[Key]any{}
+	for _, k := range order {
+		task := g.Get(k)
+		in := make([]any, len(task.Deps))
+		for i, d := range task.Deps {
+			in[i] = vals[d]
+		}
+		v, err := task.Fn(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals[k] = v
+	}
+	return vals[target]
+}
+
+func TestFuseLinearChain(t *testing.T) {
+	g := chainGraph(5, 10)
+	fused := Fuse(g, map[Key]bool{"c4": true})
+	if fused.Len() != 1 {
+		t.Fatalf("fused graph has %d tasks, want 1: %v", fused.Len(), fused.Keys())
+	}
+	ft := fused.Get("c4")
+	if ft == nil {
+		t.Fatal("tail key lost")
+	}
+	if ft.Cost != 5 {
+		t.Fatalf("fused cost = %v, want 5", ft.Cost)
+	}
+	if got := evalGraph(t, fused, "c4"); got.(float64) != 14 {
+		t.Fatalf("fused result = %v, want 14", got)
+	}
+}
+
+func TestFuseKeepsBranchPoints(t *testing.T) {
+	// a -> b -> c and a -> d: a has two dependents, so only b->c fuses.
+	g := New()
+	g.AddFn("a", nil, func([]any) (any, error) { return 1.0, nil }, 1)
+	g.AddFn("b", []Key{"a"}, func(in []any) (any, error) { return in[0].(float64) * 2, nil }, 1)
+	g.AddFn("c", []Key{"b"}, func(in []any) (any, error) { return in[0].(float64) + 1, nil }, 1)
+	g.AddFn("d", []Key{"a"}, func(in []any) (any, error) { return in[0].(float64) - 1, nil }, 1)
+	fused := Fuse(g, map[Key]bool{"c": true, "d": true})
+	if fused.Len() != 3 {
+		t.Fatalf("fused len = %d, want 3 (a, bc, d): %v", fused.Len(), fused.Keys())
+	}
+	if !fused.Has("a") || !fused.Has("c") || !fused.Has("d") || fused.Has("b") {
+		t.Fatalf("fused keys = %v", fused.Keys())
+	}
+	if got := evalGraph(t, fused, "c"); got.(float64) != 3 {
+		t.Fatalf("c = %v, want 3", got)
+	}
+	if got := evalGraph(t, fused, "d"); got.(float64) != 0 {
+		t.Fatalf("d = %v, want 0", got)
+	}
+}
+
+func TestFuseRespectsKeep(t *testing.T) {
+	g := chainGraph(4, 0)
+	fused := Fuse(g, map[Key]bool{"c1": true, "c3": true})
+	// c0->c1 can't fuse (c1 kept means c0 may fuse into c1? keep guards
+	// the predecessor: c1 kept -> c1 does not fuse into c2).
+	if !fused.Has("c1") || !fused.Has("c3") {
+		t.Fatalf("kept keys missing: %v", fused.Keys())
+	}
+	if got := evalGraph(t, fused, "c3"); got.(float64) != 3 {
+		t.Fatalf("result = %v, want 3", got)
+	}
+}
+
+func TestFuseSkipsDataAndTimedTasks(t *testing.T) {
+	g := New()
+	g.Add(&Task{Key: "data"}) // placeholder
+	g.AddTimed("timed", []Key{"data"}, func(_ []any, start float64) (any, float64, error) {
+		return 1.0, start, nil
+	}, 0)
+	g.AddFn("after", []Key{"timed"}, func(in []any) (any, error) { return in[0], nil }, 1)
+	fused := Fuse(g, map[Key]bool{"after": true})
+	if fused.Len() != 3 {
+		t.Fatalf("timed/data tasks were fused: %v", fused.Keys())
+	}
+}
+
+func TestFuseErrorPropagates(t *testing.T) {
+	g := New()
+	g.AddFn("x", nil, func([]any) (any, error) { return nil, fmt.Errorf("boom") }, 1)
+	g.AddFn("y", []Key{"x"}, func(in []any) (any, error) { return in[0], nil }, 1)
+	fused := Fuse(g, map[Key]bool{"y": true})
+	if fused.Len() != 1 {
+		t.Fatalf("len = %d", fused.Len())
+	}
+	if _, err := fused.Get("y").Fn(nil); err == nil {
+		t.Fatal("fused body swallowed the error")
+	}
+}
+
+// Property: fusing a random tree-with-chains graph preserves the value
+// of every kept sink and never increases the task count.
+func TestFuseQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := New()
+		n := rng.Intn(20) + 2
+		for i := 0; i < n; i++ {
+			key := Key(fmt.Sprintf("t%03d", i))
+			if i == 0 || rng.Float64() < 0.3 {
+				v := float64(rng.Intn(10))
+				g.AddFn(key, nil, func([]any) (any, error) { return v, nil }, 1)
+				continue
+			}
+			dep := Key(fmt.Sprintf("t%03d", rng.Intn(i)))
+			add := float64(rng.Intn(5))
+			g.AddFn(key, []Key{dep}, func(in []any) (any, error) {
+				return in[0].(float64)*2 + add, nil
+			}, 1)
+		}
+		sink := Key(fmt.Sprintf("t%03d", n-1))
+		keep := map[Key]bool{sink: true}
+		fused := Fuse(g, keep)
+		if fused.Len() > g.Len() {
+			return false
+		}
+		if err := fused.Validate(nil); err != nil {
+			return false
+		}
+		want := evalQuick(g, sink)
+		got := evalQuick(fused, sink)
+		return want == got
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func evalQuick(g *Graph, target Key) float64 {
+	order, err := g.TopoSort([]Key{target}, nil)
+	if err != nil {
+		return -1
+	}
+	vals := map[Key]any{}
+	for _, k := range order {
+		task := g.Get(k)
+		in := make([]any, len(task.Deps))
+		for i, d := range task.Deps {
+			in[i] = vals[d]
+		}
+		v, err := task.Fn(in)
+		if err != nil {
+			return -1
+		}
+		vals[k] = v
+	}
+	return vals[target].(float64)
+}
