@@ -338,6 +338,109 @@ func BenchmarkDistributedPCAGraph(b *testing.B) {
 	}
 }
 
+// ---- Kernel-layer micro-benchmarks ------------------------------------
+//
+// The BenchmarkKernel* family tracks the compute substrate (ndarray /
+// linalg hot loops) across PRs; BENCH_KERNELS.json records the baseline.
+// BenchmarkKernelMatMulNaive512 is the seed's sequential ikj triple loop
+// kept as the reference the blocked parallel kernel is measured against.
+
+func benchRandMat(m, n int, seed int64) *ndarray.Array {
+	rng := rand.New(rand.NewSource(seed))
+	a := ndarray.New(m, n)
+	d := a.Data()
+	for i := range d {
+		d[i] = rng.NormFloat64()
+	}
+	return a
+}
+
+// naiveMatMul512 is the seed MatMul (sequential ikj, no blocking),
+// reimplemented over the public API for benchmarking.
+func naiveMatMul(a, b *ndarray.Array) *ndarray.Array {
+	m, k, n := a.Dim(0), a.Dim(1), b.Dim(1)
+	out := ndarray.New(m, n)
+	ad, bd, od := a.Data(), b.Data(), out.Data()
+	for i := 0; i < m; i++ {
+		arow := ad[i*k : (i+1)*k]
+		orow := od[i*n : (i+1)*n]
+		for kk := 0; kk < k; kk++ {
+			av := arow[kk]
+			if av == 0 {
+				continue
+			}
+			brow := bd[kk*n : (kk+1)*n]
+			for j := 0; j < n; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// BenchmarkKernelMatMul512 times the blocked, goroutine-parallel kernel
+// on 512×512 operands (the acceptance benchmark for the kernel layer).
+func BenchmarkKernelMatMul512(b *testing.B) {
+	x := benchRandMat(512, 512, 1)
+	y := benchRandMat(512, 512, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ndarray.MatMul(x, y)
+	}
+}
+
+// BenchmarkKernelMatMulNaive512 times the seed triple loop for the
+// speedup ratio recorded in BENCH_KERNELS.json.
+func BenchmarkKernelMatMulNaive512(b *testing.B) {
+	x := benchRandMat(512, 512, 1)
+	y := benchRandMat(512, 512, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		naiveMatMul(x, y)
+	}
+}
+
+// BenchmarkKernelMatMul512Seq pins the single-worker blocked kernel so
+// the blocking win and the parallel win are separable in the record.
+func BenchmarkKernelMatMul512Seq(b *testing.B) {
+	x := benchRandMat(512, 512, 1)
+	y := benchRandMat(512, 512, 2)
+	prev := ml.SetKernelWorkers(1)
+	defer ml.SetKernelWorkers(prev)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ndarray.MatMul(x, y)
+	}
+}
+
+// BenchmarkKernelQR256x64Top times the slice-based Householder QR.
+func BenchmarkKernelQR256x64Top(b *testing.B) {
+	x := benchRandMat(256, 64, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		linalg.QR(x)
+	}
+}
+
+// BenchmarkKernelSVD128x64Top times the tournament-ordered Jacobi SVD.
+func BenchmarkKernelSVD128x64Top(b *testing.B) {
+	x := benchRandMat(128, 64, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		linalg.SVD(x)
+	}
+}
+
+// BenchmarkKernelSumStrided512 times the run-decomposed reduction over a
+// transposed (non-contiguous) 512×512 view.
+func BenchmarkKernelSumStrided512(b *testing.B) {
+	x := benchRandMat(512, 512, 5).Transpose()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Sum()
+	}
+}
+
 // BenchmarkMiniBatchKMeans times one partial fit on 256×8 data.
 func BenchmarkMiniBatchKMeans(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))

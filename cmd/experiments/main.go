@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"deisago/internal/harness"
+	"deisago/internal/ml"
 )
 
 func main() {
@@ -30,9 +31,13 @@ func main() {
 		quick    = flag.Bool("quick", false, "reduced scale (fast)")
 		csv      = flag.Bool("csv", false, "CSV output for tables")
 		svgDir   = flag.String("svg", "", "also write each figure as an SVG chart into this directory")
+		workers  = flag.Int("kernel-workers", 0, "cap goroutines per dense kernel (0 = GOMAXPROCS); figures are unaffected — time is virtual")
 	)
 	flag.Parse()
 
+	if *workers > 0 {
+		ml.SetKernelWorkers(*workers)
+	}
 	opts := harness.DefaultOptions()
 	if *quick {
 		opts = harness.QuickOptions()

@@ -8,6 +8,12 @@ import (
 	"deisago/internal/vtime"
 )
 
+// kernelGrain is the minimum elements per goroutine band when blockwise
+// task bodies fan out over the shared ndarray worker pool
+// (ndarray.SetWorkers). Partial results combine elementwise into
+// disjoint bands, so chunk contents are independent of the worker count.
+const kernelGrain = 4096
+
 // Zip combines two identically-shaped, identically-chunked arrays
 // elementwise (the dask.array blockwise binary operation).
 func Zip(name string, a, b *Chunked, f func(x, y float64) float64) *Chunked {
@@ -44,9 +50,14 @@ func Zip(name string, a, b *Chunked, f func(x, y float64) float64) *Chunked {
 				if len(xd) != len(yd) {
 					return nil, fmt.Errorf("array: Zip chunk sizes differ: %d vs %d", len(xd), len(yd))
 				}
-				for i := range rd {
-					rd[i] = f(xd[i], yd[i])
-				}
+				// Disjoint output bands: bit-identical for any worker
+				// count, and virtual task cost is unaffected by real
+				// wall-clock parallelism.
+				ndarray.ParallelFor(len(rd), kernelGrain, func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						rd[i] = f(xd[i], yd[i])
+					}
+				})
 				return res, nil
 			}, cost)
 		task.OutBytes = a.ChunkBytes(idx)
@@ -130,9 +141,11 @@ func (a *Chunked) ReduceAxis(name string, axis int,
 				if len(ad) != len(pd) {
 					return nil, fmt.Errorf("array: ReduceAxis partials differ: %d vs %d", len(ad), len(pd))
 				}
-				for i := range ad {
-					ad[i] = combine(ad[i], pd[i])
-				}
+				ndarray.ParallelFor(len(ad), kernelGrain, func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						ad[i] = combine(ad[i], pd[i])
+					}
+				})
 				acc = ac
 			}
 			return acc, nil

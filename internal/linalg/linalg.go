@@ -8,9 +8,52 @@ package linalg
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"deisago/internal/ndarray"
 )
+
+// jacobiRotate applies one one-sided Jacobi rotation to columns p and q
+// of the m×n matrix ud (and the matching rows of the n×n accumulator
+// vd), returning whether a rotation was performed. It reads and writes
+// only those two columns, so rotations on disjoint pairs commute exactly
+// and may run concurrently.
+func jacobiRotate(ud, vd []float64, m, n, p, q int, tol float64) bool {
+	var app, aqq, apq float64
+	for i := 0; i < m; i++ {
+		x := ud[i*n+p]
+		y := ud[i*n+q]
+		app += x * x
+		aqq += y * y
+		apq += x * y
+	}
+	if math.Abs(apq) <= tol*math.Sqrt(app*aqq) || apq == 0 {
+		return false
+	}
+	// Jacobi rotation that zeroes the (p,q) entry of AᵀA.
+	tau := (aqq - app) / (2 * apq)
+	var t float64
+	if tau >= 0 {
+		t = 1 / (tau + math.Sqrt(1+tau*tau))
+	} else {
+		t = -1 / (-tau + math.Sqrt(1+tau*tau))
+	}
+	c := 1 / math.Sqrt(1+t*t)
+	sn := c * t
+	for i := 0; i < m; i++ {
+		x := ud[i*n+p]
+		y := ud[i*n+q]
+		ud[i*n+p] = c*x - sn*y
+		ud[i*n+q] = sn*x + c*y
+	}
+	for i := 0; i < n; i++ {
+		x := vd[i*n+p]
+		y := vd[i*n+q]
+		vd[i*n+p] = c*x - sn*y
+		vd[i*n+q] = sn*x + c*y
+	}
+	return true
+}
 
 // Eye returns the n×n identity matrix.
 func Eye(n int) *ndarray.Array {
@@ -24,6 +67,13 @@ func Eye(n int) *ndarray.Array {
 // QR computes the reduced QR factorization of an m×n matrix with m >= n:
 // A = Q·R with Q m×n having orthonormal columns and R n×n upper
 // triangular. The diagonal of R is non-negative.
+//
+// Reflectors are applied with row-major slice kernels: w = Hᵀv is
+// accumulated by sweeping matrix rows (each row segment is a contiguous
+// slice), then the rank-1 update subtracts v[i]·w from each row. This
+// replaces the seed's per-element At/Set column walks and keeps the
+// entire factorization allocation-light (one reflector and one work
+// vector reused across columns).
 func QR(a *ndarray.Array) (q, r *ndarray.Array) {
 	if a.NDim() != 2 {
 		panic("linalg: QR requires a 2-d array")
@@ -32,31 +82,34 @@ func QR(a *ndarray.Array) (q, r *ndarray.Array) {
 	if m < n {
 		panic(fmt.Sprintf("linalg: QR requires m >= n, got %dx%d", m, n))
 	}
-	// Work on a copy in full Q form via Householder reflectors.
 	R := a.Copy()
+	rd := R.Data() // m×n row-major
 	// Accumulate Q as product of reflectors applied to identity (m×m is
 	// wasteful; keep m×n panel and apply reflectors from the left in
 	// reverse to the first n columns of I).
 	vs := make([][]float64, 0, n)
+	vnorms := make([]float64, 0, n)
+	w := make([]float64, n) // reflector application workspace
 	for k := 0; k < n; k++ {
 		// Build reflector for column k below the diagonal.
 		var norm float64
 		for i := k; i < m; i++ {
-			x := R.At(i, k)
+			x := rd[i*n+k]
 			norm += x * x
 		}
 		norm = math.Sqrt(norm)
-		v := make([]float64, m)
 		if norm == 0 {
 			vs = append(vs, nil)
+			vnorms = append(vnorms, 0)
 			continue
 		}
+		v := make([]float64, m)
 		alpha := -norm
-		if R.At(k, k) < 0 {
+		if rd[k*n+k] < 0 {
 			alpha = norm
 		}
 		for i := k; i < m; i++ {
-			v[i] = R.At(i, k)
+			v[i] = rd[i*n+k]
 		}
 		v[k] -= alpha
 		var vnorm float64
@@ -65,65 +118,79 @@ func QR(a *ndarray.Array) (q, r *ndarray.Array) {
 		}
 		if vnorm == 0 {
 			vs = append(vs, nil)
+			vnorms = append(vnorms, 0)
 			continue
 		}
-		// Apply H = I - 2 v vᵀ / (vᵀv) to R's trailing columns.
-		for j := k; j < n; j++ {
-			var dot float64
-			for i := k; i < m; i++ {
-				dot += v[i] * R.At(i, j)
-			}
-			f := 2 * dot / vnorm
-			for i := k; i < m; i++ {
-				R.Set(R.At(i, j)-f*v[i], i, j)
-			}
-		}
+		// Apply H = I - 2 v vᵀ / (vᵀv) to R's trailing columns:
+		// w[j] = Σ_i v[i]·R[i,j], then R[i,j] -= (2 v[i]/vᵀv)·w[j].
+		applyReflector(rd, v, w, vnorm, k, m, n, k)
 		vs = append(vs, v)
+		vnorms = append(vnorms, vnorm)
 	}
 	// Q = H_0 H_1 ... H_{n-1} · I_{m×n}.
 	Q := ndarray.New(m, n)
+	qd := Q.Data()
 	for j := 0; j < n; j++ {
-		Q.Set(1, j, j)
+		qd[j*n+j] = 1
 	}
 	for k := n - 1; k >= 0; k-- {
-		v := vs[k]
-		if v == nil {
+		if vs[k] == nil {
 			continue
 		}
-		var vnorm float64
-		for i := k; i < m; i++ {
-			vnorm += v[i] * v[i]
-		}
-		for j := 0; j < n; j++ {
-			var dot float64
-			for i := k; i < m; i++ {
-				dot += v[i] * Q.At(i, j)
-			}
-			f := 2 * dot / vnorm
-			for i := k; i < m; i++ {
-				Q.Set(Q.At(i, j)-f*v[i], i, j)
-			}
-		}
+		applyReflector(qd, vs[k], w, vnorms[k], k, m, n, 0)
 	}
 	// Zero the strictly-lower part of R and truncate to n×n.
 	Rn := ndarray.New(n, n)
+	rnd := Rn.Data()
 	for i := 0; i < n; i++ {
-		for j := i; j < n; j++ {
-			Rn.Set(R.At(i, j), i, j)
-		}
+		copy(rnd[i*n+i:(i+1)*n], rd[i*n+i:(i+1)*n])
 	}
 	// Normalize sign so diag(R) >= 0.
 	for i := 0; i < n; i++ {
-		if Rn.At(i, i) < 0 {
+		if rnd[i*n+i] < 0 {
 			for j := i; j < n; j++ {
-				Rn.Set(-Rn.At(i, j), i, j)
+				rnd[i*n+j] = -rnd[i*n+j]
 			}
 			for r := 0; r < m; r++ {
-				Q.Set(-Q.At(r, i), r, i)
+				qd[r*n+i] = -qd[r*n+i]
 			}
 		}
 	}
 	return Q, Rn
+}
+
+// applyReflector applies H = I - 2 v vᵀ / vnorm to columns [j0,n) of the
+// m×n row-major matrix d, touching rows [k,m). w is an n-length
+// workspace. Both passes sweep rows so every inner loop runs over a
+// contiguous slice; per-column dot products accumulate over ascending i,
+// matching the column-walk reference order.
+func applyReflector(d, v, w []float64, vnorm float64, k, m, n, j0 int) {
+	for j := j0; j < n; j++ {
+		w[j] = 0
+	}
+	for i := k; i < m; i++ {
+		vi := v[i]
+		if vi == 0 {
+			continue
+		}
+		row := d[i*n+j0 : i*n+n]
+		ws := w[j0:n]
+		for j, x := range row {
+			ws[j] += vi * x
+		}
+	}
+	scale := 2 / vnorm
+	for i := k; i < m; i++ {
+		f := scale * v[i]
+		if f == 0 {
+			continue
+		}
+		row := d[i*n+j0 : i*n+n]
+		ws := w[j0:n]
+		for j := range row {
+			row[j] -= f * ws[j]
+		}
+	}
 }
 
 // SVD computes the thin singular value decomposition A = U·diag(S)·Vᵀ of
@@ -145,6 +212,13 @@ func SVD(a *ndarray.Array) (u *ndarray.Array, s []float64, v *ndarray.Array) {
 }
 
 // svdTall handles m >= n via one-sided Jacobi on the columns of A.
+//
+// Sweeps use a round-robin tournament ordering: each of the n-1 rounds
+// pairs every column with a distinct partner, so the n/2 rotations of a
+// round touch disjoint column pairs and can run on separate goroutines.
+// Round order and per-rotation arithmetic are fixed, so the result is
+// bit-identical for any ndarray.Workers() setting; only the rotation
+// *count* (an order-independent integer) is accumulated across a round.
 func svdTall(a *ndarray.Array) (u *ndarray.Array, s []float64, v *ndarray.Array) {
 	m, n := a.Dim(0), a.Dim(1)
 	U := a.Copy()
@@ -153,51 +227,70 @@ func svdTall(a *ndarray.Array) (u *ndarray.Array, s []float64, v *ndarray.Array)
 	vd := V.Data()
 
 	col := func(buf []float64, stride, j, i int) float64 { return buf[i*stride+j] }
-	setcol := func(buf []float64, stride, j, i int, x float64) { buf[i*stride+j] = x }
+
+	// Circle-method schedule over `players` slots (one "bye" slot when n
+	// is odd): slot 0 is fixed, the rest rotate; round r pairs slot 0
+	// with ring[r] and ring[r+1+t] with ring[r+players-1-t].
+	players := n
+	if players%2 == 1 {
+		players++
+	}
+	if players < 2 {
+		players = 2 // n ≤ 1: no pairs, sweeps are a no-op
+	}
+	ring := make([]int, players-1)
+	for i := range ring {
+		ring[i] = i + 1
+	}
+	pairsP := make([]int, 0, players/2)
+	pairsQ := make([]int, 0, players/2)
+	// Rotations in a round write disjoint columns; only fan out when the
+	// per-round work (≈ 3·m·n flops across n/2 independent pairs) is
+	// worth goroutine startup.
+	parallel := m*n >= 1<<14
 
 	const maxSweeps = 60
 	tol := 1e-14
 	for sweep := 0; sweep < maxSweeps; sweep++ {
-		off := 0.0
-		for p := 0; p < n-1; p++ {
-			for q := p + 1; q < n; q++ {
-				var app, aqq, apq float64
-				for i := 0; i < m; i++ {
-					x := col(ud, n, p, i)
-					y := col(ud, n, q, i)
-					app += x * x
-					aqq += y * y
-					apq += x * y
+		var rotations int64
+		for round := 0; round < players-1; round++ {
+			pairsP = pairsP[:0]
+			pairsQ = pairsQ[:0]
+			for t := 0; t < players/2; t++ {
+				var p, q int
+				if t == 0 {
+					p, q = 0, ring[(round+players-2)%(players-1)]
+				} else {
+					p = ring[(round+t-1)%(players-1)]
+					q = ring[(round+players-2-t)%(players-1)]
 				}
-				if math.Abs(apq) <= tol*math.Sqrt(app*aqq) || apq == 0 {
+				if p >= n || q >= n { // bye slot on odd n
 					continue
 				}
-				off += apq * apq
-				// Jacobi rotation that zeroes the (p,q) entry of AᵀA.
-				tau := (aqq - app) / (2 * apq)
-				var t float64
-				if tau >= 0 {
-					t = 1 / (tau + math.Sqrt(1+tau*tau))
-				} else {
-					t = -1 / (-tau + math.Sqrt(1+tau*tau))
+				if p > q {
+					p, q = q, p
 				}
-				c := 1 / math.Sqrt(1+t*t)
-				sn := c * t
-				for i := 0; i < m; i++ {
-					x := col(ud, n, p, i)
-					y := col(ud, n, q, i)
-					setcol(ud, n, p, i, c*x-sn*y)
-					setcol(ud, n, q, i, sn*x+c*y)
+				pairsP = append(pairsP, p)
+				pairsQ = append(pairsQ, q)
+			}
+			rotate := func(lo, hi int) {
+				var local int64
+				for x := lo; x < hi; x++ {
+					if jacobiRotate(ud, vd, m, n, pairsP[x], pairsQ[x], tol) {
+						local++
+					}
 				}
-				for i := 0; i < n; i++ {
-					x := col(vd, n, p, i)
-					y := col(vd, n, q, i)
-					setcol(vd, n, p, i, c*x-sn*y)
-					setcol(vd, n, q, i, sn*x+c*y)
+				if local != 0 {
+					atomic.AddInt64(&rotations, local)
 				}
 			}
+			if parallel {
+				ndarray.ParallelFor(len(pairsP), 1, rotate)
+			} else {
+				rotate(0, len(pairsP))
+			}
 		}
-		if off == 0 {
+		if rotations == 0 {
 			break
 		}
 	}

@@ -101,12 +101,7 @@ func BuildDistributedPCA(g *taskgraph.Graph, name string, blockKeys []taskgraph.
 			m := in[0].(*ndarray.Array)
 			mean := in[1].(blockStats).sum
 			rows, cols := m.Dim(0), m.Dim(1)
-			centered := ndarray.New(rows, cols)
-			for r := 0; r < rows; r++ {
-				for c := 0; c < cols; c++ {
-					centered.Set(m.At(r, c)-mean[c], r, c)
-				}
-			}
+			centered := centerRows(m, mean)
 			if rows < cols {
 				// Pad with zero rows so QR (m>=n) applies; zero rows do
 				// not change R.

@@ -85,9 +85,12 @@ func incrementalMeanVar(x *ndarray.Array, lastMean, lastVar []float64, lastCount
 		batchMean[j] = newSum[j] / float64(n)
 	}
 	batchVarN := make([]float64, f)
+	xc := x.Contiguous()
+	xd := xc.Data()
 	for i := 0; i < n; i++ {
-		for j := 0; j < f; j++ {
-			d := x.At(i, j) - batchMean[j]
+		row := xd[i*f : (i+1)*f]
+		for j, v := range row {
+			d := v - batchMean[j]
 			batchVarN[j] += d * d
 		}
 	}
@@ -128,30 +131,34 @@ func (p *IncrementalPCA) PartialFit(x *ndarray.Array) error {
 
 	var stacked *ndarray.Array
 	if p.NSamplesSeen == 0 {
-		stacked = ndarray.New(n, f)
-		for i := 0; i < n; i++ {
-			for j := 0; j < f; j++ {
-				stacked.Set(x.At(i, j)-mean[j], i, j)
-			}
-		}
+		stacked = centerRows(x, mean)
 	} else {
 		batchMean := x.MeanAxis(0).Data()
 		k := p.NComponents
 		rows := k + n + 1
 		stacked = ndarray.New(rows, f)
+		sd := stacked.Data()
+		comp := p.Components.Contiguous().Data()
 		for r := 0; r < k; r++ {
-			for j := 0; j < f; j++ {
-				stacked.Set(p.SingularValues[r]*p.Components.At(r, j), r, j)
+			sv := p.SingularValues[r]
+			row := sd[r*f : (r+1)*f]
+			crow := comp[r*f : (r+1)*f]
+			for j, c := range crow {
+				row[j] = sv * c
 			}
 		}
+		xd := x.Contiguous().Data()
 		for i := 0; i < n; i++ {
-			for j := 0; j < f; j++ {
-				stacked.Set(x.At(i, j)-batchMean[j], k+i, j)
+			row := sd[(k+i)*f : (k+i+1)*f]
+			xrow := xd[i*f : (i+1)*f]
+			for j, v := range xrow {
+				row[j] = v - batchMean[j]
 			}
 		}
 		corr := math.Sqrt(float64(p.NSamplesSeen) * float64(n) / float64(total))
+		last := sd[(k+n)*f : (k+n+1)*f]
 		for j := 0; j < f; j++ {
-			stacked.Set(corr*(p.Mean[j]-batchMean[j]), k+n, j)
+			last[j] = corr * (p.Mean[j] - batchMean[j])
 		}
 	}
 

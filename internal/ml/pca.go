@@ -49,12 +49,7 @@ func (p *PCA) Fit(x *ndarray.Array) error {
 		return fmt.Errorf("ml: NComponents=%d exceeds min(samples=%d, features=%d)", p.NComponents, n, f)
 	}
 	mean := x.MeanAxis(0)
-	centered := ndarray.New(n, f)
-	for i := 0; i < n; i++ {
-		for j := 0; j < f; j++ {
-			centered.Set(x.At(i, j)-mean.At(j), i, j)
-		}
-	}
+	centered := centerRows(x, mean.Data())
 	u, s, v := linalg.SVD(centered)
 	vt := v.Transpose().Copy() // rows are right singular vectors
 	svdFlip(u, vt)
@@ -96,14 +91,25 @@ func transform(x *ndarray.Array, mean []float64, components *ndarray.Array) (*nd
 	if x.NDim() != 2 || x.Dim(1) != len(mean) {
 		return nil, fmt.Errorf("ml: Transform input shape %v does not match %d features", x.Shape(), len(mean))
 	}
-	n, f := x.Dim(0), x.Dim(1)
-	centered := ndarray.New(n, f)
-	for i := 0; i < n; i++ {
-		for j := 0; j < f; j++ {
-			centered.Set(x.At(i, j)-mean[j], i, j)
-		}
-	}
+	centered := centerRows(x, mean)
 	return ndarray.MatMul(centered, components.Transpose()), nil
+}
+
+// centerRows returns x - mean (mean broadcast over rows) as a fresh
+// contiguous array, using flat row slices instead of per-element At/Set.
+func centerRows(x *ndarray.Array, mean []float64) *ndarray.Array {
+	n, f := x.Dim(0), x.Dim(1)
+	out := x.Copy()
+	od := out.Data()
+	ndarray.ParallelFor(n, 64, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := od[i*f : (i+1)*f]
+			for j, mu := range mean {
+				row[j] -= mu
+			}
+		}
+	})
+	return out
 }
 
 // svdFlip fixes the sign ambiguity of the SVD so results are

@@ -1,0 +1,304 @@
+// Kernel layer: the flat-slice fast paths, strided run decomposition,
+// worker pool knob, and the cache-blocked goroutine-parallel matrix
+// multiply that back every dense operation in this package.
+//
+// Design rules (see DESIGN.md "kernel layer"):
+//
+//   - Contiguous arrays are processed as raw []float64 with no per-element
+//     index arithmetic. Strided views are decomposed into innermost runs
+//     (base, stride, count) by an allocation-free odometer, so even
+//     transposed/sliced inputs avoid the generic iterator.
+//   - Every parallel kernel partitions output into disjoint regions and
+//     keeps a fixed per-element reduction order (ascending k), so results
+//     are bit-identical to the sequential reference for any worker count.
+//     This protects the repository's "bit-equal PCA components" invariant
+//     (DESIGN §6) while still using real cores — measured time is virtual
+//     (internal/vtime), so real-time parallelism cannot perturb figures.
+package ndarray
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// maxWorkers caps the goroutine fan-out of parallel kernels. It defaults
+// to GOMAXPROCS at init and is read atomically so concurrent Dask-worker
+// task bodies can share the pool safely.
+var maxWorkers int64
+
+func init() { maxWorkers = int64(runtime.GOMAXPROCS(0)) }
+
+// SetWorkers sets the maximum number of goroutines parallel kernels may
+// use and returns the previous value. n < 1 is clamped to 1 (sequential).
+// Results never depend on the worker count: parallel kernels are
+// bit-identical to their sequential reference.
+func SetWorkers(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	return int(atomic.SwapInt64(&maxWorkers, int64(n)))
+}
+
+// Workers returns the current kernel worker cap.
+func Workers() int { return int(atomic.LoadInt64(&maxWorkers)) }
+
+// ParallelFor splits [0,n) into bands of size grain and executes f over
+// bands on up to Workers() goroutines, stealing bands through an atomic
+// cursor. f must write only state owned by its band; under that contract
+// the result is independent of scheduling, so callers stay deterministic.
+func ParallelFor(n, grain int, f func(lo, hi int)) {
+	if grain < 1 {
+		grain = 1
+	}
+	w := Workers()
+	if w <= 1 || n <= grain {
+		if n > 0 {
+			f(0, n)
+		}
+		return
+	}
+	bands := (n + grain - 1) / grain
+	if bands < w {
+		w = bands
+	}
+	var cursor int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				b := int(atomic.AddInt64(&cursor, 1)) - 1
+				if b >= bands {
+					return
+				}
+				lo := b * grain
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				f(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// forEachRun calls f(base, stride, count) for each innermost run of the
+// array in row-major order. It allocates one small odometer buffer for
+// rank ≥ 3 and nothing otherwise; flat offsets are maintained
+// incrementally instead of recomputed per element.
+func (a *Array) forEachRun(f func(base, stride, count int)) {
+	r := len(a.shape)
+	switch r {
+	case 0:
+		f(a.offset, 1, 1)
+		return
+	case 1:
+		if a.shape[0] > 0 {
+			f(a.offset, a.strides[0], a.shape[0])
+		}
+		return
+	case 2:
+		rows, cols := a.shape[0], a.shape[1]
+		if rows == 0 || cols == 0 {
+			return
+		}
+		base := a.offset
+		for i := 0; i < rows; i++ {
+			f(base, a.strides[1], cols)
+			base += a.strides[0]
+		}
+		return
+	}
+	inner, istr := a.shape[r-1], a.strides[r-1]
+	if inner == 0 {
+		return
+	}
+	for _, s := range a.shape[:r-1] {
+		if s == 0 {
+			return
+		}
+	}
+	idx := make([]int, r-1)
+	base := a.offset
+	for {
+		f(base, istr, inner)
+		d := r - 2
+		for ; d >= 0; d-- {
+			idx[d]++
+			base += a.strides[d]
+			if idx[d] < a.shape[d] {
+				break
+			}
+			base -= a.shape[d] * a.strides[d]
+			idx[d] = 0
+		}
+		if d < 0 {
+			return
+		}
+	}
+}
+
+// forEachRun2 walks two same-shaped arrays in lockstep row-major order,
+// yielding the flat base offsets of each innermost run.
+func forEachRun2(a, b *Array, f func(abase, bbase int, astride, bstride, count int)) {
+	r := len(a.shape)
+	switch r {
+	case 0:
+		f(a.offset, b.offset, 1, 1, 1)
+		return
+	case 1:
+		if a.shape[0] > 0 {
+			f(a.offset, b.offset, a.strides[0], b.strides[0], a.shape[0])
+		}
+		return
+	case 2:
+		rows, cols := a.shape[0], a.shape[1]
+		if rows == 0 || cols == 0 {
+			return
+		}
+		abase, bbase := a.offset, b.offset
+		for i := 0; i < rows; i++ {
+			f(abase, bbase, a.strides[1], b.strides[1], cols)
+			abase += a.strides[0]
+			bbase += b.strides[0]
+		}
+		return
+	}
+	inner := a.shape[r-1]
+	if inner == 0 {
+		return
+	}
+	for _, s := range a.shape[:r-1] {
+		if s == 0 {
+			return
+		}
+	}
+	idx := make([]int, r-1)
+	abase, bbase := a.offset, b.offset
+	for {
+		f(abase, bbase, a.strides[r-1], b.strides[r-1], inner)
+		d := r - 2
+		for ; d >= 0; d-- {
+			idx[d]++
+			abase += a.strides[d]
+			bbase += b.strides[d]
+			if idx[d] < a.shape[d] {
+				break
+			}
+			abase -= a.shape[d] * a.strides[d]
+			bbase -= b.shape[d] * b.strides[d]
+			idx[d] = 0
+		}
+		if d < 0 {
+			return
+		}
+	}
+}
+
+// Cache blocking and parallelism thresholds for MatMul. The B tile
+// (mmBlockK × mmBlockJ × 8 bytes = 1 MiB) is sized for L2 residency and
+// reused across every row of a band; bands of mmRowGrain rows are the
+// work-stealing unit. Multiplications below mmParallelFlops (m·k·n) run
+// on the calling goroutine to avoid fan-out overhead on small chunks.
+const (
+	mmBlockK        = 256
+	mmBlockJ        = 512
+	mmRowGrain      = 8
+	mmParallelFlops = 1 << 18
+)
+
+// matMulInto computes od = ad(m×k) · bd(k×n), all row-major contiguous.
+// Each output element accumulates its k terms in ascending order in both
+// the sequential and parallel paths, so the result is bit-identical for
+// any worker count.
+func matMulInto(od, ad, bd []float64, m, k, n int) {
+	if m == 0 || n == 0 {
+		return
+	}
+	if Workers() > 1 && m*k*n >= mmParallelFlops && m > 1 {
+		ParallelFor(m, mmRowGrain, func(lo, hi int) {
+			matMulRows(od, ad, bd, lo, hi, k, n)
+		})
+		return
+	}
+	matMulRows(od, ad, bd, 0, m, k, n)
+}
+
+// matMulRows computes output rows [i0,i1) with jc/kc/i/k tiling and a
+// 4-way k-unrolled inner kernel. The unrolled chain
+//
+//	t := orow[j] + a0·b0[j]; t += a1·b1[j]; ... ; orow[j] = t + a3·b3[j]
+//
+// performs the adds in exactly the order the scalar k-loop would (Go
+// forbids floating-point reassociation), so per-element accumulation is
+// ascending-k regardless of tiling, unrolling, or worker count. The
+// unroll quarters the output-row load/store and branch overhead per
+// multiply-add — the bottleneck of the scalar loop — while the j/k tiles
+// keep the four active B rows and the output row cache-resident for
+// large operands.
+func matMulRows(od, ad, bd []float64, i0, i1, k, n int) {
+	for jt := 0; jt < n; jt += mmBlockJ {
+		jhi := jt + mmBlockJ
+		if jhi > n {
+			jhi = n
+		}
+		for kt := 0; kt < k; kt += mmBlockK {
+			khi := kt + mmBlockK
+			if khi > k {
+				khi = k
+			}
+			for i := i0; i < i1; i++ {
+				arow := ad[i*k : (i+1)*k]
+				orow := od[i*n+jt : i*n+jhi]
+				kk := kt
+				for ; kk+4 <= khi; kk += 4 {
+					a0, a1, a2, a3 := arow[kk], arow[kk+1], arow[kk+2], arow[kk+3]
+					if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+						continue
+					}
+					b0 := bd[kk*n+jt : kk*n+jhi]
+					b1 := bd[(kk+1)*n+jt : (kk+1)*n+jhi]
+					b2 := bd[(kk+2)*n+jt : (kk+2)*n+jhi]
+					b3 := bd[(kk+3)*n+jt : (kk+3)*n+jhi]
+					// Two interleaved j-chains hide FP-add latency;
+					// each element's own chain is still ascending-k.
+					j := 0
+					for ; j+2 <= len(b0); j += 2 {
+						t := orow[j] + a0*b0[j]
+						u := orow[j+1] + a0*b0[j+1]
+						t += a1 * b1[j]
+						u += a1 * b1[j+1]
+						t += a2 * b2[j]
+						u += a2 * b2[j+1]
+						orow[j] = t + a3*b3[j]
+						orow[j+1] = u + a3*b3[j+1]
+					}
+					for ; j < len(b0); j++ {
+						t := orow[j] + a0*b0[j]
+						t += a1 * b1[j]
+						t += a2 * b2[j]
+						orow[j] = t + a3*b3[j]
+					}
+				}
+				for ; kk < khi; kk++ {
+					av := arow[kk]
+					if av == 0 {
+						continue
+					}
+					brow := bd[kk*n+jt : kk*n+jhi]
+					for j, bv := range brow {
+						orow[j] += av * bv
+					}
+				}
+			}
+		}
+	}
+}
+
+// zipGrain is the minimum elements per band for parallel elementwise
+// kernels; below ~32 KiB of output the goroutine fan-out costs more than
+// the loop.
+const zipGrain = 4096

@@ -76,13 +76,15 @@ func (a *Array) Size() int { return checkShape(a.shape) }
 func (a *Array) Dim(i int) int { return a.shape[i] }
 
 // IsContiguous reports whether the view is row-major contiguous with
-// offset 0 covering its whole buffer region.
+// offset 0 covering its whole buffer region. It allocates nothing — it
+// is called by Data() inside kernel hot paths.
 func (a *Array) IsContiguous() bool {
-	cs := contiguousStrides(a.shape)
-	for i := range cs {
-		if a.shape[i] > 1 && a.strides[i] != cs[i] {
+	acc := 1
+	for i := len(a.shape) - 1; i >= 0; i-- {
+		if a.shape[i] > 1 && a.strides[i] != acc {
 			return false
 		}
+		acc *= a.shape[i]
 	}
 	return true
 }
@@ -118,10 +120,18 @@ func (a *Array) Data() []float64 {
 
 // Fill sets every element of the array (or view) to v.
 func (a *Array) Fill(v float64) {
-	it := newIterator(a.shape)
-	for it.next() {
-		a.data[a.offsetOf(it.idx)] = v
-	}
+	a.forEachRun(func(base, stride, count int) {
+		if stride == 1 {
+			row := a.data[base : base+count]
+			for i := range row {
+				row[i] = v
+			}
+			return
+		}
+		for i, p := 0, base; i < count; i, p = i+1, p+stride {
+			a.data[p] = v
+		}
+	})
 }
 
 func (a *Array) offsetOf(idx []int) int {
@@ -135,13 +145,18 @@ func (a *Array) offsetOf(idx []int) int {
 // Copy returns a fresh contiguous array with the same contents.
 func (a *Array) Copy() *Array {
 	out := New(a.shape...)
-	it := newIterator(a.shape)
 	buf := out.data
 	i := 0
-	for it.next() {
-		buf[i] = a.data[a.offsetOf(it.idx)]
-		i++
-	}
+	a.forEachRun(func(base, stride, count int) {
+		if stride == 1 {
+			copy(buf[i:i+count], a.data[base:base+count])
+			i += count
+			return
+		}
+		for p := base; count > 0; count, p, i = count-1, p+stride, i+1 {
+			buf[i] = a.data[p]
+		}
+	})
 	return out
 }
 
@@ -268,43 +283,6 @@ func (a *Array) Col(j int) *Array {
 	}
 }
 
-// iterator walks a shape in row-major order.
-type iterator struct {
-	shape []int
-	idx   []int
-	first bool
-	done  bool
-}
-
-func newIterator(shape []int) *iterator {
-	it := &iterator{shape: shape, idx: make([]int, len(shape)), first: true}
-	for _, s := range shape {
-		if s == 0 {
-			it.done = true
-		}
-	}
-	return it
-}
-
-func (it *iterator) next() bool {
-	if it.done {
-		return false
-	}
-	if it.first {
-		it.first = false
-		return true
-	}
-	for d := len(it.shape) - 1; d >= 0; d-- {
-		it.idx[d]++
-		if it.idx[d] < it.shape[d] {
-			return true
-		}
-		it.idx[d] = 0
-	}
-	it.done = true
-	return false
-}
-
 func sameShape(a, b *Array) {
 	if len(a.shape) != len(b.shape) {
 		panic(fmt.Sprintf("ndarray: shape mismatch %v vs %v", a.shape, b.shape))
@@ -316,16 +294,31 @@ func sameShape(a, b *Array) {
 	}
 }
 
-// zipApply writes f(a[i], b[i]) into a fresh array.
+// zipApply writes f(a[i], b[i]) into a fresh array. Contiguous inputs
+// take a goroutine-parallel flat path (disjoint output bands, so results
+// match the sequential loop bitwise); strided views are decomposed into
+// innermost runs without per-element index math.
 func zipApply(a, b *Array, f func(x, y float64) float64) *Array {
 	sameShape(a, b)
 	out := New(a.shape...)
-	it := newIterator(a.shape)
-	i := 0
-	for it.next() {
-		out.data[i] = f(a.data[a.offsetOf(it.idx)], b.data[b.offsetOf(it.idx)])
-		i++
+	od := out.data
+	if a.IsContiguous() && b.IsContiguous() {
+		ad := a.data[a.offset:]
+		bd := b.data[b.offset:]
+		ParallelFor(len(od), zipGrain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				od[i] = f(ad[i], bd[i])
+			}
+		})
+		return out
 	}
+	i := 0
+	forEachRun2(a, b, func(abase, bbase, astride, bstride, count int) {
+		for k := 0; k < count; k++ {
+			od[i] = f(a.data[abase+k*astride], b.data[bbase+k*bstride])
+			i++
+		}
+	})
 	return out
 }
 
@@ -341,40 +334,55 @@ func Mul(a, b *Array) *Array { return zipApply(a, b, func(x, y float64) float64 
 // Scale returns a copy of the array with every element multiplied by s.
 func (a *Array) Scale(s float64) *Array {
 	out := a.Copy()
-	buf := out.Data()
-	for i := range buf {
-		buf[i] *= s
-	}
+	buf := out.data
+	ParallelFor(len(buf), zipGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			buf[i] *= s
+		}
+	})
 	return out
 }
 
 // AddScalar returns a copy with s added to every element.
 func (a *Array) AddScalar(s float64) *Array {
 	out := a.Copy()
-	buf := out.Data()
-	for i := range buf {
-		buf[i] += s
-	}
+	buf := out.data
+	ParallelFor(len(buf), zipGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			buf[i] += s
+		}
+	})
 	return out
 }
 
 // Apply returns a copy with f applied to every element.
 func (a *Array) Apply(f func(float64) float64) *Array {
 	out := a.Copy()
-	buf := out.Data()
-	for i := range buf {
-		buf[i] = f(buf[i])
-	}
+	buf := out.data
+	ParallelFor(len(buf), zipGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			buf[i] = f(buf[i])
+		}
+	})
 	return out
 }
 
-// Sum returns the sum of all elements.
+// Sum returns the sum of all elements, accumulated in row-major order
+// (the same order for contiguous and strided inputs, so views sum
+// bit-identically to their materialized copies).
 func (a *Array) Sum() float64 {
 	var s float64
-	it := newIterator(a.shape)
-	for it.next() {
-		s += a.data[a.offsetOf(it.idx)]
-	}
+	a.forEachRun(func(base, stride, count int) {
+		if stride == 1 {
+			for _, v := range a.data[base : base+count] {
+				s += v
+			}
+			return
+		}
+		for i, p := 0, base; i < count; i, p = i+1, p+stride {
+			s += a.data[p]
+		}
+	})
 	return s
 }
 
@@ -417,27 +425,44 @@ func (a *Array) reduceAxis(axis int, init float64, f func(acc, x float64) float6
 		panic(fmt.Sprintf("ndarray: axis %d out of range for rank %d", axis, len(a.shape)))
 	}
 	outShape := make([]int, 0, len(a.shape)-1)
+	outStrides := make([]int, 0, len(a.shape)-1)
 	for i, s := range a.shape {
 		if i != axis {
 			outShape = append(outShape, s)
+			outStrides = append(outStrides, a.strides[i])
 		}
 	}
 	out := New(outShape...)
-	for i := range out.data {
-		out.data[i] = init
+	od := out.data
+	for i := range od {
+		od[i] = init
 	}
-	it := newIterator(a.shape)
-	outIdx := make([]int, len(outShape))
-	for it.next() {
-		k := 0
-		for d, x := range it.idx {
-			if d != axis {
-				outIdx[k] = x
-				k++
-			}
+	alen, astr := a.shape[axis], a.strides[axis]
+	if alen == 0 || len(od) == 0 {
+		return out
+	}
+	// View a as (non-axis dims, axis): walk output positions in row-major
+	// order with an incremental base offset and fold the axis innermost.
+	// Each output element accumulates in ascending axis order — the same
+	// per-element order as a full row-major sweep.
+	idx := make([]int, len(outShape))
+	base := a.offset
+	for i := range od {
+		acc := od[i]
+		for k, p := 0, base; k < alen; k, p = k+1, p+astr {
+			acc = f(acc, a.data[p])
 		}
-		p := out.flatIndex(outIdx)
-		out.data[p] = f(out.data[p], a.data[a.offsetOf(it.idx)])
+		od[i] = acc
+		d := len(idx) - 1
+		for ; d >= 0; d-- {
+			idx[d]++
+			base += outStrides[d]
+			if idx[d] < outShape[d] {
+				break
+			}
+			base -= outShape[d] * outStrides[d]
+			idx[d] = 0
+		}
 	}
 	return out
 }
@@ -445,11 +470,18 @@ func (a *Array) reduceAxis(axis int, init float64, f func(acc, x float64) float6
 // Norm returns the Frobenius norm.
 func (a *Array) Norm() float64 {
 	var s float64
-	it := newIterator(a.shape)
-	for it.next() {
-		v := a.data[a.offsetOf(it.idx)]
-		s += v * v
-	}
+	a.forEachRun(func(base, stride, count int) {
+		if stride == 1 {
+			for _, v := range a.data[base : base+count] {
+				s += v * v
+			}
+			return
+		}
+		for i, p := 0, base; i < count; i, p = i+1, p+stride {
+			v := a.data[p]
+			s += v * v
+		}
+	})
 	return math.Sqrt(s)
 }
 
@@ -457,14 +489,26 @@ func (a *Array) Norm() float64 {
 func Dot(a, b *Array) float64 {
 	sameShape(a, b)
 	var s float64
-	it := newIterator(a.shape)
-	for it.next() {
-		s += a.data[a.offsetOf(it.idx)] * b.data[b.offsetOf(it.idx)]
-	}
+	forEachRun2(a, b, func(abase, bbase, astride, bstride, count int) {
+		if astride == 1 && bstride == 1 {
+			ad := a.data[abase : abase+count]
+			bd := b.data[bbase : bbase+count]
+			for i, v := range ad {
+				s += v * bd[i]
+			}
+			return
+		}
+		for k := 0; k < count; k++ {
+			s += a.data[abase+k*astride] * b.data[bbase+k*bstride]
+		}
+	})
 	return s
 }
 
-// MatMul multiplies two 2-D arrays (m×k)·(k×n) → (m×n).
+// MatMul multiplies two 2-D arrays (m×k)·(k×n) → (m×n) with the
+// cache-blocked, goroutine-parallel kernel (see kernels.go). The output
+// is bit-identical to the naive sequential ikj loop for any worker count
+// because each element's k-terms accumulate in ascending order.
 func MatMul(a, b *Array) *Array {
 	if len(a.shape) != 2 || len(b.shape) != 2 {
 		panic("ndarray: MatMul requires 2-d arrays")
@@ -475,24 +519,7 @@ func MatMul(a, b *Array) *Array {
 	}
 	ac, bc := a.Contiguous(), b.Contiguous()
 	out := New(m, n)
-	ad := ac.Data()
-	bd := bc.Data()
-	od := out.Data()
-	// ikj loop order for cache-friendly access to b and out rows.
-	for i := 0; i < m; i++ {
-		arow := ad[i*k : (i+1)*k]
-		orow := od[i*n : (i+1)*n]
-		for kk := 0; kk < k; kk++ {
-			av := arow[kk]
-			if av == 0 {
-				continue
-			}
-			brow := bd[kk*n : (kk+1)*n]
-			for j := 0; j < n; j++ {
-				orow[j] += av * brow[j]
-			}
-		}
-	}
+	matMulInto(out.data, ac.Data(), bc.Data(), m, k, n)
 	return out
 }
 
@@ -555,10 +582,15 @@ func Concat(axis int, arrays ...*Array) *Array {
 // view. Shapes must match.
 func (a *Array) CopyFrom(src *Array) {
 	sameShape(a, src)
-	it := newIterator(a.shape)
-	for it.next() {
-		a.data[a.offsetOf(it.idx)] = src.data[src.offsetOf(it.idx)]
-	}
+	forEachRun2(a, src, func(abase, sbase, astride, sstride, count int) {
+		if astride == 1 && sstride == 1 {
+			copy(a.data[abase:abase+count], src.data[sbase:sbase+count])
+			return
+		}
+		for k := 0; k < count; k++ {
+			a.data[abase+k*astride] = src.data[sbase+k*sstride]
+		}
+	})
 }
 
 // Equal reports exact elementwise equality of shape and contents.
@@ -571,13 +603,19 @@ func Equal(a, b *Array) bool {
 			return false
 		}
 	}
-	it := newIterator(a.shape)
-	for it.next() {
-		if a.data[a.offsetOf(it.idx)] != b.data[b.offsetOf(it.idx)] {
-			return false
+	eq := true
+	forEachRun2(a, b, func(abase, bbase, astride, bstride, count int) {
+		if !eq {
+			return
 		}
-	}
-	return true
+		for k := 0; k < count; k++ {
+			if a.data[abase+k*astride] != b.data[bbase+k*bstride] {
+				eq = false
+				return
+			}
+		}
+	})
+	return eq
 }
 
 // AllClose reports elementwise |a-b| <= tol for arrays of equal shape.
@@ -590,15 +628,21 @@ func AllClose(a, b *Array, tol float64) bool {
 			return false
 		}
 	}
-	it := newIterator(a.shape)
-	for it.next() {
-		x := a.data[a.offsetOf(it.idx)]
-		y := b.data[b.offsetOf(it.idx)]
-		if math.Abs(x-y) > tol || math.IsNaN(x) != math.IsNaN(y) {
-			return false
+	close := true
+	forEachRun2(a, b, func(abase, bbase, astride, bstride, count int) {
+		if !close {
+			return
 		}
-	}
-	return true
+		for k := 0; k < count; k++ {
+			x := a.data[abase+k*astride]
+			y := b.data[bbase+k*bstride]
+			if math.Abs(x-y) > tol || math.IsNaN(x) != math.IsNaN(y) {
+				close = false
+				return
+			}
+		}
+	})
+	return close
 }
 
 // String renders small arrays for debugging.

@@ -1,0 +1,35 @@
+#!/usr/bin/env sh
+# Pre-PR gate: formatting, vet, full tests, and a race-detector pass over
+# the packages with parallel kernels or concurrent runtime machinery.
+# Usage: ./scripts/check.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet ./... =="
+go vet ./...
+
+echo "== go build ./... =="
+go build ./...
+
+echo "== go test ./... =="
+go test ./...
+
+echo "== go test -race (kernel + runtime packages) =="
+go test -race \
+    ./internal/ndarray \
+    ./internal/linalg \
+    ./internal/ml \
+    ./internal/array \
+    ./internal/dask \
+    ./internal/core
+
+echo "OK"
