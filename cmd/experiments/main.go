@@ -18,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"deisago/internal/chaos"
 	"deisago/internal/harness"
 	"deisago/internal/ml"
 )
@@ -32,6 +33,11 @@ func main() {
 		csv      = flag.Bool("csv", false, "CSV output for tables")
 		svgDir   = flag.String("svg", "", "also write each figure as an SVG chart into this directory")
 		workers  = flag.Int("kernel-workers", 0, "cap goroutines per dense kernel (0 = GOMAXPROCS); figures are unaffected — time is virtual")
+
+		chaosSeed  = flag.Int64("chaos-seed", 0, "run the Fig-2b pipeline under a seeded random fault plan (kills, link degradation, dropped publishes) and verify results against the fault-free run")
+		chaosPlan  = flag.String("chaos-plan", "", "explicit fault plan DSL, e.g. 'kill:1@0/3;degrade:2-5:4@0.5-inf;drop:0/2:2;delay:1/4:0.25' (overrides -chaos-seed)")
+		chaosRanks = flag.Int("chaos-ranks", 4, "ranks for the chaos scenario")
+		chaosWrk   = flag.Int("chaos-workers", 4, "workers for the chaos scenario")
 	)
 	flag.Parse()
 
@@ -42,9 +48,29 @@ func main() {
 	if *quick {
 		opts = harness.QuickOptions()
 	}
-	if !*all && *fig == "" && !*headline && *ablation == "" {
+	if !*all && *fig == "" && !*headline && *ablation == "" && *chaosSeed == 0 && *chaosPlan == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *chaosSeed != 0 || *chaosPlan != "" {
+		cfg := harness.ChaosScenarioConfig(opts, *chaosRanks, *chaosWrk)
+		var plan *chaos.Plan
+		var err error
+		if *chaosPlan != "" {
+			plan, err = chaos.ParsePlan(*chaosPlan)
+		} else {
+			plan, err = chaos.NewRandomPlan(*chaosSeed, harness.ChaosSpec(cfg))
+		}
+		check(err)
+		start := time.Now()
+		report, err := harness.RunChaos(cfg, plan)
+		check(err)
+		fmt.Print(report.Format())
+		fmt.Fprintf(os.Stderr, "[chaos done in %v]\n", time.Since(start).Round(time.Millisecond))
+		if !report.Identical {
+			os.Exit(1)
+		}
 	}
 
 	figName := "figure"

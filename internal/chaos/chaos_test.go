@@ -1,0 +1,101 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+
+	"deisago/internal/netsim"
+)
+
+func TestPlanDSLRoundTrip(t *testing.T) {
+	src := "kill:1@0/3;degrade:2-5:4@0.5-inf;drop:0/2:2;delay:1/4:0.25"
+	p, err := ParsePlan(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Events) != 4 {
+		t.Fatalf("parsed %d events, want 4", len(p.Events))
+	}
+	if got := p.String(); got != src {
+		t.Fatalf("round trip:\n got %q\nwant %q", got, src)
+	}
+	p2, err := ParsePlan(p.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p.Events, p2.Events) {
+		t.Fatalf("re-parse differs:\n%+v\n%+v", p.Events, p2.Events)
+	}
+	kill := p.Events[0]
+	if kill.Kind != KindKillWorker || kill.Worker != 1 || kill.Rank != 0 || kill.Step != 3 {
+		t.Fatalf("kill event = %+v", kill)
+	}
+	deg := p.Events[1]
+	if deg.Kind != KindDegradeLink || deg.Factor != 4 || deg.Start != 0.5 || deg.End > 0 {
+		t.Fatalf("degrade event = %+v", deg)
+	}
+	drop := p.Events[2]
+	if drop.Kind != KindDropPublish || drop.Count != 2 {
+		t.Fatalf("drop event = %+v", drop)
+	}
+	del := p.Events[3]
+	if del.Kind != KindDelayPublish || del.Delay != 0.25 {
+		t.Fatalf("delay event = %+v", del)
+	}
+}
+
+func TestParsePlanRejectsGarbage(t *testing.T) {
+	for _, s := range []string{
+		"", "nonsense", "kill:x@y/z", "drop:0/1:0", "degrade:1-2:0@0-1",
+		"delay:0/1:-1", "kill:1",
+	} {
+		if _, err := ParsePlan(s); err == nil {
+			t.Errorf("ParsePlan(%q) accepted", s)
+		}
+	}
+}
+
+func TestNewRandomPlanDeterministic(t *testing.T) {
+	spec := Spec{
+		Workers: 4, Ranks: 4, Steps: 8,
+		Nodes: []netsim.NodeID{0, 1, 2, 3},
+		Kills: 2, Degrades: 1, Drops: 2, Delays: 1,
+	}
+	a, err := NewRandomPlan(42, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRandomPlan(42, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("same seed, different plans:\n%s\n%s", a, b)
+	}
+	c, err := NewRandomPlan(43, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() == c.String() {
+		t.Fatal("different seeds produced the same plan")
+	}
+	if got := len(a.Kills()); got != 2 {
+		t.Fatalf("kills = %d, want 2", got)
+	}
+	seen := map[int]bool{}
+	for _, w := range a.Kills() {
+		if w < 0 || w >= spec.Workers {
+			t.Fatalf("kill victim %d out of range", w)
+		}
+		if seen[w] {
+			t.Fatalf("victim %d killed twice", w)
+		}
+		seen[w] = true
+	}
+}
+
+func TestNewRandomPlanRejectsTotalKill(t *testing.T) {
+	if _, err := NewRandomPlan(1, Spec{Workers: 2, Ranks: 1, Steps: 2, Kills: 2}); err == nil {
+		t.Fatal("plan killing every worker accepted")
+	}
+}

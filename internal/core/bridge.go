@@ -1,12 +1,14 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"deisago/internal/dask"
 	"deisago/internal/ndarray"
 	"deisago/internal/netsim"
+	"deisago/internal/taskgraph"
 	"deisago/internal/vtime"
 )
 
@@ -54,6 +56,13 @@ type BridgeConfig struct {
 	// VirtualArray.WorkerForBlock (time-invariant spatial placement).
 	// Used by placement ablations.
 	PlaceWorker func(va *VirtualArray, pos []int, numWorkers int) int
+	// Retry bounds the external-mode publish retry loop; the zero value
+	// selects DefaultRetryPolicy.
+	Retry RetryPolicy
+	// Interceptor, when non-nil, sees every external-mode publish
+	// attempt and may drop or delay it (fault injection). Leave nil for
+	// fault-free runs — beware assigning a typed nil.
+	Interceptor PublishInterceptor
 }
 
 // Bridge is the simulation-side endpoint of the coupling: one per MPI
@@ -68,14 +77,28 @@ type Bridge struct {
 
 	blocksSent    int64
 	blocksSkipped int64
+	retries       int64
+	republished   int64
+
+	// published remembers every external-mode block this bridge sent, so
+	// blocks lost with a worker (the scheduler reverts their key to the
+	// external state) can be republished from the producer's copy.
+	published map[taskgraph.Key]publishedBlock
+}
+
+type publishedBlock struct {
+	array string
+	pos   []int
+	data  *ndarray.Array
 }
 
 // NewBridge connects a bridge to the cluster.
 func NewBridge(cfg BridgeConfig) *Bridge {
 	return &Bridge{
-		cfg:    cfg,
-		client: cfg.Cluster.NewClient(fmt.Sprintf("bridge-%d", cfg.Rank), cfg.Node, cfg.HeartbeatInterval),
-		arrays: map[string]*VirtualArray{},
+		cfg:       cfg,
+		client:    cfg.Cluster.NewClient(fmt.Sprintf("bridge-%d", cfg.Rank), cfg.Node, cfg.HeartbeatInterval),
+		arrays:    map[string]*VirtualArray{},
+		published: map[taskgraph.Key]publishedBlock{},
 	}
 }
 
@@ -185,9 +208,14 @@ func (b *Bridge) Publish(arrayName string, pos []int, data *ndarray.Array, at vt
 			b.client.HeartbeatTick()
 			return b.client.Now(), false, nil
 		}
-		if err := b.client.Scatter([]dask.ScatterItem{{Key: key, Value: data, Bytes: b.cfg.ScatterBytes}}, true, worker); err != nil {
+		step := 0
+		if va.TimeDim >= 0 && va.TimeDim < len(pos) {
+			step = pos[va.TimeDim]
+		}
+		if err := b.scatterExternal(key, data, step, worker); err != nil {
 			return b.client.Now(), false, err
 		}
+		b.published[key] = publishedBlock{array: arrayName, pos: append([]int(nil), pos...), data: data}
 	case ModeDEISA1:
 		if err := b.client.Scatter([]dask.ScatterItem{{Key: key, Value: data, Bytes: b.cfg.ScatterBytes}}, false, worker); err != nil {
 			return b.client.Now(), false, err
@@ -207,9 +235,116 @@ func (b *Bridge) Publish(arrayName string, pos []int, data *ndarray.Array, at vt
 	return b.client.Now(), true, nil
 }
 
+// scatterExternal ships one block to an external key, retrying with
+// exponential backoff on retryable failures: attempts dropped in flight
+// by the fault interceptor, and targets that died before the scheduler
+// processed the update. When the preselected worker is dead the block
+// fails over to the next live worker (scanning (worker+k) mod N, so the
+// failover target is a deterministic function of the set of dead
+// workers, not of timing).
+func (b *Bridge) scatterExternal(key taskgraph.Key, data *ndarray.Array, step, worker int) error {
+	policy := b.cfg.Retry.orDefault()
+	started := b.client.Now()
+	backoff := policy.BaseBackoff
+	var lastErr error
+	for attempt := 0; attempt < policy.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			if policy.Timeout > 0 && b.client.Now()+backoff > started+policy.Timeout {
+				return fmt.Errorf("core: publish of %q timed out after %d attempts (%.3fs virtual): %w",
+					key, attempt, b.client.Now()-started, lastErr)
+			}
+			b.client.Compute(backoff)
+			backoff *= 2
+			b.retries++
+		}
+		target := worker
+		if !b.cfg.Cluster.WorkerAlive(target) {
+			target = -1
+			n := b.cfg.Cluster.NumWorkers()
+			for k := 1; k < n; k++ {
+				if cand := (worker + k) % n; b.cfg.Cluster.WorkerAlive(cand) {
+					target = cand
+					break
+				}
+			}
+			if target < 0 {
+				return fmt.Errorf("core: publish of %q: no live workers", key)
+			}
+		}
+		var fault PublishFault
+		if b.cfg.Interceptor != nil {
+			fault = b.cfg.Interceptor.OnPublish(b.cfg.Rank, step, attempt, key, b.client.Now())
+		}
+		if fault.Delay > 0 {
+			b.client.Compute(fault.Delay)
+		}
+		if fault.Drop {
+			lastErr = ErrPublishDropped
+			continue
+		}
+		err := b.client.Scatter([]dask.ScatterItem{{Key: key, Value: data, Bytes: b.cfg.ScatterBytes}}, true, target)
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, dask.ErrWorkerDied) {
+			return err
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("core: publish of %q failed after %d attempts: %w", key, policy.MaxAttempts, lastErr)
+}
+
+// RepublishLost re-sends every block this bridge published whose key the
+// scheduler has reverted to the external state (its worker died taking
+// the bytes with it). It returns the number of blocks republished. Call
+// after fault injection settles, and repeat until it returns 0.
+func (b *Bridge) RepublishLost(at vtime.Time) (int, error) {
+	if !b.ready || b.cfg.Mode != ModeExternal {
+		return 0, nil
+	}
+	b.client.Clock().Sync(at)
+	keys := make([]string, 0, len(b.published))
+	for k := range b.published {
+		keys = append(keys, string(k))
+	}
+	sort.Strings(keys)
+	n := 0
+	for _, ks := range keys {
+		key := taskgraph.Key(ks)
+		state, ok := b.cfg.Cluster.TaskState(key)
+		if !ok || state != dask.StateExternal {
+			continue
+		}
+		pb := b.published[key]
+		va := b.arrays[pb.array]
+		step := 0
+		if va.TimeDim >= 0 && va.TimeDim < len(pb.pos) {
+			step = pb.pos[va.TimeDim]
+		}
+		var worker int
+		if b.cfg.PlaceWorker != nil {
+			worker = b.cfg.PlaceWorker(va, pb.pos, b.cfg.Cluster.NumWorkers())
+		} else {
+			worker = va.WorkerForBlock(pb.pos, b.cfg.Cluster.NumWorkers())
+		}
+		if err := b.scatterExternal(key, pb.data, step, worker); err != nil {
+			return n, fmt.Errorf("core: republish of %q: %w", key, err)
+		}
+		b.republished++
+		n++
+	}
+	return n, nil
+}
+
 // Stats returns how many blocks were sent and skipped (contract filter).
 func (b *Bridge) Stats() (sent, skipped int64) {
 	return b.blocksSent, b.blocksSkipped
+}
+
+// RetryStats returns how many publish attempts were retried and how many
+// lost blocks were republished.
+func (b *Bridge) RetryStats() (retries, republished int64) {
+	return b.retries, b.republished
 }
 
 // Node returns the bridge's fabric node.

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"errors"
+
+	"deisago/internal/taskgraph"
+	"deisago/internal/vtime"
+)
+
+// Publish-side fault injection and retry policy. The chaos harness
+// (package chaos) implements PublishInterceptor to drop or delay
+// individual publish attempts; the bridge's retry loop then re-sends
+// with exponential backoff, and failover places the block on another
+// live worker when the preselected one has died.
+
+// ErrPublishDropped reports a publish attempt lost in flight by fault
+// injection. The bridge treats it as retryable.
+var ErrPublishDropped = errors.New("core: publish dropped in flight")
+
+// PublishFault is an interceptor's decision about one publish attempt.
+// Delay is virtual compute time spent before the attempt (a stalled
+// simulation rank); Drop loses the attempt in flight after the time is
+// spent.
+type PublishFault struct {
+	Drop  bool
+	Delay vtime.Dur
+}
+
+// PublishInterceptor sees every external-mode publish attempt before it
+// is sent. Implementations must be deterministic functions of the
+// logical coordinates (rank, step, attempt, key) — the virtual time is
+// provided for scheduling side effects (e.g. worker kills), not for
+// decisions — so a seeded fault plan reproduces identically.
+type PublishInterceptor interface {
+	OnPublish(rank, step, attempt int, key taskgraph.Key, now vtime.Time) PublishFault
+}
+
+// RetryPolicy bounds the bridge's publish retry loop.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries (first attempt included).
+	MaxAttempts int
+	// BaseBackoff is the virtual wait after the first failure; it
+	// doubles after every further failure.
+	BaseBackoff vtime.Dur
+	// Timeout caps the cumulative virtual time spent on one block,
+	// measured from the first attempt.
+	Timeout vtime.Dur
+}
+
+// DefaultRetryPolicy is used when BridgeConfig.Retry is zero.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 6, BaseBackoff: 1e-3, Timeout: 30}
+}
+
+func (p RetryPolicy) orDefault() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		return DefaultRetryPolicy()
+	}
+	return p
+}

@@ -1,0 +1,284 @@
+package dask
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"deisago/internal/taskgraph"
+	"deisago/internal/vtime"
+)
+
+// Scheduler invariant auditor: a debug-mode pass that records every task
+// state transition and re-checks the state machine's invariants after
+// each scheduler mutation. It is the correctness oracle for the chaos
+// harness (package chaos): with faults injected, the scheduler may take
+// unusual paths (memory → waiting, memory → external, mass replans), and
+// the auditor proves every intermediate state is still consistent.
+//
+// Invariants checked (with the scheduler lock held, after each mutation):
+//
+//  1. A task in memory has a valid owning worker the scheduler believes
+//     alive, and that worker's object store actually holds the key.
+//  2. A waiting task's missing set is exactly its dependencies that are
+//     not in memory; no waiting task has an erred dependency (errors
+//     cascade immediately).
+//  3. External tasks are never assigned to a worker.
+//  4. Released keys hold no bytes on any scheduler-live worker.
+//  5. Processing tasks are assigned to scheduler-live workers.
+//  6. Dependency wiring is bidirectional and acyclic-by-construction:
+//     every dependency edge has a matching dependents entry and vice
+//     versa, and dependents only reference registered tasks.
+//  7. Erred tasks carry an error; memory tasks carry non-negative bytes.
+//
+// A violation fails loudly: the auditor panics with the violation and the
+// tail of the full transition log, so the interleaving that produced the
+// bad state is visible.
+
+// stateNone marks task creation in the transition log (no prior state).
+const stateNone State = -1
+
+// Transition is one audited scheduler state change.
+type Transition struct {
+	Op     string // scheduler operation that caused the change
+	Key    taskgraph.Key
+	From   State // stateNone on task creation
+	To     State
+	Worker int // owner/assignee after the change; -1 none
+	At     vtime.Time
+}
+
+// String formats one transition.
+func (tr Transition) String() string {
+	from := "·"
+	if tr.From != stateNone {
+		from = tr.From.String()
+	}
+	return fmt.Sprintf("[%s] %s: %s -> %s (worker %d, t=%.6f)",
+		tr.Op, tr.Key, from, tr.To, tr.Worker, tr.At)
+}
+
+// auditLogCap bounds the retained transition log; older entries are
+// discarded (the count of discarded entries is reported on violation).
+const auditLogCap = 16384
+
+// auditor holds the transition log and the released-key shadow set. All
+// fields are guarded by the owning scheduler's mutex.
+type auditor struct {
+	log       []Transition
+	truncated int64
+	released  map[taskgraph.Key]bool
+	op        string // mutation currently in progress (panic context)
+	at        vtime.Time
+}
+
+// auditEnvEnabled reports whether the DEISA_AUDIT environment variable
+// asks for auditing on every cluster (the CI gate sets it so the entire
+// test suite runs with the oracle on).
+func auditEnvEnabled() bool {
+	v := os.Getenv("DEISA_AUDIT")
+	return v != "" && v != "0"
+}
+
+// EnableAudit turns on the scheduler invariant auditor. Call before
+// submitting work. Auditing costs a full state scan per scheduler
+// mutation, so it is meant for tests, chaos runs, and debugging, not for
+// performance measurements.
+func (c *Cluster) EnableAudit() {
+	c.sched.mu.Lock()
+	if c.sched.audit == nil {
+		c.sched.audit = &auditor{released: map[taskgraph.Key]bool{}}
+	}
+	c.sched.mu.Unlock()
+}
+
+// AuditEnabled reports whether the invariant auditor is on.
+func (c *Cluster) AuditEnabled() bool {
+	c.sched.mu.Lock()
+	defer c.sched.mu.Unlock()
+	return c.sched.audit != nil
+}
+
+// AuditLog returns a copy of the recorded transition log (oldest first).
+func (c *Cluster) AuditLog() []Transition {
+	c.sched.mu.Lock()
+	defer c.sched.mu.Unlock()
+	if c.sched.audit == nil {
+		return nil
+	}
+	return append([]Transition(nil), c.sched.audit.log...)
+}
+
+// beginOpLocked tags the mutation in progress for transition records.
+func (s *scheduler) beginOpLocked(op string, at vtime.Time) {
+	if s.audit == nil {
+		return
+	}
+	s.audit.op = op
+	s.audit.at = at
+}
+
+// recordLocked appends one transition to the log. Call with s.mu held,
+// after the task's state/worker fields are updated.
+func (s *scheduler) recordLocked(st *schedTask, from State) {
+	a := s.audit
+	if a == nil {
+		return
+	}
+	if len(a.log) >= auditLogCap {
+		drop := auditLogCap / 4
+		a.truncated += int64(drop)
+		a.log = append(a.log[:0], a.log[drop:]...)
+	}
+	a.log = append(a.log, Transition{
+		Op: a.op, Key: st.key, From: from, To: st.state, Worker: st.worker, At: a.at,
+	})
+	if st.state != stateNone {
+		delete(a.released, st.key) // key re-registered
+	}
+}
+
+// setStateLocked transitions a task and records it.
+func (s *scheduler) setStateLocked(st *schedTask, to State) {
+	from := st.state
+	st.state = to
+	s.recordLocked(st, from)
+}
+
+// recordReleaseLocked notes a key leaving the scheduler via release.
+func (s *scheduler) recordReleaseLocked(st *schedTask) {
+	a := s.audit
+	if a == nil {
+		return
+	}
+	s.recordLocked(st, st.state)
+	a.released[st.key] = true
+}
+
+// failLocked panics with the violation and the transition log tail.
+func (s *scheduler) failLocked(format string, args ...any) {
+	a := s.audit
+	var b strings.Builder
+	fmt.Fprintf(&b, "dask: scheduler invariant violated during %q: ", a.op)
+	fmt.Fprintf(&b, format, args...)
+	b.WriteString("\ntransition log")
+	if a.truncated > 0 {
+		fmt.Fprintf(&b, " (%d older entries discarded)", a.truncated)
+	}
+	b.WriteString(":\n")
+	for _, tr := range a.log {
+		b.WriteString("  ")
+		b.WriteString(tr.String())
+		b.WriteString("\n")
+	}
+	panic(b.String())
+}
+
+// auditLocked re-checks every invariant. Call with s.mu held at the end
+// of each mutating scheduler operation.
+func (s *scheduler) auditLocked() {
+	if s.audit == nil {
+		return
+	}
+	for _, st := range s.tasks {
+		switch st.state {
+		case StateMemory:
+			if st.worker < 0 || st.worker >= len(s.cl.workers) {
+				s.failLocked("task %q in memory with invalid worker %d", st.key, st.worker)
+			}
+			if s.deadWorkers[st.worker] {
+				s.failLocked("task %q in memory on dead worker %d", st.key, st.worker)
+			}
+			if !s.cl.workers[st.worker].has(st.key) {
+				s.failLocked("task %q in memory but worker %d's store lacks it", st.key, st.worker)
+			}
+			if st.bytes < 0 {
+				s.failLocked("task %q in memory with negative size %d", st.key, st.bytes)
+			}
+		case StateWaiting:
+			for _, d := range st.deps {
+				dt := s.tasks[d]
+				if dt == nil {
+					if !st.missing[d] {
+						s.failLocked("waiting task %q: unregistered dependency %q not in missing set", st.key, d)
+					}
+					continue
+				}
+				switch dt.state {
+				case StateMemory:
+					if st.missing[d] {
+						s.failLocked("waiting task %q: dependency %q is in memory but still marked missing", st.key, d)
+					}
+				case StateErred:
+					s.failLocked("waiting task %q has erred dependency %q (error did not cascade)", st.key, d)
+				default:
+					if !st.missing[d] {
+						s.failLocked("waiting task %q: unfinished dependency %q (state %s) not in missing set", st.key, d, dt.state)
+					}
+				}
+			}
+			for d := range st.missing {
+				found := false
+				for _, dep := range st.deps {
+					if dep == d {
+						found = true
+						break
+					}
+				}
+				if !found {
+					s.failLocked("waiting task %q: missing entry %q is not a dependency", st.key, d)
+				}
+			}
+		case StateExternal:
+			if st.worker != -1 {
+				s.failLocked("external task %q assigned to worker %d", st.key, st.worker)
+			}
+		case StateProcessing:
+			if st.worker < 0 || st.worker >= len(s.cl.workers) {
+				s.failLocked("task %q processing on invalid worker %d", st.key, st.worker)
+			}
+			if s.deadWorkers[st.worker] {
+				s.failLocked("task %q processing on dead worker %d", st.key, st.worker)
+			}
+		case StateErred:
+			if st.err == nil {
+				s.failLocked("task %q erred without an error", st.key)
+			}
+		}
+		for d := range st.dependents {
+			dt := s.tasks[d]
+			if dt == nil {
+				s.failLocked("task %q has dependent %q that is not registered", st.key, d)
+			}
+			found := false
+			for _, dep := range dt.deps {
+				if dep == st.key {
+					found = true
+					break
+				}
+			}
+			if !found {
+				s.failLocked("task %q lists dependent %q, which does not depend on it", st.key, d)
+			}
+		}
+	}
+	if len(s.audit.released) > 0 {
+		keys := make([]string, 0, len(s.audit.released))
+		for k := range s.audit.released {
+			keys = append(keys, string(k))
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			key := taskgraph.Key(k)
+			for id, w := range s.cl.workers {
+				if s.deadWorkers[id] {
+					continue
+				}
+				if w.has(key) {
+					s.failLocked("released key %q still holds bytes on worker %d", key, id)
+				}
+			}
+		}
+	}
+}

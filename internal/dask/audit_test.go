@@ -1,0 +1,160 @@
+package dask
+
+import (
+	"strings"
+	"testing"
+
+	"deisago/internal/taskgraph"
+)
+
+func mustPanic(t *testing.T, contains string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected invariant panic containing %q", contains)
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, contains) {
+			t.Fatalf("panic = %v, want message containing %q", r, contains)
+		}
+		if !strings.Contains(msg, "transition log") {
+			t.Fatalf("violation panic lacks the transition log: %v", r)
+		}
+	}()
+	f()
+}
+
+func TestAuditorRecordsTransitions(t *testing.T) {
+	c, cl := testCluster(t, 2)
+	c.EnableAudit()
+	g := taskgraph.New()
+	g.AddFn("a", nil, func([]any) (any, error) { return 1.0, nil }, 1e-4)
+	g.AddFn("b", []taskgraph.Key{"a"}, func(in []any) (any, error) {
+		return in[0].(float64) + 1, nil
+	}, 1e-4)
+	futs, err := cl.Submit(g, []taskgraph.Key{"b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Wait(futs); err != nil {
+		t.Fatal(err)
+	}
+	log := c.AuditLog()
+	if len(log) == 0 {
+		t.Fatal("no transitions recorded")
+	}
+	var created, toMemory int
+	for _, tr := range log {
+		if tr.From == stateNone {
+			created++
+		}
+		if tr.To == StateMemory {
+			toMemory++
+		}
+	}
+	if created != 2 {
+		t.Fatalf("creation records = %d, want 2", created)
+	}
+	if toMemory != 2 {
+		t.Fatalf("memory transitions = %d, want 2", toMemory)
+	}
+}
+
+func TestAuditorDetectsStoreMismatch(t *testing.T) {
+	// A memory task whose owner's store lacks the bytes is corruption.
+	c, cl := testCluster(t, 2)
+	c.EnableAudit()
+	if err := cl.Scatter([]ScatterItem{{Key: "d", Value: 1.0}}, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	c.workers[0].drop("d") // corrupt: scheduler still believes it resident
+	s := c.sched
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	mustPanic(t, "store lacks it", func() { s.auditLocked() })
+}
+
+func TestAuditorDetectsExternalWithWorker(t *testing.T) {
+	c, cl := testCluster(t, 2)
+	c.EnableAudit()
+	if _, err := cl.ExternalFutures([]taskgraph.Key{"ext"}); err != nil {
+		t.Fatal(err)
+	}
+	s := c.sched
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tasks["ext"].worker = 0 // corrupt: external tasks are never assigned
+	mustPanic(t, "external task", func() { s.auditLocked() })
+}
+
+func TestAuditorDetectsMissingSetDrift(t *testing.T) {
+	c, cl := testCluster(t, 2)
+	c.EnableAudit()
+	if _, err := cl.ExternalFutures([]taskgraph.Key{"ext"}); err != nil {
+		t.Fatal(err)
+	}
+	g := taskgraph.New()
+	g.AddFn("use", []taskgraph.Key{"ext"}, func(in []any) (any, error) { return in[0], nil }, 1e-4)
+	if _, err := cl.Submit(g, []taskgraph.Key{"use"}); err != nil {
+		t.Fatal(err)
+	}
+	s := c.sched
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.tasks["use"].missing, "ext") // corrupt: dep not in memory yet
+	mustPanic(t, "not in missing set", func() { s.auditLocked() })
+}
+
+func TestAuditorDetectsMemoryOnDeadWorker(t *testing.T) {
+	c, cl := testCluster(t, 2)
+	c.EnableAudit()
+	if err := cl.Scatter([]ScatterItem{{Key: "d", Value: 1.0}}, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	s := c.sched
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.deadWorkers[0] = true // corrupt: worker-lost replan never ran
+	mustPanic(t, "dead worker", func() { s.auditLocked() })
+}
+
+func TestAuditorReleasedKeysHoldNoBytes(t *testing.T) {
+	c, cl := testCluster(t, 2)
+	c.EnableAudit()
+	g := taskgraph.New()
+	g.AddFn("a", nil, func([]any) (any, error) { return 1.0, nil }, 1e-4)
+	futs, err := cl.Submit(g, []taskgraph.Key{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Wait(futs); err != nil {
+		t.Fatal(err)
+	}
+	owner, _, _, err := c.sched.locate("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Release(futs); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt: sneak the released bytes back into the store.
+	c.workers[owner].put("a", 1.0, 8, 0)
+	s := c.sched
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	mustPanic(t, "released key", func() { s.auditLocked() })
+}
+
+func TestAuditEnvEnablesCluster(t *testing.T) {
+	t.Setenv("DEISA_AUDIT", "1")
+	c, _ := testCluster(t, 1)
+	if !c.AuditEnabled() {
+		t.Fatal("DEISA_AUDIT=1 did not enable the auditor")
+	}
+	t.Setenv("DEISA_AUDIT", "0")
+	c2, _ := testCluster(t, 1)
+	if c2.AuditEnabled() {
+		t.Fatal("DEISA_AUDIT=0 enabled the auditor")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"deisago/internal/netsim"
+	"deisago/internal/taskgraph"
 	"deisago/internal/vtime"
 )
 
@@ -32,6 +33,9 @@ func NewCluster(fabric *netsim.Fabric, cfg Config, schedNode netsim.NodeID, work
 	}
 	c := &Cluster{cfg: cfg, fabric: fabric, schedNode: schedNode}
 	c.sched = newScheduler(c)
+	if auditEnvEnabled() {
+		c.sched.audit = &auditor{released: map[taskgraph.Key]bool{}}
+	}
 	for i, n := range workerNodes {
 		w := newWorker(c, i, n)
 		c.workers = append(c.workers, w)
@@ -60,6 +64,11 @@ func (c *Cluster) SchedulerNode() netsim.NodeID { return c.schedNode }
 // TaskStates returns the number of scheduler tasks in each state — the
 // information a Dask dashboard's task-stream panel summarizes.
 func (c *Cluster) TaskStates() map[State]int { return c.sched.stateCounts() }
+
+// TaskState reports the scheduler state of one key, and whether the key
+// is registered at all. Producers use it to detect external data lost
+// with a worker (the key reverts to StateExternal) and republish.
+func (c *Cluster) TaskState(key taskgraph.Key) (State, bool) { return c.sched.taskState(key) }
 
 // WorkerStatsAll snapshots every worker's monitoring stats.
 func (c *Cluster) WorkerStatsAll() []WorkerStats {

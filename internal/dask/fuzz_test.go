@@ -1,0 +1,148 @@
+package dask
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"deisago/internal/taskgraph"
+)
+
+// FuzzSchedulerAudit drives the scheduler through random interleavings
+// of submit / scatter / external-create / publish / kill / release ops
+// decoded from the fuzz input, with the invariant auditor on. Any
+// invariant violation panics; a drain that cannot finish within the
+// watchdog is reported as a deadlock. Run with:
+//
+//	go test -fuzz=FuzzSchedulerAudit -fuzztime=30s ./internal/dask
+func FuzzSchedulerAudit(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5})
+	f.Add([]byte{2, 3, 4, 3, 2, 3, 4, 3, 0, 0, 5, 1, 4})
+	f.Add([]byte{4, 4, 4, 0, 2, 3, 0, 5, 5, 5})
+	f.Add([]byte("submit-publish-kill-release"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 64 {
+			data = data[:64]
+		}
+		c, cl := testClusterQuick(3)
+		defer c.Close()
+		c.EnableAudit()
+
+		sum := func(in []any) (any, error) {
+			total := 0.0
+			for _, v := range in {
+				if f, ok := v.(float64); ok {
+					total += f
+				}
+			}
+			return total, nil
+		}
+
+		var futs []*Future          // futures to drain at the end
+		var keys []taskgraph.Key    // every registered key, for deps/release
+		var extKeys []taskgraph.Key // external keys needing publishes
+		bridge := c.NewClient("bridge", 1, math.Inf(1))
+		nextID := 0
+		fresh := func(prefix string) taskgraph.Key {
+			nextID++
+			return taskgraph.Key(fmt.Sprintf("%s%d", prefix, nextID))
+		}
+		liveTarget := func(b byte) (int, bool) {
+			live := c.LiveWorkers()
+			if len(live) == 0 {
+				return 0, false
+			}
+			return live[int(b)%len(live)], true
+		}
+
+		for i := 0; i < len(data); i++ {
+			op := data[i] % 6
+			arg := byte(0)
+			if i+1 < len(data) {
+				arg = data[i+1]
+			}
+			switch op {
+			case 0, 1: // submit a small chain over random known keys
+				g := taskgraph.New()
+				var deps []taskgraph.Key
+				if len(keys) > 0 && op == 1 {
+					deps = append(deps, keys[int(arg)%len(keys)])
+				}
+				k1 := fresh("t")
+				g.AddFn(k1, deps, sum, 1e-5)
+				k2 := fresh("t")
+				g.AddFn(k2, []taskgraph.Key{k1}, sum, 1e-5)
+				fs, err := cl.Submit(g, []taskgraph.Key{k2})
+				if err != nil {
+					continue // e.g. dep was released concurrently
+				}
+				keys = append(keys, k1, k2)
+				futs = append(futs, fs...)
+			case 2: // create an external task
+				k := fresh("ext")
+				fs, err := cl.ExternalFutures([]taskgraph.Key{k})
+				if err != nil {
+					continue
+				}
+				keys = append(keys, k)
+				extKeys = append(extKeys, k)
+				futs = append(futs, fs...)
+			case 3: // publish one pending external key
+				if len(extKeys) == 0 {
+					continue
+				}
+				k := extKeys[int(arg)%len(extKeys)]
+				if st, ok := c.TaskState(k); !ok || st != StateExternal {
+					continue
+				}
+				if w, ok := liveTarget(arg); ok {
+					_ = bridge.Scatter([]ScatterItem{{Key: k, Value: 1.0}}, true, w)
+				}
+			case 4: // kill a live worker, keeping one survivor
+				live := c.LiveWorkers()
+				if len(live) < 2 {
+					continue
+				}
+				_ = c.KillWorker(live[int(arg)%len(live)], cl.Now())
+			case 5: // release a random future (refused if depended upon)
+				if len(futs) == 0 {
+					continue
+				}
+				_ = cl.Release([]*Future{futs[int(arg)%len(futs)]})
+			}
+		}
+
+		// Drain: republish anything still external (kills can no longer
+		// fire), then wait for every future under a deadlock watchdog.
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for pass := 0; pass < len(extKeys)+1; pass++ {
+				n := 0
+				for _, k := range extKeys {
+					if st, ok := c.TaskState(k); ok && st == StateExternal {
+						if w, ok := liveTarget(byte(pass)); ok {
+							_ = bridge.Scatter([]ScatterItem{{Key: k, Value: 1.0}}, true, w)
+							n++
+						}
+					}
+				}
+				if n == 0 {
+					break
+				}
+			}
+			for _, fu := range futs {
+				_ = cl.Wait([]*Future{fu}) // erred/released is fine; hanging is not
+			}
+		}()
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatalf("scheduler deadlocked draining %d futures (ops=%v)", len(futs), data)
+		}
+		if len(c.AuditLog()) == 0 && len(keys) > 0 {
+			t.Fatal("auditor recorded nothing despite registered tasks")
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package dask
 
 import (
+	"errors"
 	"fmt"
 
 	"deisago/internal/taskgraph"
@@ -12,6 +13,11 @@ import (
 // (lineage); pure data that was scattered into the lost worker cannot be
 // recomputed — external tasks return to the external state (the
 // simulation can republish), plain scattered data becomes erred.
+
+// ErrWorkerDied reports an operation that targeted a worker the
+// scheduler knows to be dead. Producers (the bridge) match it with
+// errors.Is and retry on another worker.
+var ErrWorkerDied = errors.New("dask: worker died")
 
 // KillWorker removes a worker from the cluster at the given virtual
 // time: its queued assignments are abandoned, its stored results are
@@ -31,14 +37,31 @@ func (c *Cluster) KillWorker(id int, at vtime.Time) error {
 	if w.isDead() {
 		return fmt.Errorf("dask: worker %d already dead", id)
 	}
-	w.kill()
+	w.kill(at)
 	c.sched.workerLost(id, at)
 	return nil
 }
 
-func (w *worker) kill() {
+// WorkerAlive reports whether the scheduler still considers the worker
+// schedulable.
+func (c *Cluster) WorkerAlive(id int) bool {
+	c.sched.mu.Lock()
+	defer c.sched.mu.Unlock()
+	return id >= 0 && id < len(c.workers) && !c.sched.deadWorkers[id]
+}
+
+// LiveWorkers returns the ids of workers the scheduler considers alive,
+// in ascending order.
+func (c *Cluster) LiveWorkers() []int {
+	c.sched.mu.Lock()
+	defer c.sched.mu.Unlock()
+	return c.sched.liveWorkersLocked()
+}
+
+func (w *worker) kill(at vtime.Time) {
 	w.mu.Lock()
 	w.dead = true
+	w.killedAt = at
 	w.inbox = nil
 	w.mu.Unlock()
 	w.cond.Broadcast()
@@ -55,8 +78,11 @@ func (s *scheduler) workerLost(id int, at vtime.Time) {
 	handled := s.handle(at, s.cl.cfg.SchedulerMsgCost)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.auditLocked()
+	s.beginOpLocked("worker-lost", handled)
+	s.deadWorkers[id] = true
 
-	lostErr := fmt.Errorf("dask: worker %d died", id)
+	lostErr := fmt.Errorf("dask: worker %d: %w", id, ErrWorkerDied)
 	for _, st := range s.tasks {
 		if st.worker != id {
 			continue
@@ -66,21 +92,21 @@ func (s *scheduler) workerLost(id int, at vtime.Time) {
 			switch {
 			case st.fn != nil || st.timed != nil:
 				// Recomputable from lineage.
-				st.state = StateWaiting
 				st.worker = -1
 				st.readyAt = 0
+				s.setStateLocked(st, StateWaiting)
 			case st.wasExternal:
 				// The external environment can republish.
-				st.state = StateExternal
 				st.worker = -1
 				st.readyAt = 0
+				s.setStateLocked(st, StateExternal)
 			default:
 				// Plain scattered data is gone for good.
 				s.erredLocked(st, lostErr)
 			}
 		case StateProcessing, StateReady:
-			st.state = StateWaiting
 			st.worker = -1
+			s.setStateLocked(st, StateWaiting)
 		}
 	}
 	// Cascade: a task in memory may depend on nothing anymore, but tasks
@@ -112,12 +138,12 @@ func (s *scheduler) workerLost(id int, at vtime.Time) {
 	s.cond.Broadcast()
 }
 
-// liveWorkers returns the indices of workers accepting tasks. Caller
-// holds no locks; worker liveness has its own lock.
-func (s *scheduler) liveWorkers() []int {
+// liveWorkersLocked returns the indices of workers the scheduler
+// considers alive. Caller must hold s.mu.
+func (s *scheduler) liveWorkersLocked() []int {
 	var out []int
-	for i, w := range s.cl.workers {
-		if !w.isDead() {
+	for i := range s.cl.workers {
+		if !s.deadWorkers[i] {
 			out = append(out, i)
 		}
 	}

@@ -91,15 +91,23 @@ type scheduler struct {
 	vars   map[string]*varEntry
 	queues map[string]*queueEntry
 	rr     int
+	// deadWorkers is the scheduler's own view of worker liveness: a
+	// worker is dead here once its workerLost replan has run. State
+	// checks (and the invariant auditor) use this view, not the
+	// real-time worker flag, so a kill that has been signalled but not
+	// yet processed cannot make a consistent state look corrupt.
+	deadWorkers map[int]bool
+	audit       *auditor
 }
 
 func newScheduler(cl *Cluster) *scheduler {
 	s := &scheduler{
-		cl:     cl,
-		cpu:    vtime.NewResource("scheduler-cpu"),
-		tasks:  make(map[taskgraph.Key]*schedTask),
-		vars:   make(map[string]*varEntry),
-		queues: make(map[string]*queueEntry),
+		cl:          cl,
+		cpu:         vtime.NewResource("scheduler-cpu"),
+		tasks:       make(map[taskgraph.Key]*schedTask),
+		vars:        make(map[string]*varEntry),
+		queues:      make(map[string]*queueEntry),
+		deadWorkers: map[int]bool{},
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s
@@ -124,6 +132,8 @@ func (s *scheduler) submitGraph(g *taskgraph.Graph, arrival vtime.Time) (vtime.T
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.auditLocked()
+	s.beginOpLocked("submit", handled)
 
 	keys := g.Keys()
 	// Validate first: no duplicates, all out-of-graph deps known.
@@ -161,6 +171,7 @@ func (s *scheduler) submitGraph(g *taskgraph.Graph, arrival vtime.Time) (vtime.T
 			worker:     -1,
 		}
 		s.tasks[k] = st
+		s.recordLocked(st, stateNone)
 		s.cl.counters.TasksRegistered.Add(1)
 	}
 	// Wire dependencies and find initially runnable tasks.
@@ -174,8 +185,7 @@ func (s *scheduler) submitGraph(g *taskgraph.Graph, arrival vtime.Time) (vtime.T
 			case StateMemory:
 				// satisfied
 			case StateErred:
-				st.state = StateErred
-				st.err = fmt.Errorf("dask: dependency %q erred: %w", d, dt.err)
+				s.erredLocked(st, fmt.Errorf("dask: dependency %q erred: %w", d, dt.err))
 			default:
 				st.missing[d] = true
 			}
@@ -196,13 +206,15 @@ func (s *scheduler) createExternal(keys []taskgraph.Key, arrival vtime.Time) (vt
 	handled := s.handle(arrival, s.cl.cfg.SchedulerTaskCost*vtime.Dur(len(keys)))
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.auditLocked()
+	s.beginOpLocked("create-external", handled)
 	for _, k := range keys {
 		if _, dup := s.tasks[k]; dup {
 			return handled, fmt.Errorf("dask: external task %q already exists", k)
 		}
 	}
 	for _, k := range keys {
-		s.tasks[k] = &schedTask{
+		st := &schedTask{
 			key:         k,
 			state:       StateExternal,
 			worker:      -1,
@@ -210,6 +222,8 @@ func (s *scheduler) createExternal(keys []taskgraph.Key, arrival vtime.Time) (vt
 			dependents:  map[taskgraph.Key]bool{},
 			wasExternal: true,
 		}
+		s.tasks[k] = st
+		s.recordLocked(st, stateNone)
 		s.cl.counters.ExternalCreated.Add(1)
 	}
 	return handled, nil
@@ -233,8 +247,18 @@ func (s *scheduler) updateData(items []dataItem, external bool, arrival vtime.Ti
 	handled := s.handle(arrival, s.cl.cfg.SchedulerTaskCost*vtime.Dur(len(items)))
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.auditLocked()
+	s.beginOpLocked("update-data", handled)
 	for _, it := range items {
 		st, known := s.tasks[it.key]
+		if s.deadWorkers[it.worker] {
+			// The target died before the scheduler processed the update:
+			// the shipped bytes are lost with it. External keys stay in
+			// the external state (the producer retries elsewhere); fresh
+			// scatters are simply not registered.
+			return handled, fmt.Errorf("dask: update-data for %q targets worker %d: %w",
+				it.key, it.worker, ErrWorkerDied)
+		}
 		if external {
 			if !known {
 				return handled, fmt.Errorf("dask: external update for unknown key %q", it.key)
@@ -260,7 +284,7 @@ func (s *scheduler) updateData(items []dataItem, external bool, arrival vtime.Ti
 		st.worker = it.worker
 		st.bytes = it.bytes
 		st.readyAt = it.readyAt
-		st.state = StateMemory
+		s.setStateLocked(st, StateMemory)
 		s.onMemoryLocked(st, handled)
 	}
 	s.cond.Broadcast()
@@ -274,24 +298,30 @@ func (s *scheduler) taskFinished(key taskgraph.Key, workerID int, finishedAt vti
 	handled := s.handle(arrival, s.cl.cfg.SchedulerTaskCost)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.auditLocked()
+	s.beginOpLocked("task-finished", handled)
 	st, ok := s.tasks[key]
-	if !ok || st.state != StateProcessing {
-		// Late or duplicate report; ignore.
+	if !ok || st.state != StateProcessing || st.worker != workerID || s.deadWorkers[workerID] {
+		// Late, duplicate, or dead-worker report; ignore. The worker
+		// check rejects completion reports racing a kill after the
+		// workerLost replan reassigned the task elsewhere.
 		return
 	}
-	st.state = StateMemory
 	st.worker = workerID
 	st.bytes = bytes
 	st.readyAt = finishedAt
+	s.setStateLocked(st, StateMemory)
 	s.onMemoryLocked(st, handled)
 	s.cond.Broadcast()
 }
 
 // taskErred marks a task failed and cascades the error to dependents.
 func (s *scheduler) taskErred(key taskgraph.Key, err error, arrival vtime.Time) {
-	s.handle(arrival, s.cl.cfg.SchedulerTaskCost)
+	handled := s.handle(arrival, s.cl.cfg.SchedulerTaskCost)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.auditLocked()
+	s.beginOpLocked("task-erred", handled)
 	if st, ok := s.tasks[key]; ok {
 		s.erredLocked(st, err)
 	}
@@ -302,8 +332,8 @@ func (s *scheduler) erredLocked(st *schedTask, err error) {
 	if st.state == StateErred {
 		return
 	}
-	st.state = StateErred
 	st.err = err
+	s.setStateLocked(st, StateErred)
 	for d := range st.dependents {
 		if dt := s.tasks[d]; dt != nil {
 			s.erredLocked(dt, fmt.Errorf("dask: dependency %q erred: %w", st.key, err))
@@ -327,7 +357,7 @@ func (s *scheduler) onMemoryLocked(st *schedTask, handled vtime.Time) {
 
 // assignLocked picks a worker for a ready task and enqueues it there.
 func (s *scheduler) assignLocked(st *schedTask, departAt vtime.Time) {
-	st.state = StateReady
+	s.setStateLocked(st, StateReady)
 	// Decide worker: most dependency bytes already local; ties go round
 	// robin. This matches Dask's data-locality-first decide_worker.
 	// Dead workers are never chosen.
@@ -335,7 +365,7 @@ func (s *scheduler) assignLocked(st *schedTask, departAt vtime.Time) {
 	counts := make(map[int]int64)
 	for _, d := range st.deps {
 		dt := s.tasks[d]
-		if dt != nil && dt.worker >= 0 && dt.state == StateMemory && !s.cl.workers[dt.worker].isDead() {
+		if dt != nil && dt.worker >= 0 && dt.state == StateMemory && !s.deadWorkers[dt.worker] {
 			counts[dt.worker] += dt.bytes
 		}
 	}
@@ -345,15 +375,15 @@ func (s *scheduler) assignLocked(st *schedTask, departAt vtime.Time) {
 		}
 	}
 	if best == -1 {
-		live := s.liveWorkers()
+		live := s.liveWorkersLocked()
 		if len(live) == 0 {
 			panic("dask: no live workers")
 		}
 		best = live[s.rr%len(live)]
 		s.rr++
 	}
-	st.state = StateProcessing
 	st.worker = best
+	s.setStateLocked(st, StateProcessing)
 
 	// Build dependency locations for the worker-side fetch.
 	locs := make([]depLoc, 0, len(st.deps))
@@ -453,6 +483,8 @@ func (s *scheduler) release(keys []taskgraph.Key, arrival vtime.Time) (vtime.Tim
 	handled := s.handle(arrival, s.cl.cfg.SchedulerTaskCost*vtime.Dur(len(keys)))
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.auditLocked()
+	s.beginOpLocked("release", handled)
 	for _, k := range keys {
 		st, ok := s.tasks[k]
 		if !ok {
@@ -477,6 +509,7 @@ func (s *scheduler) release(keys []taskgraph.Key, arrival vtime.Time) (vtime.Tim
 				delete(dt.dependents, k)
 			}
 		}
+		s.recordReleaseLocked(st)
 		delete(s.tasks, k)
 	}
 	return handled, nil

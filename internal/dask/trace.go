@@ -16,13 +16,16 @@ import (
 // the spans in the Chrome trace-event format so they can be inspected in
 // chrome://tracing or Perfetto.
 
-// TraceEvent is one task-execution span in virtual time.
+// TraceEvent is one task-execution span in virtual time. Aborted marks
+// a span cut short by a worker kill: the span is closed at the kill
+// time and the task produced no result on this worker.
 type TraceEvent struct {
-	Key    taskgraph.Key
-	Worker int
-	Start  float64 // virtual seconds
-	End    float64
-	Erred  bool
+	Key     taskgraph.Key
+	Worker  int
+	Start   float64 // virtual seconds
+	End     float64
+	Erred   bool
+	Aborted bool
 }
 
 type tracer struct {
@@ -91,7 +94,10 @@ func WriteChromeTrace(w io.Writer, events []TraceEvent) error {
 	out := make([]chromeEvent, 0, len(events))
 	for _, e := range events {
 		cat := "task"
-		if e.Erred {
+		switch {
+		case e.Aborted:
+			cat = "aborted"
+		case e.Erred:
 			cat = "erred"
 		}
 		out = append(out, chromeEvent{
@@ -102,7 +108,7 @@ func WriteChromeTrace(w io.Writer, events []TraceEvent) error {
 			Dur:  (e.End - e.Start) * 1e6,
 			Pid:  0,
 			Tid:  e.Worker,
-			Args: map[string]any{"erred": e.Erred},
+			Args: map[string]any{"erred": e.Erred, "aborted": e.Aborted},
 		})
 	}
 	enc := json.NewEncoder(w)

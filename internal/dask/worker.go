@@ -44,11 +44,12 @@ type worker struct {
 	node netsim.NodeID
 	cpu  *vtime.Resource
 
-	mu    sync.Mutex
-	cond  *sync.Cond
-	inbox []assignment
-	quit  bool
-	dead  bool
+	mu       sync.Mutex
+	cond     *sync.Cond
+	inbox    []assignment
+	quit     bool
+	dead     bool
+	killedAt vtime.Time
 
 	storeMu sync.RWMutex
 	store   map[taskgraph.Key]storeEntry
@@ -177,6 +178,27 @@ func (w *worker) exec(a assignment) {
 	if dynEnd > end {
 		w.cpu.Extend(dynEnd)
 		end = dynEnd
+	}
+
+	// A kill may have landed while the task body ran. The span must not
+	// look like a normal completion: it is closed as aborted, truncated
+	// to the kill time, and neither the result nor a completion report
+	// leaves the worker (the scheduler has already re-planned the task).
+	w.mu.Lock()
+	dead, killedAt := w.dead, w.killedAt
+	w.mu.Unlock()
+	if dead {
+		abortEnd := end
+		if killedAt < abortEnd {
+			abortEnd = killedAt
+		}
+		if abortEnd < start {
+			abortEnd = start
+		}
+		if tr := w.cl.tracer(); tr != nil {
+			tr.add(TraceEvent{Key: a.key, Worker: w.id, Start: start, End: abortEnd, Aborted: true})
+		}
+		return
 	}
 
 	if tr := w.cl.tracer(); tr != nil {

@@ -1,0 +1,114 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+
+	"deisago/internal/chaos"
+)
+
+// chaosAcceptancePlan returns the seed-7 plan over the acceptance
+// scenario shape and asserts it has the compound-failure profile the
+// acceptance criteria require: >= 2 worker kills, >= 1 degraded link,
+// >= 1 dropped publish.
+func chaosAcceptancePlan(t *testing.T, cfg Config) *chaos.Plan {
+	t.Helper()
+	plan, err := chaos.NewRandomPlan(7, ChaosSpec(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[chaos.Kind]int{}
+	for _, e := range plan.Events {
+		counts[e.Kind]++
+	}
+	if counts[chaos.KindKillWorker] < 2 || counts[chaos.KindDegradeLink] < 1 || counts[chaos.KindDropPublish] < 1 {
+		t.Fatalf("plan %s lacks the compound-failure profile: %v", plan, counts)
+	}
+	return plan
+}
+
+// TestChaosAcceptance is the PR's acceptance criterion: a seeded plan
+// with >= 2 kills, a degraded link, and a dropped publish over the
+// Fig-2b pipeline completes bit-identical to the fault-free run with
+// the invariant auditor on throughout (zero violations — a violation
+// panics), and the same seed reproduces the identical event log twice.
+func TestChaosAcceptance(t *testing.T) {
+	opts := QuickOptions()
+	cfg := ChaosScenarioConfig(opts, 4, 4)
+	plan := chaosAcceptancePlan(t, cfg)
+
+	report, err := RunChaos(cfg, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Identical {
+		t.Fatalf("analytics diverged from the fault-free run under plan %s", plan)
+	}
+	if len(report.Faulty.ChaosLog) == 0 {
+		t.Fatal("no faults executed")
+	}
+	kills := 0
+	for _, e := range report.Faulty.ChaosLog {
+		if e.Kind == "kill" {
+			kills++
+		}
+	}
+	if kills < 2 {
+		t.Fatalf("only %d kills executed, want >= 2: %v", kills, report.Faulty.ChaosLog)
+	}
+	if report.Faulty.Republished == 0 {
+		t.Fatal("kills of publish-holding workers should force republishes")
+	}
+
+	// Reproducibility: the identical seed yields the identical event log.
+	faulty := cfg
+	faulty.ChaosPlan = plan
+	again, err := Run(faulty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(report.Faulty.ChaosLog, again.ChaosLog) {
+		t.Fatalf("event log not reproducible:\nfirst:  %v\nsecond: %v",
+			report.Faulty.ChaosLog, again.ChaosLog)
+	}
+	if !identicalAnalytics(report.Faulty, again) {
+		t.Fatal("repeated chaos run diverged from itself")
+	}
+}
+
+// TestChaosExplicitPlanDSL runs a hand-written DSL plan end to end.
+func TestChaosExplicitPlanDSL(t *testing.T) {
+	opts := QuickOptions()
+	opts.Timesteps = 4
+	cfg := ChaosScenarioConfig(opts, 2, 3)
+	plan, err := chaos.ParsePlan("kill:0@0/1;kill:2@1/2;degrade:0-1:3@0-inf;drop:1/3:2;delay:0/2:0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := RunChaos(cfg, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Identical {
+		t.Fatalf("results diverged under %s:\n%s", plan, report.Format())
+	}
+	if report.Faulty.PublishRetries == 0 {
+		t.Fatal("dropped publishes should force retries")
+	}
+}
+
+// TestChaosRejectsDeisa1 ensures fault injection refuses non-external
+// systems (kills there lose unrecoverable scattered data by design).
+func TestChaosRejectsDeisa1(t *testing.T) {
+	opts := QuickOptions()
+	cfg := ChaosScenarioConfig(opts, 2, 2)
+	cfg.System = DEISA1
+	plan, err := chaos.ParsePlan("kill:0@0/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.ChaosPlan = plan
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("chaos on DEISA1 accepted")
+	}
+}

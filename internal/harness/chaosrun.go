@@ -1,0 +1,150 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"deisago/internal/chaos"
+	"deisago/internal/netsim"
+)
+
+// Chaos acceptance scenario: the Fig-2b analytics pipeline (DEISA3, the
+// paper's full design) run twice — fault-free and under a fault plan —
+// with the scheduler invariant auditor enabled, verifying the analytics
+// outputs are bit-identical. Used by cmd/experiments -chaos-seed/-plan
+// and by the acceptance test.
+
+// ChaosScenarioConfig returns one weak-scaling point of the Fig-2b
+// pipeline sized for chaos runs.
+func ChaosScenarioConfig(o Options, ranks, workers int) Config {
+	o.defaults()
+	return Config{
+		System:     DEISA3,
+		Ranks:      ranks,
+		Workers:    workers,
+		Timesteps:  o.Timesteps,
+		BlockBytes: o.BlockBytes,
+		Seed:       1,
+	}
+}
+
+// ChaosSpec bounds a random plan to the scenario: two worker kills (or
+// as many as leave a survivor), one degraded link, one dropped and one
+// delayed publish — the compound-failure shape of the acceptance
+// criteria.
+func ChaosSpec(cfg Config) chaos.Spec {
+	kills := 2
+	if kills > cfg.Workers-1 {
+		kills = cfg.Workers - 1
+	}
+	// Link endpoints are drawn from the first few machine nodes; a pair
+	// that carries no scenario traffic degrades nothing, which is still
+	// a valid (timing-only) fault.
+	nodes := []netsim.NodeID{0, 1, 2, 3}
+	return chaos.Spec{
+		Workers:  cfg.Workers,
+		Ranks:    cfg.Ranks,
+		Steps:    cfg.Timesteps,
+		Nodes:    nodes,
+		Kills:    kills,
+		Degrades: 1,
+		Drops:    1,
+		Delays:   1,
+	}
+}
+
+// ChaosReport compares a faulty run against its fault-free twin.
+type ChaosReport struct {
+	Plan      *chaos.Plan
+	Clean     *Result
+	Faulty    *Result
+	Identical bool // analytics outputs bit-identical across the runs
+}
+
+// RunChaos executes cfg fault-free and under the plan (auditor on in
+// the faulty run; any invariant violation panics) and compares the
+// analytics outputs bitwise.
+func RunChaos(cfg Config, plan *chaos.Plan) (*ChaosReport, error) {
+	clean := cfg
+	clean.ChaosPlan = nil
+	cr, err := Run(clean)
+	if err != nil {
+		return nil, fmt.Errorf("harness: fault-free run: %w", err)
+	}
+	faulty := cfg
+	faulty.ChaosPlan = plan
+	fr, err := Run(faulty)
+	if err != nil {
+		return nil, fmt.Errorf("harness: chaos run: %w", err)
+	}
+	return &ChaosReport{
+		Plan:      plan,
+		Clean:     cr,
+		Faulty:    fr,
+		Identical: identicalAnalytics(cr, fr),
+	}, nil
+}
+
+// identicalAnalytics reports whether two runs produced bit-identical
+// analytics outputs (components, singular values, explained variance).
+func identicalAnalytics(a, b *Result) bool {
+	if (a.Components == nil) != (b.Components == nil) {
+		return false
+	}
+	if a.Components != nil {
+		as, bs := a.Components.Shape(), b.Components.Shape()
+		if len(as) != len(bs) {
+			return false
+		}
+		for i := range as {
+			if as[i] != bs[i] {
+				return false
+			}
+		}
+		ad, bd := a.Components.Data(), b.Components.Data()
+		for i := range ad {
+			if ad[i] != bd[i] {
+				return false
+			}
+		}
+	}
+	if len(a.SingularValues) != len(b.SingularValues) ||
+		len(a.ExplainedVariance) != len(b.ExplainedVariance) {
+		return false
+	}
+	for i := range a.SingularValues {
+		if a.SingularValues[i] != b.SingularValues[i] {
+			return false
+		}
+	}
+	for i := range a.ExplainedVariance {
+		if a.ExplainedVariance[i] != b.ExplainedVariance[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Format renders the report for the CLI.
+func (r *ChaosReport) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos scenario: %s, %d ranks, %d workers, %d steps\n",
+		r.Faulty.Config.System, r.Faulty.Config.Ranks, r.Faulty.Config.Workers,
+		r.Faulty.Config.Timesteps)
+	fmt.Fprintf(&b, "plan (seed %d): %s\n", r.Plan.Seed, r.Plan.String())
+	b.WriteString("executed faults:\n")
+	if len(r.Faulty.ChaosLog) == 0 {
+		b.WriteString("  (none)\n")
+	}
+	for _, e := range r.Faulty.ChaosLog {
+		fmt.Fprintf(&b, "  %s\n", e.String())
+	}
+	fmt.Fprintf(&b, "publish retries: %d, blocks republished: %d\n",
+		r.Faulty.PublishRetries, r.Faulty.Republished)
+	verdict := "IDENTICAL"
+	if !r.Identical {
+		verdict = "DIVERGED"
+	}
+	fmt.Fprintf(&b, "analytics vs fault-free run: %s\n", verdict)
+	return b.String()
+}

@@ -7,6 +7,7 @@ import (
 
 	"deisago/internal/array"
 
+	"deisago/internal/chaos"
 	"deisago/internal/cluster"
 	"deisago/internal/core"
 	"deisago/internal/dask"
@@ -53,6 +54,13 @@ type Config struct {
 	FuseGraphs bool
 	// EnableTrace records task-execution spans (Result.Trace).
 	EnableTrace bool
+	// ChaosPlan, when non-nil, runs the scenario under deterministic
+	// fault injection: the scheduler invariant auditor is enabled, the
+	// plan's link faults are installed on the fabric, a chaos controller
+	// intercepts every bridge publish, and blocks lost to worker kills
+	// are republished once the simulation loop finishes. External-mode
+	// (DEISA2/3) in-transit systems only.
+	ChaosPlan *chaos.Plan
 }
 
 func (c *Config) defaults() {
@@ -92,6 +100,14 @@ type Result struct {
 	Counters dask.Snapshot
 	// Trace holds task-execution spans when Config.EnableTrace is set.
 	Trace []dask.TraceEvent
+	// ChaosLog lists the faults executed when Config.ChaosPlan is set;
+	// it is a pure function of the plan and scenario (no timing), so the
+	// same seed yields an identical log on every run.
+	ChaosLog []chaos.LogEntry
+	// PublishRetries/Republished aggregate the bridges' fault recovery:
+	// publish attempts retried after drops or dead targets, and blocks
+	// re-sent after their worker died.
+	PublishRetries, Republished int64
 	// FabricBytes is the total traffic that crossed the interconnect.
 	FabricBytes int64
 	// BlocksSent/BlocksSkipped aggregate bridge-side contract filtering.
@@ -271,6 +287,18 @@ func runInTransit(cfg Config) (*Result, error) {
 	if cfg.System == DEISA1 {
 		mode = core.ModeDEISA1
 	}
+	var ctrl *chaos.Controller
+	if cfg.ChaosPlan != nil {
+		if mode != core.ModeExternal {
+			return nil, fmt.Errorf("harness: chaos injection needs an external-mode system, got %s", cfg.System)
+		}
+		dc.EnableAudit()
+		ctrl, err = chaos.NewController(cfg.ChaosPlan, dc)
+		if err != nil {
+			return nil, err
+		}
+		ctrl.InstallLinkFaults(e.machine.Fabric())
+	}
 	hb := m.Heartbeat(cfg.System)
 	if cfg.HeartbeatOverride > 0 {
 		hb = cfg.HeartbeatOverride
@@ -284,7 +312,7 @@ func runInTransit(cfg Config) (*Result, error) {
 	}
 	bridges := make([]*core.Bridge, cfg.Ranks)
 	for r := 0; r < cfg.Ranks; r++ {
-		bridges[r] = core.NewBridge(core.BridgeConfig{
+		bcfg := core.BridgeConfig{
 			Rank:              r,
 			Cluster:           dc,
 			Node:              e.place.RankNodes[r],
@@ -293,7 +321,11 @@ func runInTransit(cfg Config) (*Result, error) {
 			ScatterBytes:      cfg.BlockBytes,
 			MetaEntries:       cfg.Ranks,
 			PlaceWorker:       place,
-		})
+		}
+		if ctrl != nil {
+			bcfg.Interceptor = ctrl
+		}
+		bridges[r] = core.NewBridge(bcfg)
 	}
 
 	stepDur := newMatrix(cfg.Ranks, cfg.Timesteps)
@@ -358,6 +390,29 @@ func runInTransit(cfg Config) (*Result, error) {
 		}
 		simEnds[r] = c.Now()
 	})
+	if ctrl != nil {
+		// All kills have fired (they trigger at publish points, and the
+		// rank loop is done). Republish blocks whose worker died after
+		// the publish, until the scheduler reports nothing external —
+		// otherwise the analytics would wait forever on lost data.
+		if kerrs := ctrl.KillErrs(); len(kerrs) > 0 {
+			return nil, kerrs[0]
+		}
+		now := vtime.MaxTime(simEnds...)
+		for {
+			n := 0
+			for _, b := range bridges {
+				k, rerr := b.RepublishLost(now)
+				if rerr != nil {
+					return nil, rerr
+				}
+				n += k
+			}
+			if n == 0 {
+				break
+			}
+		}
+	}
 	wg.Wait()
 	close(errs)
 	for err := range errs {
@@ -376,6 +431,12 @@ func runInTransit(cfg Config) (*Result, error) {
 		sent, skipped := b.Stats()
 		res.BlocksSent += sent
 		res.BlocksSkipped += skipped
+		retries, repub := b.RetryStats()
+		res.PublishRetries += retries
+		res.Republished += repub
+	}
+	if ctrl != nil {
+		res.ChaosLog = ctrl.Log()
 	}
 	return res, nil
 }

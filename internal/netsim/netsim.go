@@ -66,6 +66,24 @@ func DefaultConfig() Config {
 	}
 }
 
+// FaultVerdict is a fault hook's decision about one transfer.
+// SlowFactor (when > 0 and != 1) multiplies the transfer's service time
+// on every link of the path; ExtraLatency is added once to the delivery
+// time; Drop marks the message as lost in flight. The links are still
+// occupied for a dropped transfer (the bytes entered the wire before the
+// loss), but delivery-checking callers (TransferChecked) see it fail.
+type FaultVerdict struct {
+	SlowFactor   float64
+	ExtraLatency vtime.Dur
+	Drop         bool
+}
+
+// FaultHook inspects one transfer before it is booked and returns a
+// verdict. Hooks must be deterministic functions of their arguments so
+// seeded runs reproduce; they are called with the fabric unlocked and may
+// not call back into the fabric.
+type FaultHook func(from, to NodeID, size int64, depart vtime.Time) FaultVerdict
+
 type node struct {
 	id      NodeID
 	leaf    int
@@ -89,6 +107,8 @@ type Fabric struct {
 	rng       *rand.Rand
 	transfers int64
 	bytes     int64
+	dropped   int64
+	hooks     []FaultHook
 }
 
 // New builds a fabric with numNodes nodes. Nodes are assigned to leaf
@@ -176,28 +196,79 @@ func (f *Fabric) jitter() float64 {
 	return j
 }
 
+// AddFaultHook installs a fault hook consulted on every transfer (chaos
+// fault injection: link degradation, extra latency, message drops). Hooks
+// compose: slow factors multiply, latencies add, and any Drop verdict
+// drops the message.
+func (f *Fabric) AddFaultHook(h FaultHook) {
+	f.mu.Lock()
+	f.hooks = append(f.hooks, h)
+	f.mu.Unlock()
+}
+
+// ClearFaultHooks removes every installed fault hook.
+func (f *Fabric) ClearFaultHooks() {
+	f.mu.Lock()
+	f.hooks = nil
+	f.mu.Unlock()
+}
+
+// verdict combines every hook's verdict for one transfer.
+func (f *Fabric) verdict(from, to NodeID, size int64, depart vtime.Time) FaultVerdict {
+	f.mu.Lock()
+	hooks := f.hooks
+	f.mu.Unlock()
+	out := FaultVerdict{SlowFactor: 1}
+	for _, h := range hooks {
+		v := h(from, to, size, depart)
+		if v.SlowFactor > 0 {
+			out.SlowFactor *= v.SlowFactor
+		}
+		out.ExtraLatency += v.ExtraLatency
+		out.Drop = out.Drop || v.Drop
+	}
+	return out
+}
+
 // Transfer simulates moving size bytes from one node to another, departing
 // at the given virtual time, and returns the arrival time. Local (same
 // node) transfers cost only the software latency. The transfer occupies
 // every shared link on its path; links are acquired in path order with
 // pipelined starts, so the effective bandwidth is the minimum along the
 // path and congestion at any link delays delivery.
+//
+// Transfer models reliable delivery: fault-hook Drop verdicts are ignored
+// (retransmission is the caller's concern); degradation and extra latency
+// still apply. Use TransferChecked to observe drops.
 func (f *Fabric) Transfer(from, to NodeID, size int64, depart vtime.Time) vtime.Time {
+	t, _ := f.TransferChecked(from, to, size, depart)
+	return t
+}
+
+// TransferChecked is Transfer plus loss observation: it returns the
+// delivery time and whether the message was actually delivered. A dropped
+// transfer still occupies its path (the bytes entered the wire before
+// being lost) and the returned time is when the loss is final.
+func (f *Fabric) TransferChecked(from, to NodeID, size int64, depart vtime.Time) (vtime.Time, bool) {
 	if size < 0 {
 		panic("netsim: negative transfer size")
 	}
 	a, b := f.nodes[f.check(from)], f.nodes[f.check(to)]
+	v := f.verdict(from, to, size, depart)
 
 	f.mu.Lock()
 	f.transfers++
 	f.bytes += size
+	if v.Drop {
+		f.dropped++
+	}
 	f.mu.Unlock()
 
-	t := depart + f.cfg.SoftwareLatency
+	t := depart + f.cfg.SoftwareLatency + v.ExtraLatency
 	if a.id == b.id {
-		return t
+		return t, !v.Drop
 	}
-	j := f.jitter()
+	j := f.jitter() * v.SlowFactor
 	linkD := j * float64(size) / f.cfg.LinkBandwidth
 	hops := f.Hops(from, to)
 	lat := f.cfg.HopLatency * float64(hops)
@@ -215,7 +286,7 @@ func (f *Fabric) Transfer(from, to NodeID, size int64, depart vtime.Time) vtime.
 	}
 	_, e4 := b.ingress.Acquire(start, linkD)
 	end = vtime.MaxTime(end, e4)
-	return end + lat
+	return end + lat, !v.Drop
 }
 
 // TransferDuration returns the unloaded (contention-free, jitter-free)
@@ -244,11 +315,20 @@ func (f *Fabric) Transfers() (n int64, bytes int64) {
 	return f.transfers, f.bytes
 }
 
-// Reset returns every link to idle at time zero and clears counters. The
-// jitter stream is re-seeded so repeated runs are identical.
+// Dropped returns the number of transfers lost to fault-hook drops.
+func (f *Fabric) Dropped() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dropped
+}
+
+// Reset returns every link to idle at time zero and clears counters and
+// fault hooks. The jitter stream is re-seeded so repeated runs are
+// identical.
 func (f *Fabric) Reset() {
 	f.mu.Lock()
-	f.transfers, f.bytes = 0, 0
+	f.transfers, f.bytes, f.dropped = 0, 0, 0
+	f.hooks = nil
 	f.rng = rand.New(rand.NewSource(f.cfg.Seed))
 	f.mu.Unlock()
 	for _, n := range f.nodes {

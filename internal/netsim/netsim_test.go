@@ -225,3 +225,79 @@ func TestPanicsOnBadInput(t *testing.T) {
 		}()
 	}
 }
+
+func TestFaultHookDegradesLink(t *testing.T) {
+	cfg := testConfig()
+	size := int64(1 << 20)
+	base := New(cfg, 10).Transfer(0, 1, size, 0)
+
+	f := New(cfg, 10)
+	f.AddFaultHook(func(from, to NodeID, _ int64, _ float64) FaultVerdict {
+		if (from == 0 && to == 1) || (from == 1 && to == 0) {
+			return FaultVerdict{SlowFactor: 4}
+		}
+		return FaultVerdict{}
+	})
+	slow := f.Transfer(0, 1, size, 0)
+	if slow <= base {
+		t.Fatalf("degraded transfer %v not slower than baseline %v", slow, base)
+	}
+	// Roughly 4x the serialization part: at least 2x end to end.
+	if slow < 2*base-cfg.SoftwareLatency {
+		t.Fatalf("degraded transfer %v too fast vs baseline %v", slow, base)
+	}
+	// Untouched pair is unaffected.
+	other := f.Transfer(2, 3, size, 0)
+	if math.Abs(other-base) > 1e-12 {
+		t.Fatalf("unaffected link changed: %v vs %v", other, base)
+	}
+}
+
+func TestFaultHookWindowAndLatency(t *testing.T) {
+	cfg := testConfig()
+	f := New(cfg, 4)
+	f.AddFaultHook(func(_, _ NodeID, _ int64, depart float64) FaultVerdict {
+		if depart >= 1 && depart < 2 {
+			return FaultVerdict{ExtraLatency: 0.5}
+		}
+		return FaultVerdict{}
+	})
+	before := f.Transfer(0, 1, 0, 0.5)
+	inside := f.Transfer(0, 1, 0, 1.5)
+	if got := inside - 1.5; math.Abs(got-(before-0.5)-0.5) > 1e-9 {
+		t.Fatalf("windowed latency: inside cost %v, outside cost %v", inside-1.5, before-0.5)
+	}
+	after := f.Transfer(0, 1, 0, 2.5)
+	if math.Abs((after-2.5)-(before-0.5)) > 1e-12 {
+		t.Fatalf("fault leaked outside window: %v vs %v", after-2.5, before-0.5)
+	}
+}
+
+func TestFaultHookDrops(t *testing.T) {
+	f := New(testConfig(), 4)
+	drops := 0
+	f.AddFaultHook(func(from, to NodeID, _ int64, _ float64) FaultVerdict {
+		return FaultVerdict{Drop: from == 0 && to == 1}
+	})
+	if _, ok := f.TransferChecked(0, 1, 1024, 0); ok {
+		t.Fatal("dropped transfer reported delivered")
+	}
+	drops++
+	if _, ok := f.TransferChecked(1, 0, 1024, 0); !ok {
+		t.Fatal("reverse direction should deliver")
+	}
+	// Plain Transfer models reliable delivery but still counts the drop.
+	f.Transfer(0, 1, 1024, 0)
+	drops++
+	if got := f.Dropped(); got != int64(drops) {
+		t.Fatalf("Dropped = %d, want %d", got, drops)
+	}
+	f.ClearFaultHooks()
+	if _, ok := f.TransferChecked(0, 1, 1024, 0); !ok {
+		t.Fatal("drop survived ClearFaultHooks")
+	}
+	f.Reset()
+	if f.Dropped() != 0 {
+		t.Fatal("Reset did not clear drop counter")
+	}
+}

@@ -1,6 +1,8 @@
 #!/usr/bin/env sh
-# Pre-PR gate: formatting, vet, full tests, and a race-detector pass over
-# the packages with parallel kernels or concurrent runtime machinery.
+# Pre-PR gate: formatting, vet, full tests, a race-detector pass over
+# the packages with parallel kernels or concurrent runtime machinery
+# (with the scheduler invariant auditor on and a fixed chaos seed), and
+# a short fuzz smoke of the scheduler auditor.
 # Usage: ./scripts/check.sh
 set -eu
 
@@ -23,13 +25,23 @@ go build ./...
 echo "== go test ./... =="
 go test ./...
 
-echo "== go test -race (kernel + runtime packages) =="
-go test -race \
+echo "== go test -race, auditor on (kernel + runtime packages) =="
+# DEISA_AUDIT=1 makes every cluster re-check the scheduler invariants
+# after each operation; violations panic with the transition log.
+DEISA_AUDIT=1 go test -race \
     ./internal/ndarray \
     ./internal/linalg \
     ./internal/ml \
     ./internal/array \
     ./internal/dask \
-    ./internal/core
+    ./internal/core \
+    ./internal/chaos \
+    ./internal/harness
+
+echo "== chaos acceptance (fixed seed, auditor on) =="
+DEISA_AUDIT=1 go run ./cmd/experiments -quick -chaos-seed 7
+
+echo "== fuzz smoke: scheduler auditor =="
+go test -fuzz=FuzzSchedulerAudit -fuzztime=5s -run '^$' ./internal/dask
 
 echo "OK"
