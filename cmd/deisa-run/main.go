@@ -30,6 +30,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "allocation/jitter seed (a 'run' in the paper's sense)")
 		perRank  = flag.Bool("per-rank", false, "print per-rank communication statistics (Figure 5 style)")
 		trace    = flag.String("trace", "", "write a Chrome trace-event JSON of the analytics tasks to this file")
+		metrics  = flag.String("metrics-out", "", "write the run's metrics snapshot to this file (.csv extension selects CSV, anything else JSON)")
 	)
 	flag.Parse()
 
@@ -73,12 +74,22 @@ func main() {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
-		if err := dask.WriteChromeTrace(f, res.Trace); err != nil {
+		// Gauge series ride along as counter tracks under the task stream.
+		if err := dask.WriteChromeTraceWithMetrics(f, res.Trace, res.Metrics); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
 		f.Close()
 		fmt.Printf("trace       : %d task spans -> %s (open in chrome://tracing)\n", len(res.Trace), *trace)
+	}
+
+	if *metrics != "" {
+		if err := writeMetrics(*metrics, res); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics     : %d counters, %d gauges, %d histograms -> %s\n",
+			len(res.Metrics.Counters), len(res.Metrics.Gauges), len(res.Metrics.Histograms), *metrics)
 	}
 
 	if *perRank {
@@ -89,6 +100,20 @@ func main() {
 				r, res.PerRankCommMean[r], res.PerRankCommStd[r], bar)
 		}
 	}
+}
+
+// writeMetrics exports the run's metrics snapshot; the file extension
+// picks the format (CSV for .csv, JSON otherwise).
+func writeMetrics(path string, res *harness.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".csv") {
+		return res.Metrics.WriteCSV(f)
+	}
+	return res.Metrics.WriteJSON(f)
 }
 
 func parseSystem(s string) (harness.System, error) {

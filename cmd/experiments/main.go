@@ -38,6 +38,8 @@ func main() {
 		chaosPlan  = flag.String("chaos-plan", "", "explicit fault plan DSL, e.g. 'kill:1@0/3;degrade:2-5:4@0.5-inf;drop:0/2:2;delay:1/4:0.25' (overrides -chaos-seed)")
 		chaosRanks = flag.Int("chaos-ranks", 4, "ranks for the chaos scenario")
 		chaosWrk   = flag.Int("chaos-workers", 4, "workers for the chaos scenario")
+
+		metricsOut = flag.String("metrics-out", "", "run a fixed-seed DEISA3 reference workflow at the sweep scale and write its metrics snapshot to this file (.csv extension selects CSV, anything else JSON)")
 	)
 	flag.Parse()
 
@@ -48,9 +50,29 @@ func main() {
 	if *quick {
 		opts = harness.QuickOptions()
 	}
-	if !*all && *fig == "" && !*headline && *ablation == "" && *chaosSeed == 0 && *chaosPlan == "" {
+	if !*all && *fig == "" && !*headline && *ablation == "" && *chaosSeed == 0 && *chaosPlan == "" &&
+		*metricsOut == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *metricsOut != "" {
+		procs := opts.WeakProcs[0]
+		res, err := harness.Run(harness.Config{
+			System: harness.DEISA3, Ranks: procs, Workers: procs / 2,
+			Timesteps: opts.Timesteps, BlockBytes: opts.BlockBytes,
+			Seed: 7, Model: opts.Model,
+		})
+		check(err)
+		f, err := os.Create(*metricsOut)
+		check(err)
+		if strings.HasSuffix(*metricsOut, ".csv") {
+			check(res.Metrics.WriteCSV(f))
+		} else {
+			check(res.Metrics.WriteJSON(f))
+		}
+		check(f.Close())
+		fmt.Fprintf(os.Stderr, "[metrics (DEISA3, %d procs, seed 7) -> %s]\n", procs, *metricsOut)
 	}
 
 	if *chaosSeed != 0 || *chaosPlan != "" {

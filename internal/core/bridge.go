@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"deisago/internal/dask"
+	"deisago/internal/metrics"
 	"deisago/internal/ndarray"
 	"deisago/internal/netsim"
 	"deisago/internal/taskgraph"
@@ -80,6 +81,15 @@ type Bridge struct {
 	retries       int64
 	republished   int64
 
+	// Registry handles (component "bridge", labeled by rank).
+	mShipped      *metrics.Counter // blocks accepted and sent
+	mFiltered     *metrics.Counter // blocks skipped by the contract filter
+	mRetries      *metrics.Counter // publish attempts retried
+	mFailovers    *metrics.Counter // scatters redirected off a dead target
+	mRepublished  *metrics.Counter // lost blocks re-sent
+	mPublishOK    *metrics.Counter // successful external scatters (incl. republish)
+	mShippedBytes *metrics.Counter // modelled wire bytes of successful scatters
+
 	// published remembers every external-mode block this bridge sent, so
 	// blocks lost with a worker (the scheduler reverts their key to the
 	// external state) can be republished from the producer's copy.
@@ -94,12 +104,29 @@ type publishedBlock struct {
 
 // NewBridge connects a bridge to the cluster.
 func NewBridge(cfg BridgeConfig) *Bridge {
+	reg := cfg.Cluster.Metrics()
+	rank := metrics.LInt("rank", cfg.Rank)
 	return &Bridge{
-		cfg:       cfg,
-		client:    cfg.Cluster.NewClient(fmt.Sprintf("bridge-%d", cfg.Rank), cfg.Node, cfg.HeartbeatInterval),
-		arrays:    map[string]*VirtualArray{},
-		published: map[taskgraph.Key]publishedBlock{},
+		cfg:           cfg,
+		client:        cfg.Cluster.NewClient(fmt.Sprintf("bridge-%d", cfg.Rank), cfg.Node, cfg.HeartbeatInterval),
+		arrays:        map[string]*VirtualArray{},
+		published:     map[taskgraph.Key]publishedBlock{},
+		mShipped:      reg.Counter("bridge", "blocks_shipped", rank),
+		mFiltered:     reg.Counter("bridge", "blocks_filtered", rank),
+		mRetries:      reg.Counter("bridge", "retries", rank),
+		mFailovers:    reg.Counter("bridge", "failovers", rank),
+		mRepublished:  reg.Counter("bridge", "republished", rank),
+		mPublishOK:    reg.Counter("bridge", "publish_ok", rank),
+		mShippedBytes: reg.Counter("bridge", "shipped_bytes", rank),
 	}
+}
+
+// blockBytes returns the modelled wire size of one published block.
+func (b *Bridge) blockBytes(data *ndarray.Array) int64 {
+	if b.cfg.ScatterBytes > 0 {
+		return b.cfg.ScatterBytes
+	}
+	return dask.SizeOf(data)
 }
 
 // Client exposes the underlying dask client (tests, clock access).
@@ -205,6 +232,7 @@ func (b *Bridge) Publish(arrayName string, pos []int, data *ndarray.Array, at vt
 	case ModeExternal:
 		if !b.contract.WantsBlock(arrayName, pos, va.TimeDim) {
 			b.blocksSkipped++
+			b.mFiltered.Inc()
 			b.client.HeartbeatTick()
 			return b.client.Now(), false, nil
 		}
@@ -220,6 +248,7 @@ func (b *Bridge) Publish(arrayName string, pos []int, data *ndarray.Array, at vt
 		if err := b.client.Scatter([]dask.ScatterItem{{Key: key, Value: data, Bytes: b.cfg.ScatterBytes}}, false, worker); err != nil {
 			return b.client.Now(), false, err
 		}
+		b.mShippedBytes.Add(b.blockBytes(data))
 		// Per-timestep metadata through the rank's distributed queue,
 		// plus the full decomposition-metadata refresh of the HiPC'21
 		// protocol.
@@ -231,6 +260,7 @@ func (b *Bridge) Publish(arrayName string, pos []int, data *ndarray.Array, at vt
 		return at, false, fmt.Errorf("core: unknown mode %d", b.cfg.Mode)
 	}
 	b.blocksSent++
+	b.mShipped.Inc()
 	b.client.HeartbeatTick()
 	return b.client.Now(), true, nil
 }
@@ -256,6 +286,7 @@ func (b *Bridge) scatterExternal(key taskgraph.Key, data *ndarray.Array, step, w
 			b.client.Compute(backoff)
 			backoff *= 2
 			b.retries++
+			b.mRetries.Inc()
 		}
 		target := worker
 		if !b.cfg.Cluster.WorkerAlive(target) {
@@ -270,6 +301,7 @@ func (b *Bridge) scatterExternal(key taskgraph.Key, data *ndarray.Array, step, w
 			if target < 0 {
 				return fmt.Errorf("core: publish of %q: no live workers", key)
 			}
+			b.mFailovers.Inc()
 		}
 		var fault PublishFault
 		if b.cfg.Interceptor != nil {
@@ -284,6 +316,8 @@ func (b *Bridge) scatterExternal(key taskgraph.Key, data *ndarray.Array, step, w
 		}
 		err := b.client.Scatter([]dask.ScatterItem{{Key: key, Value: data, Bytes: b.cfg.ScatterBytes}}, true, target)
 		if err == nil {
+			b.mPublishOK.Inc()
+			b.mShippedBytes.Add(b.blockBytes(data))
 			return nil
 		}
 		if !errors.Is(err, dask.ErrWorkerDied) {
@@ -331,6 +365,7 @@ func (b *Bridge) RepublishLost(at vtime.Time) (int, error) {
 			return n, fmt.Errorf("core: republish of %q: %w", key, err)
 		}
 		b.republished++
+		b.mRepublished.Inc()
 		n++
 	}
 	return n, nil

@@ -110,8 +110,10 @@ func (c *Cluster) AuditLog() []Transition {
 	return append([]Transition(nil), c.sched.audit.log...)
 }
 
-// beginOpLocked tags the mutation in progress for transition records.
+// beginOpLocked tags the mutation in progress for transition records
+// and stamps the mutation time for metric gauges.
 func (s *scheduler) beginOpLocked(op string, at vtime.Time) {
+	s.opAt = at
 	if s.audit == nil {
 		return
 	}
@@ -139,11 +141,13 @@ func (s *scheduler) recordLocked(st *schedTask, from State) {
 	}
 }
 
-// setStateLocked transitions a task and records it.
+// setStateLocked transitions a task, records it in the audit log, and
+// counts it in the metrics registry.
 func (s *scheduler) setStateLocked(st *schedTask, to State) {
 	from := st.state
 	st.state = to
 	s.recordLocked(st, from)
+	s.noteTransLocked(from, to)
 }
 
 // recordReleaseLocked notes a key leaving the scheduler via release.

@@ -68,7 +68,7 @@ func TestAuditorDetectsStoreMismatch(t *testing.T) {
 	if err := cl.Scatter([]ScatterItem{{Key: "d", Value: 1.0}}, false, 0); err != nil {
 		t.Fatal(err)
 	}
-	c.workers[0].drop("d") // corrupt: scheduler still believes it resident
+	c.workers[0].drop("d", 0) // corrupt: scheduler still believes it resident
 	s := c.sched
 	s.mu.Lock()
 	defer s.mu.Unlock()

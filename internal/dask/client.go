@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"deisago/internal/metrics"
 	"deisago/internal/netsim"
 	"deisago/internal/taskgraph"
 	"deisago/internal/vtime"
@@ -171,6 +172,7 @@ func (cl *Client) Scatter(items []ScatterItem, external bool, workerID int) erro
 		}
 		arrive := cl.cluster.xfer(cl.node, w.node, bytes, depart)
 		w.put(it.Key, it.Value, bytes, arrive)
+		cl.cluster.reg.Counter("worker", "scatter_bytes_received", metrics.LInt("id", workerID)).Add(bytes)
 		if arrive > lastData {
 			lastData = arrive
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"deisago/internal/metrics"
 	"deisago/internal/netsim"
 	"deisago/internal/taskgraph"
 	"deisago/internal/vtime"
@@ -15,6 +16,7 @@ import (
 type Cluster struct {
 	cfg      Config
 	fabric   *netsim.Fabric
+	reg      *metrics.Registry
 	counters Counters
 
 	schedNode netsim.NodeID
@@ -32,6 +34,11 @@ func NewCluster(fabric *netsim.Fabric, cfg Config, schedNode netsim.NodeID, work
 		panic("dask: cluster needs at least one worker")
 	}
 	c := &Cluster{cfg: cfg, fabric: fabric, schedNode: schedNode}
+	c.reg = cfg.Metrics
+	if c.reg == nil {
+		c.reg = metrics.NewRegistry()
+	}
+	c.counters = newCounters(c.reg)
 	c.sched = newScheduler(c)
 	if auditEnvEnabled() {
 		c.sched.audit = &auditor{released: map[taskgraph.Key]bool{}}
@@ -85,6 +92,23 @@ func (c *Cluster) SchedulerBusy() float64 { return c.sched.cpu.Busy() }
 
 // Counters exposes the scheduler's message counters.
 func (c *Cluster) Counters() *Counters { return &c.counters }
+
+// Metrics returns the cluster's metrics registry (never nil).
+func (c *Cluster) Metrics() *metrics.Registry { return c.reg }
+
+// RecordUtilization samples end-of-run occupancy gauges at virtual time
+// at: scheduler CPU busy fraction and per-worker CPU busy fraction.
+// Call once after the workload has drained, with at >= the last event.
+func (c *Cluster) RecordUtilization(at vtime.Time) {
+	if at <= 0 {
+		return
+	}
+	c.reg.Gauge("scheduler", "cpu_utilization").Set(c.sched.cpu.Busy()/at, at)
+	for _, w := range c.workers {
+		c.reg.Gauge("worker", "cpu_utilization", metrics.LInt("id", w.id)).
+			Set(w.cpu.Busy()/at, at)
+	}
+}
 
 // Config returns the cluster's cost-model configuration.
 func (c *Cluster) Config() Config { return c.cfg }

@@ -15,8 +15,7 @@
 package dask
 
 import (
-	"sync/atomic"
-
+	"deisago/internal/metrics"
 	"deisago/internal/vtime"
 )
 
@@ -44,6 +43,16 @@ type Config struct {
 	// refreshes the full decomposition metadata every timestep, which is
 	// the scheduler overload the paper's external tasks remove.
 	MetadataEntryCost vtime.Dur
+	// Metrics, when set, is the registry the cluster instruments itself
+	// against (per-kind message counters, task-state transitions, worker
+	// memory gauges). When nil, NewCluster creates a private registry so
+	// the Counters façade keeps working.
+	Metrics *metrics.Registry
+	// SpillThresholdBytes is the per-worker memory level above which
+	// stored blocks count as spill-eligible in the worker gauges (the
+	// simulator does not spill; the gauge exposes the pressure that would
+	// trigger it). 0 means no threshold: nothing is spill-eligible.
+	SpillThresholdBytes int64
 }
 
 // DefaultConfig returns parameters calibrated against Dask.distributed's
@@ -65,19 +74,42 @@ func DefaultConfig() Config {
 // Counters tallies scheduler-side message and transition counts. The
 // paper's metadata argument (§2.1: 2·T·R+heartbeats messages for DEISA1
 // versus 1+R for the external-task design) is verified against these.
+//
+// Since the metrics registry landed, Counters is a façade: each field is
+// a handle on the cluster's registry (component "dask"), so the legacy
+// `counters.X.Add(1)` / `.Load()` call sites keep compiling while every
+// count also appears in metric snapshots.
 type Counters struct {
-	GraphsSubmitted   atomic.Int64
-	TasksRegistered   atomic.Int64
-	ExternalCreated   atomic.Int64
-	UpdateDataMsgs    atomic.Int64
-	MetadataMsgs      atomic.Int64
-	MetadataEntries   atomic.Int64
-	TaskFinishedMsgs  atomic.Int64
-	Heartbeats        atomic.Int64
-	VariableOps       atomic.Int64
-	QueueOps          atomic.Int64
-	GatherRequests    atomic.Int64
-	TotalSchedulerMsg atomic.Int64
+	GraphsSubmitted   *metrics.Counter
+	TasksRegistered   *metrics.Counter
+	ExternalCreated   *metrics.Counter
+	UpdateDataMsgs    *metrics.Counter
+	MetadataMsgs      *metrics.Counter
+	MetadataEntries   *metrics.Counter
+	TaskFinishedMsgs  *metrics.Counter
+	Heartbeats        *metrics.Counter
+	VariableOps       *metrics.Counter
+	QueueOps          *metrics.Counter
+	GatherRequests    *metrics.Counter
+	TotalSchedulerMsg *metrics.Counter
+}
+
+// newCounters binds the façade to registry counters.
+func newCounters(r *metrics.Registry) Counters {
+	return Counters{
+		GraphsSubmitted:   r.Counter("dask", "graphs_submitted"),
+		TasksRegistered:   r.Counter("dask", "tasks_registered"),
+		ExternalCreated:   r.Counter("dask", "external_created"),
+		UpdateDataMsgs:    r.Counter("dask", "update_data_msgs"),
+		MetadataMsgs:      r.Counter("dask", "metadata_msgs"),
+		MetadataEntries:   r.Counter("dask", "metadata_entries"),
+		TaskFinishedMsgs:  r.Counter("dask", "task_finished_msgs"),
+		Heartbeats:        r.Counter("dask", "heartbeats"),
+		VariableOps:       r.Counter("dask", "variable_ops"),
+		QueueOps:          r.Counter("dask", "queue_ops"),
+		GatherRequests:    r.Counter("dask", "gather_requests"),
+		TotalSchedulerMsg: r.Counter("dask", "total_scheduler_msgs"),
+	}
 }
 
 // Snapshot is a plain-value copy of Counters.

@@ -75,7 +75,7 @@ func (w *worker) isDead() bool {
 
 // workerLost re-plans every task affected by the loss of a worker.
 func (s *scheduler) workerLost(id int, at vtime.Time) {
-	handled := s.handle(at, s.cl.cfg.SchedulerMsgCost)
+	handled := s.handle("worker-lost", at, s.cl.cfg.SchedulerMsgCost)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	defer s.auditLocked()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"deisago/internal/metrics"
 	"deisago/internal/taskgraph"
 	"deisago/internal/vtime"
 )
@@ -98,6 +99,12 @@ type scheduler struct {
 	// yet processed cannot make a consistent state look corrupt.
 	deadWorkers map[int]bool
 	audit       *auditor
+	// opAt is the handling time of the mutation in progress; it stamps
+	// the per-state task-count gauges (metrics), mirroring auditor.at.
+	opAt vtime.Time
+	// stateCounts tracks the live number of tasks per state for the
+	// scheduler/tasks{state=...} gauges (the dashboard's queue depths).
+	nByState [StateExternal + 1]int
 }
 
 func newScheduler(cl *Cluster) *scheduler {
@@ -113,13 +120,50 @@ func newScheduler(cl *Cluster) *scheduler {
 	return s
 }
 
-// handle charges the scheduler CPU for one incoming message arriving at
-// the given time, plus extra per-item work, and returns the handling
-// completion time.
-func (s *scheduler) handle(arrival vtime.Time, extra vtime.Dur) vtime.Time {
+// handle charges the scheduler CPU for one incoming message of the
+// given kind arriving at the given time, plus extra per-item work, and
+// returns the handling completion time.
+func (s *scheduler) handle(kind string, arrival vtime.Time, extra vtime.Dur) vtime.Time {
 	s.cl.counters.TotalSchedulerMsg.Add(1)
+	s.cl.reg.Counter("scheduler", "messages", metrics.L("kind", kind)).Inc()
 	_, end := s.cpu.Acquire(arrival, s.cl.cfg.SchedulerMsgCost+extra)
 	return end
+}
+
+// stateLabel names a state for transition-counter labels ("new" for the
+// creation sentinel).
+func stateLabel(st State) string {
+	if st == stateNone {
+		return "new"
+	}
+	return st.String()
+}
+
+// noteTransLocked counts one task state transition and refreshes the
+// per-state task-count gauges at the current mutation time. from is
+// stateNone on task creation. Call with s.mu held.
+func (s *scheduler) noteTransLocked(from, to State) {
+	s.cl.reg.Counter("scheduler", "transitions",
+		metrics.L("from", stateLabel(from)), metrics.L("to", to.String())).Inc()
+	if from != stateNone {
+		s.nByState[from]--
+		s.stateGaugeLocked(from)
+	}
+	s.nByState[to]++
+	s.stateGaugeLocked(to)
+}
+
+// noteReleaseLocked counts a task leaving the scheduler via release.
+func (s *scheduler) noteReleaseLocked(from State) {
+	s.cl.reg.Counter("scheduler", "transitions",
+		metrics.L("from", from.String()), metrics.L("to", "released")).Inc()
+	s.nByState[from]--
+	s.stateGaugeLocked(from)
+}
+
+func (s *scheduler) stateGaugeLocked(st State) {
+	s.cl.reg.Gauge("scheduler", "tasks", metrics.L("state", st.String())).
+		Set(float64(s.nByState[st]), s.opAt)
 }
 
 // submitGraph registers a culled task graph arriving at the given time.
@@ -128,7 +172,7 @@ func (s *scheduler) handle(arrival vtime.Time, extra vtime.Dur) vtime.Time {
 // completion time.
 func (s *scheduler) submitGraph(g *taskgraph.Graph, arrival vtime.Time) (vtime.Time, error) {
 	s.cl.counters.GraphsSubmitted.Add(1)
-	handled := s.handle(arrival, s.cl.cfg.SchedulerTaskCost*vtime.Dur(g.Len()))
+	handled := s.handle("submit", arrival, s.cl.cfg.SchedulerTaskCost*vtime.Dur(g.Len()))
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -172,6 +216,7 @@ func (s *scheduler) submitGraph(g *taskgraph.Graph, arrival vtime.Time) (vtime.T
 		}
 		s.tasks[k] = st
 		s.recordLocked(st, stateNone)
+		s.noteTransLocked(stateNone, st.state)
 		s.cl.counters.TasksRegistered.Add(1)
 	}
 	// Wire dependencies and find initially runnable tasks.
@@ -203,7 +248,7 @@ func (s *scheduler) submitGraph(g *taskgraph.Graph, arrival vtime.Time) (vtime.T
 
 // createExternal registers external tasks for the given keys.
 func (s *scheduler) createExternal(keys []taskgraph.Key, arrival vtime.Time) (vtime.Time, error) {
-	handled := s.handle(arrival, s.cl.cfg.SchedulerTaskCost*vtime.Dur(len(keys)))
+	handled := s.handle("create-external", arrival, s.cl.cfg.SchedulerTaskCost*vtime.Dur(len(keys)))
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	defer s.auditLocked()
@@ -224,6 +269,7 @@ func (s *scheduler) createExternal(keys []taskgraph.Key, arrival vtime.Time) (vt
 		}
 		s.tasks[k] = st
 		s.recordLocked(st, stateNone)
+		s.noteTransLocked(stateNone, st.state)
 		s.cl.counters.ExternalCreated.Add(1)
 	}
 	return handled, nil
@@ -244,7 +290,7 @@ type dataItem struct {
 // task is created directly in memory.
 func (s *scheduler) updateData(items []dataItem, external bool, arrival vtime.Time) (vtime.Time, error) {
 	s.cl.counters.UpdateDataMsgs.Add(1)
-	handled := s.handle(arrival, s.cl.cfg.SchedulerTaskCost*vtime.Dur(len(items)))
+	handled := s.handle("update-data", arrival, s.cl.cfg.SchedulerTaskCost*vtime.Dur(len(items)))
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	defer s.auditLocked()
@@ -280,6 +326,7 @@ func (s *scheduler) updateData(items []dataItem, external bool, arrival vtime.Ti
 				dependents: map[taskgraph.Key]bool{},
 			}
 			s.tasks[it.key] = st
+			s.noteTransLocked(stateNone, st.state)
 		}
 		st.worker = it.worker
 		st.bytes = it.bytes
@@ -295,7 +342,7 @@ func (s *scheduler) updateData(items []dataItem, external bool, arrival vtime.Ti
 // transition cascade for dependents.
 func (s *scheduler) taskFinished(key taskgraph.Key, workerID int, finishedAt vtime.Time, bytes int64, arrival vtime.Time) {
 	s.cl.counters.TaskFinishedMsgs.Add(1)
-	handled := s.handle(arrival, s.cl.cfg.SchedulerTaskCost)
+	handled := s.handle("task-finished", arrival, s.cl.cfg.SchedulerTaskCost)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	defer s.auditLocked()
@@ -317,7 +364,7 @@ func (s *scheduler) taskFinished(key taskgraph.Key, workerID int, finishedAt vti
 
 // taskErred marks a task failed and cascades the error to dependents.
 func (s *scheduler) taskErred(key taskgraph.Key, err error, arrival vtime.Time) {
-	handled := s.handle(arrival, s.cl.cfg.SchedulerTaskCost)
+	handled := s.handle("task-erred", arrival, s.cl.cfg.SchedulerTaskCost)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	defer s.auditLocked()
@@ -399,7 +446,7 @@ func (s *scheduler) assignLocked(st *schedTask, departAt vtime.Time) {
 // waitFor blocks until every key is in memory (or erred) and returns the
 // latest readyAt. An error is returned if any task erred or is unknown.
 func (s *scheduler) waitFor(keys []taskgraph.Key, arrival vtime.Time) (vtime.Time, error) {
-	handled := s.handle(arrival, 0)
+	handled := s.handle("wait", arrival, 0)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	latest := handled
@@ -473,14 +520,14 @@ func (s *scheduler) taskState(key taskgraph.Key) (State, bool) {
 func (s *scheduler) metadata(entries int, arrival vtime.Time) vtime.Time {
 	s.cl.counters.MetadataMsgs.Add(1)
 	s.cl.counters.MetadataEntries.Add(int64(entries))
-	return s.handle(arrival, s.cl.cfg.MetadataEntryCost*vtime.Dur(entries))
+	return s.handle("metadata", arrival, s.cl.cfg.MetadataEntryCost*vtime.Dur(entries))
 }
 
 // release forgets keys: scheduler state is dropped and worker store
 // entries freed (Dask's future release / client cancel for completed
 // data). Keys with dependents still registered are refused.
 func (s *scheduler) release(keys []taskgraph.Key, arrival vtime.Time) (vtime.Time, error) {
-	handled := s.handle(arrival, s.cl.cfg.SchedulerTaskCost*vtime.Dur(len(keys)))
+	handled := s.handle("release", arrival, s.cl.cfg.SchedulerTaskCost*vtime.Dur(len(keys)))
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	defer s.auditLocked()
@@ -502,7 +549,7 @@ func (s *scheduler) release(keys []taskgraph.Key, arrival vtime.Time) (vtime.Tim
 			continue
 		}
 		if st.state == StateMemory && st.worker >= 0 {
-			s.cl.workers[st.worker].drop(k)
+			s.cl.workers[st.worker].drop(k, handled)
 		}
 		for _, d := range st.deps {
 			if dt := s.tasks[d]; dt != nil {
@@ -510,6 +557,7 @@ func (s *scheduler) release(keys []taskgraph.Key, arrival vtime.Time) (vtime.Tim
 			}
 		}
 		s.recordReleaseLocked(st)
+		s.noteReleaseLocked(st.state)
 		delete(s.tasks, k)
 	}
 	return handled, nil
@@ -520,7 +568,7 @@ func (s *scheduler) heartbeat(n int, arrival vtime.Time) vtime.Time {
 	var end vtime.Time = arrival
 	for i := 0; i < n; i++ {
 		s.cl.counters.Heartbeats.Add(1)
-		end = s.handle(arrival, 0)
+		end = s.handle("heartbeat", arrival, 0)
 	}
 	return end
 }
@@ -528,7 +576,9 @@ func (s *scheduler) heartbeat(n int, arrival vtime.Time) vtime.Time {
 // varSet stores a distributed Variable value.
 func (s *scheduler) varSet(name string, value any, arrival vtime.Time) vtime.Time {
 	s.cl.counters.VariableOps.Add(1)
-	handled := s.handle(arrival, 0)
+	s.cl.reg.Counter("scheduler", "variable_ops",
+		metrics.L("name", name), metrics.L("op", "set")).Inc()
+	handled := s.handle("var-set", arrival, 0)
 	s.mu.Lock()
 	s.vars[name] = &varEntry{set: true, value: value, setAt: handled}
 	s.mu.Unlock()
@@ -540,7 +590,9 @@ func (s *scheduler) varSet(name string, value any, arrival vtime.Time) vtime.Tim
 // virtual time at which the response can leave the scheduler.
 func (s *scheduler) varGet(name string, arrival vtime.Time) (any, vtime.Time) {
 	s.cl.counters.VariableOps.Add(1)
-	handled := s.handle(arrival, 0)
+	s.cl.reg.Counter("scheduler", "variable_ops",
+		metrics.L("name", name), metrics.L("op", "get")).Inc()
+	handled := s.handle("var-get", arrival, 0)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
@@ -558,7 +610,9 @@ func (s *scheduler) varGet(name string, arrival vtime.Time) (any, vtime.Time) {
 // queuePut appends a value to a distributed Queue.
 func (s *scheduler) queuePut(name string, value any, arrival vtime.Time) vtime.Time {
 	s.cl.counters.QueueOps.Add(1)
-	handled := s.handle(arrival, 0)
+	s.cl.reg.Counter("scheduler", "queue_ops",
+		metrics.L("name", name), metrics.L("op", "put")).Inc()
+	handled := s.handle("queue-put", arrival, 0)
 	s.mu.Lock()
 	q := s.queues[name]
 	if q == nil {
@@ -574,7 +628,9 @@ func (s *scheduler) queuePut(name string, value any, arrival vtime.Time) vtime.T
 // queueGet blocks until the Queue is non-empty and pops its head.
 func (s *scheduler) queueGet(name string, arrival vtime.Time) (any, vtime.Time) {
 	s.cl.counters.QueueOps.Add(1)
-	handled := s.handle(arrival, 0)
+	s.cl.reg.Counter("scheduler", "queue_ops",
+		metrics.L("name", name), metrics.L("op", "get")).Inc()
+	handled := s.handle("queue-get", arrival, 0)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 
+	"deisago/internal/metrics"
 	"deisago/internal/taskgraph"
 )
 
@@ -91,6 +92,14 @@ func (c *Cluster) ExportChromeTrace(w io.Writer) error {
 
 // WriteChromeTrace writes spans in the Chrome trace-event format.
 func WriteChromeTrace(w io.Writer, events []TraceEvent) error {
+	return WriteChromeTraceWithMetrics(w, events, nil)
+}
+
+// WriteChromeTraceWithMetrics writes the task spans plus, when snap is
+// non-nil, one counter track ("ph":"C") per gauge time series — worker
+// memory, scheduler queue depths, link utilization — so chrome://tracing
+// or Perfetto render them as area charts under the task stream.
+func WriteChromeTraceWithMetrics(w io.Writer, events []TraceEvent, snap *metrics.Snapshot) error {
 	out := make([]chromeEvent, 0, len(events))
 	for _, e := range events {
 		cat := "task"
@@ -110,6 +119,20 @@ func WriteChromeTrace(w io.Writer, events []TraceEvent) error {
 			Tid:  e.Worker,
 			Args: map[string]any{"erred": e.Erred, "aborted": e.Aborted},
 		})
+	}
+	if snap != nil {
+		for _, g := range snap.Gauges {
+			for _, s := range g.Samples {
+				out = append(out, chromeEvent{
+					Name: g.ID,
+					Cat:  "metric",
+					Ph:   "C",
+					Ts:   s.T * 1e6,
+					Pid:  0,
+					Args: map[string]any{"value": s.V},
+				})
+			}
+		}
 	}
 	enc := json.NewEncoder(w)
 	if err := enc.Encode(out); err != nil {

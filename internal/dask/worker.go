@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"deisago/internal/metrics"
 	"deisago/internal/netsim"
 	"deisago/internal/taskgraph"
 	"deisago/internal/vtime"
@@ -51,10 +52,17 @@ type worker struct {
 	dead     bool
 	killedAt vtime.Time
 
-	storeMu sync.RWMutex
-	store   map[taskgraph.Key]storeEntry
+	storeMu  sync.RWMutex
+	store    map[taskgraph.Key]storeEntry
+	memBytes int64 // sum of stored entry sizes, guarded by storeMu
 
 	executed int64
+
+	// Registry handles, created once at construction.
+	mMem      *metrics.Gauge   // object-store bytes held
+	mSpill    *metrics.Gauge   // blocks eligible for spilling
+	mExecuted *metrics.Counter // tasks completed
+	mRecv     *metrics.Counter // bytes fetched from peer workers
 }
 
 func newWorker(cl *Cluster, id int, node netsim.NodeID) *worker {
@@ -65,6 +73,11 @@ func newWorker(cl *Cluster, id int, node netsim.NodeID) *worker {
 		cpu:   vtime.NewResource(fmt.Sprintf("worker%d-cpu", id)),
 		store: make(map[taskgraph.Key]storeEntry),
 	}
+	lid := metrics.LInt("id", id)
+	w.mMem = cl.reg.Gauge("worker", "memory_bytes", lid)
+	w.mSpill = cl.reg.Gauge("worker", "spill_eligible_blocks", lid)
+	w.mExecuted = cl.reg.Counter("worker", "tasks_executed", lid)
+	w.mRecv = cl.reg.Counter("worker", "bytes_received", lid)
 	w.cond = sync.NewCond(&w.mu)
 	return w
 }
@@ -114,8 +127,27 @@ func (w *worker) run() {
 // execution and client scatter).
 func (w *worker) put(key taskgraph.Key, value any, bytes int64, readyAt vtime.Time) {
 	w.storeMu.Lock()
+	if old, ok := w.store[key]; ok {
+		w.memBytes -= old.bytes
+	}
 	w.store[key] = storeEntry{value: value, bytes: bytes, readyAt: readyAt}
+	w.memBytes += bytes
+	mem, spill := w.memBytes, w.spillEligibleLocked()
 	w.storeMu.Unlock()
+	w.mMem.Set(float64(mem), readyAt)
+	w.mSpill.Set(float64(spill), readyAt)
+}
+
+// spillEligibleLocked counts blocks a real worker would consider for
+// spilling to disk: everything in the store, once the held bytes exceed
+// the configured threshold (the simulator never spills; the gauge shows
+// the pressure). Caller holds storeMu.
+func (w *worker) spillEligibleLocked() int {
+	th := w.cl.cfg.SpillThresholdBytes
+	if th <= 0 || w.memBytes <= th {
+		return 0
+	}
+	return len(w.store)
 }
 
 // get returns a stored value. It panics if the key is absent: the
@@ -131,11 +163,18 @@ func (w *worker) get(key taskgraph.Key) storeEntry {
 	return e
 }
 
-// drop removes a key from the object store (release path).
-func (w *worker) drop(key taskgraph.Key) {
+// drop removes a key from the object store (release path) at the given
+// virtual time.
+func (w *worker) drop(key taskgraph.Key, at vtime.Time) {
 	w.storeMu.Lock()
+	if old, ok := w.store[key]; ok {
+		w.memBytes -= old.bytes
+	}
 	delete(w.store, key)
+	mem, spill := w.memBytes, w.spillEligibleLocked()
 	w.storeMu.Unlock()
+	w.mMem.Set(float64(mem), at)
+	w.mSpill.Set(float64(spill), at)
 }
 
 // has reports whether the store holds a key.
@@ -168,6 +207,7 @@ func (w *worker) exec(a assignment) {
 			depart = e.readyAt
 		}
 		arrive := w.cl.xfer(peer.node, w.node, e.bytes, depart)
+		w.mRecv.Add(e.bytes)
 		if arrive > depReady {
 			depReady = arrive
 		}
@@ -217,6 +257,7 @@ func (w *worker) exec(a assignment) {
 	w.mu.Lock()
 	w.executed++
 	w.mu.Unlock()
+	w.mExecuted.Inc()
 	w.cl.sched.taskFinished(a.key, w.id, end, bytes, report)
 }
 

@@ -3,6 +3,8 @@ package harness
 import (
 	"fmt"
 	"math"
+
+	"deisago/internal/metrics"
 )
 
 // This file holds ablation studies for the design choices DESIGN.md
@@ -20,13 +22,15 @@ func AblationHeartbeat(o Options, intervals []float64) (*Table, error) {
 		intervals = []float64{1, 5, 30, 60, math.Inf(1)}
 	}
 	procs := o.WeakProcs[len(o.WeakProcs)-1]
+	// The two series measure different quantities (seconds vs message
+	// counts), so each carries its own unit instead of a shared Y axis.
 	tab := &Table{
 		Title:  fmt.Sprintf("Ablation — heartbeat interval (external tasks, %d procs)", procs),
 		XLabel: "Interval (s)",
-		YLabel: "s/iter | msgs",
+		YLabel: "per series",
 	}
-	comm := Series{Label: "Coupling s/iter"}
-	beats := Series{Label: "Heartbeat msgs"}
+	comm := Series{Label: "Coupling s/iter", Unit: "s/iter"}
+	beats := Series{Label: "Heartbeat msgs", Unit: "msgs"}
 	for _, iv := range intervals {
 		if math.IsInf(iv, 1) {
 			tab.XTicks = append(tab.XTicks, "inf")
@@ -45,7 +49,10 @@ func AblationHeartbeat(o Options, intervals []float64) (*Table, error) {
 				return nil, err
 			}
 			comms = append(comms, res.CommMean)
-			counts = append(counts, float64(res.Counters.Heartbeats))
+			// Heartbeats arrive at the scheduler as messages of kind
+			// "heartbeat"; the registry is the source of truth.
+			counts = append(counts,
+				float64(res.Metrics.Counter(metrics.ID("scheduler", "messages", metrics.L("kind", "heartbeat")))))
 		}
 		m, s := meanStd(comms)
 		comm.Mean = append(comm.Mean, m)
@@ -129,11 +136,11 @@ func AblationContract(o Options, fractions []float64) (*Table, error) {
 	tab := &Table{
 		Title:  fmt.Sprintf("Ablation — contract selectivity (DEISA3, %d procs)", procs),
 		XLabel: "Selected fraction",
-		YLabel: "mixed",
+		YLabel: "per series",
 	}
-	sent := Series{Label: "Blocks shipped"}
-	traffic := Series{Label: "Fabric GiB"}
-	comm := Series{Label: "Coupling s/iter (mean over ranks)"}
+	sent := Series{Label: "Blocks shipped", Unit: "blocks"}
+	traffic := Series{Label: "Fabric GiB", Unit: "GiB"}
+	comm := Series{Label: "Coupling s/iter (mean over ranks)", Unit: "s/iter"}
 	for _, f := range fractions {
 		tab.XTicks = append(tab.XTicks, fmt.Sprintf("%.2f", f))
 		var sents, bytes, comms []float64
@@ -171,11 +178,11 @@ func AblationFuse(o Options) (*Table, error) {
 	tab := &Table{
 		Title:  fmt.Sprintf("Ablation — graph fusion (DEISA3, %d procs)", procs),
 		XLabel: "Fusion",
-		YLabel: "mixed",
+		YLabel: "per series",
 		XTicks: []string{"off", "on"},
 	}
-	analytics := Series{Label: "Analytics s"}
-	tasks := Series{Label: "Tasks registered"}
+	analytics := Series{Label: "Analytics s", Unit: "s"}
+	tasks := Series{Label: "Tasks registered", Unit: "tasks"}
 	for _, fuse := range []bool{false, true} {
 		var as, ts []float64
 		for run := 0; run < o.Runs; run++ {

@@ -18,11 +18,24 @@ const MiB = 1 << 20
 // GiB is one gibibyte.
 const GiB = 1 << 30
 
-// Series is one labelled curve/bar group of a figure.
+// Series is one labelled curve/bar group of a figure. Unit, when set,
+// names the series' own measurement unit; tables whose series mix units
+// (e.g. seconds next to message counts) set it per series instead of
+// pretending one Y axis covers all of them.
 type Series struct {
 	Label string
+	Unit  string
 	Mean  []float64
 	Std   []float64
+}
+
+// axisLabel is the row label shown for a series: the label plus its unit
+// when the series carries one.
+func (s *Series) axisLabel() string {
+	if s.Unit == "" {
+		return s.Label
+	}
+	return s.Label + " [" + s.Unit + "]"
 }
 
 // Table is the data behind one figure.
@@ -44,7 +57,7 @@ func (t *Table) Format() string {
 	}
 	b.WriteString("\n")
 	for _, s := range t.Series {
-		fmt.Fprintf(&b, "%-24s", s.Label)
+		fmt.Fprintf(&b, "%-24s", s.axisLabel())
 		for i := range s.Mean {
 			cell := fmt.Sprintf("%.3g±%.2g", s.Mean[i], s.Std[i])
 			fmt.Fprintf(&b, "%16s", cell)
@@ -59,7 +72,7 @@ func (t *Table) CSV() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "series,%s\n", strings.Join(t.XTicks, ","))
 	for _, s := range t.Series {
-		b.WriteString(s.Label)
+		b.WriteString(s.axisLabel())
 		for i := range s.Mean {
 			fmt.Fprintf(&b, ",%g", s.Mean[i])
 		}

@@ -1,0 +1,80 @@
+package harness
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"deisago/internal/chaos"
+)
+
+// Golden-snapshot regression tests: the canonical (counter-only) metrics
+// snapshot of a fixed-seed run is committed under testdata/ and
+// byte-compared on every test run. The canonical form deliberately
+// excludes gauges and histograms — those carry virtual timestamps, which
+// FCFS tie-breaking and jitter draw order can perturb — so any diff here
+// is a real behavioural change, not noise. Regenerate with
+//
+//	UPDATE_GOLDEN=1 go test ./internal/harness -run TestGolden
+//
+// and review the diff like any other code change.
+
+// chaosGoldenPlan is a hand-written kill-free plan: drops and delays are
+// keyed on logical (rank, step) coordinates and degradation only warps
+// virtual time, so the counter snapshot stays a pure function of the
+// workload. Kills are excluded on purpose — recovery counts depend on
+// how far a scatter got when the worker died, which is timing.
+const chaosGoldenPlan = "drop:0/1:2;delay:2/2:0.01;degrade:0-1:2@0-inf"
+
+// runCanonical executes the config twice and checks the identical-seed
+// byte-identity claim before returning the canonical snapshot.
+func runCanonical(t *testing.T, cfg Config) []byte {
+	t.Helper()
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, cb := a.Metrics.CanonicalJSON(), b.Metrics.CanonicalJSON()
+	if !bytes.Equal(ca, cb) {
+		t.Fatalf("two identical-seed runs produced different snapshots:\n%s\nvs\n%s", ca, cb)
+	}
+	return ca
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with UPDATE_GOLDEN=1 to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("snapshot drifted from %s:\n got: %s\nwant: %s", path, got, want)
+	}
+}
+
+func TestGoldenQuickstartSnapshot(t *testing.T) {
+	checkGolden(t, "quickstart_metrics.golden.json", runCanonical(t, smallConfig(DEISA3)))
+}
+
+func TestGoldenChaosSnapshot(t *testing.T) {
+	plan, err := chaos.ParsePlan(chaosGoldenPlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallConfig(DEISA3)
+	cfg.ChaosPlan = plan
+	checkGolden(t, "chaos_metrics.golden.json", runCanonical(t, cfg))
+}

@@ -131,37 +131,16 @@ func TestDeisa1SlowerAtScale(t *testing.T) {
 	}
 }
 
-func TestCountersMatchProtocols(t *testing.T) {
-	r3, err := Run(smallConfig(DEISA3))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if r3.Counters.MetadataMsgs != 0 || r3.Counters.QueueOps != 0 || r3.Counters.Heartbeats != 0 {
-		t.Fatalf("DEISA3 sent baseline traffic: %+v", r3.Counters)
-	}
-	if r3.Counters.ExternalCreated != int64(4*3) {
-		t.Fatalf("DEISA3 external tasks = %d, want 12", r3.Counters.ExternalCreated)
-	}
-	if r3.Counters.GraphsSubmitted != 1 {
+// Protocol message-count formulas are asserted over a (T, R, heartbeat)
+// matrix in formula_test.go, sourced from the metrics registry.
 
-		t.Fatalf("DEISA3 graphs = %d, want exactly 1 (ahead-of-time submission)", r3.Counters.GraphsSubmitted)
-	}
-
+func TestDeisa1GraphCadence(t *testing.T) {
 	r1, err := Run(smallConfig(DEISA1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	T, R := int64(3), int64(4)
-	if r1.Counters.MetadataMsgs != T*R {
-		t.Fatalf("DEISA1 metadata msgs = %d, want %d", r1.Counters.MetadataMsgs, T*R)
-	}
-	if r1.Counters.QueueOps != 2*T*R {
-		t.Fatalf("DEISA1 queue ops = %d, want %d", r1.Counters.QueueOps, 2*T*R)
-	}
-	if r1.Counters.ExternalCreated != 0 {
-		t.Fatal("DEISA1 created external tasks")
-	}
 	// Two graphs per step (stats + fit) plus final extraction.
+	T := int64(3)
 	if r1.Counters.GraphsSubmitted != 2*T+1 {
 		t.Fatalf("DEISA1 graphs = %d, want %d", r1.Counters.GraphsSubmitted, 2*T+1)
 	}

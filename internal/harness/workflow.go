@@ -12,6 +12,7 @@ import (
 	"deisago/internal/core"
 	"deisago/internal/dask"
 	"deisago/internal/h5"
+	"deisago/internal/metrics"
 	"deisago/internal/mpi"
 	"deisago/internal/ndarray"
 	"deisago/internal/pfs"
@@ -98,6 +99,13 @@ type Result struct {
 	AnalyticsTime float64
 
 	Counters dask.Snapshot
+	// Metrics is the run's full observability snapshot: every counter,
+	// gauge series and histogram the instrumented components recorded
+	// (scheduler, workers, bridges, fabric links, PFS). The counter
+	// subset is deterministic for a fixed Config (see metrics package
+	// doc); gauge/histogram values carry virtual timestamps and may
+	// vary across runs of the same seed.
+	Metrics *metrics.Snapshot
 	// Trace holds task-execution spans when Config.EnableTrace is set.
 	Trace []dask.TraceEvent
 	// ChaosLog lists the faults executed when Config.ChaosPlan is set;
@@ -276,8 +284,12 @@ func runInTransit(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	m := cfg.Model
+	reg := metrics.NewRegistry()
+	e.machine.Fabric().UseMetrics(reg)
 	world := mpi.NewWorld(e.machine.Fabric(), e.place.RankNodes)
-	dc := dask.NewCluster(e.machine.Fabric(), e.daskConfig(), e.place.SchedulerNode, e.place.WorkerNodes)
+	dcfg := e.daskConfig()
+	dcfg.Metrics = reg
+	dc := dask.NewCluster(e.machine.Fabric(), dcfg, e.place.SchedulerNode, e.place.WorkerNodes)
 	defer dc.Close()
 	if cfg.EnableTrace {
 		dc.EnableTracing()
@@ -438,6 +450,10 @@ func runInTransit(cfg Config) (*Result, error) {
 	if ctrl != nil {
 		res.ChaosLog = ctrl.Log()
 	}
+	end := vtime.MaxTime(res.SimMakespan, res.AnalyticsTime)
+	dc.RecordUtilization(end)
+	e.machine.Fabric().RecordUtilization(end)
+	res.Metrics = reg.Snapshot()
 	return res, nil
 }
 
@@ -449,7 +465,10 @@ func runPostHoc(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	m := cfg.Model
+	reg := metrics.NewRegistry()
+	e.machine.Fabric().UseMetrics(reg)
 	fs := pfs.New(m.PFS)
+	fs.UseMetrics(reg)
 	file, t0 := h5.Create(fs, "sim.h5", 0)
 	ds, t0, err := file.CreateDataset(ArrayName, e.va.Size, e.va.Subsize, t0)
 	if err != nil {
@@ -505,7 +524,9 @@ func runPostHoc(cfg Config) (*Result, error) {
 	simEnd := vtime.MaxTime(simEnds...)
 
 	// Analytics phase: a fresh Dask deployment reading from the PFS.
-	dc := dask.NewCluster(e.machine.Fabric(), e.daskConfig(), e.place.SchedulerNode, e.place.WorkerNodes)
+	dcfg := e.daskConfig()
+	dcfg.Metrics = reg
+	dc := dask.NewCluster(e.machine.Fabric(), dcfg, e.place.SchedulerNode, e.place.WorkerNodes)
 	defer dc.Close()
 	if cfg.EnableTrace {
 		dc.EnableTracing()
@@ -531,6 +552,11 @@ func runPostHoc(cfg Config) (*Result, error) {
 	res.SingularValues = analytics.singularValues
 	res.ExplainedVariance = analytics.explainedVariance
 	res.Counters = dc.Counters().Snapshot()
+	end := vtime.MaxTime(res.SimMakespan, simEnd+res.AnalyticsTime)
+	dc.RecordUtilization(end)
+	e.machine.Fabric().RecordUtilization(end)
+	fs.RecordUtilization(end)
+	res.Metrics = reg.Snapshot()
 	return res, nil
 }
 

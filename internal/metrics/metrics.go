@@ -1,0 +1,311 @@
+// Package metrics is the virtual-time observability layer of the
+// simulator: a registry of counters, gauges, and histograms keyed by
+// "component/name{labels}", sampled against the virtual clocks of the
+// actors that drive them (package vtime), never against wall time.
+//
+// The registry exists to turn the paper's quantitative claims into
+// assertions: the scheduler counts its messages by kind, so the DEISA1
+// formula 2·T·R+heartbeats and the external-task formula 1+R are checked
+// per run by the harness test suite instead of being quoted. Logical
+// counters (message counts, blocks shipped, bytes striped per OST) are
+// pure functions of the workload and therefore identical across runs of
+// the same seed — Snapshot.CanonicalJSON exports exactly that subset for
+// byte-comparison golden tests. Gauges and histograms carry virtual
+// timestamps and durations, which depend on FCFS tie-breaking between
+// goroutines, so they are exported for inspection (JSON/CSV, Chrome
+// trace counter tracks) but excluded from the canonical form.
+//
+// All handle methods are nil-safe: a nil *Counter/*Gauge/*Histogram (as
+// returned by getters on a nil *Registry) is a no-op, so instrumented
+// components work unchanged when no registry is attached.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"deisago/internal/vtime"
+)
+
+// Label is one key=value dimension of a metric ID.
+type Label struct {
+	Key, Value string
+}
+
+// L builds a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// LInt builds a Label with an integer value.
+func LInt(key string, value int) Label {
+	return Label{Key: key, Value: fmt.Sprintf("%d", value)}
+}
+
+// ID renders the canonical metric identifier
+// "component/name{k1=v1,k2=v2}" with labels sorted by key (no braces
+// when there are no labels). Two metrics are the same if and only if
+// their IDs are equal.
+func ID(component, name string, labels ...Label) string {
+	if len(labels) == 0 {
+		return component + "/" + name
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteString(component)
+	b.WriteByte('/')
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Registry holds every metric of one run. All methods are safe for
+// concurrent use; getters on a nil registry return nil handles.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns (creating on first use) the counter with the given
+// identity. Returns nil on a nil registry.
+func (r *Registry) Counter(component, name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	id := ID(component, name, labels...)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[id]
+	if !ok {
+		c = &Counter{id: id}
+		r.counters[id] = c
+	}
+	return c
+}
+
+// Gauge returns (creating on first use) the gauge with the given
+// identity. Returns nil on a nil registry.
+func (r *Registry) Gauge(component, name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	id := ID(component, name, labels...)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[id]
+	if !ok {
+		g = &Gauge{id: id, stride: 1}
+		r.gauges[id] = g
+	}
+	return g
+}
+
+// Histogram returns (creating on first use) the histogram with the given
+// identity. Returns nil on a nil registry.
+func (r *Registry) Histogram(component, name string, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	id := ID(component, name, labels...)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[id]
+	if !ok {
+		h = &Histogram{id: id}
+		r.hists[id] = h
+	}
+	return h
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	id string
+	v  atomic.Int64
+}
+
+// ID returns the counter's canonical identifier.
+func (c *Counter) ID() string {
+	if c == nil {
+		return ""
+	}
+	return c.id
+}
+
+// Add increments the counter by n. No-op on a nil counter.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the current value (0 on a nil counter).
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Sample is one virtual-time point of a gauge series.
+type Sample struct {
+	T vtime.Time `json:"t"`
+	V float64    `json:"v"`
+}
+
+// maxGaugeSamples bounds a gauge's retained time series. When the cap
+// is reached the series is decimated deterministically (every other
+// retained sample is dropped and the keep stride doubles), so the same
+// sequence of Set calls always yields the same series regardless of how
+// long it is.
+const maxGaugeSamples = 2048
+
+// Gauge is an instantaneous value with a virtual-time series of its
+// updates (the counter tracks of a Chrome trace).
+type Gauge struct {
+	id string
+
+	mu      sync.Mutex
+	cur     float64
+	updates int64 // Set calls seen
+	stride  int64 // keep every stride-th update in the series
+	samples []Sample
+}
+
+// ID returns the gauge's canonical identifier.
+func (g *Gauge) ID() string {
+	if g == nil {
+		return ""
+	}
+	return g.id
+}
+
+// Set records a new value observed at virtual time at. No-op on nil.
+func (g *Gauge) Set(v float64, at vtime.Time) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.cur = v
+	if g.updates%g.stride == 0 {
+		if len(g.samples) >= maxGaugeSamples {
+			// Deterministic decimation: keep even indices, double stride.
+			kept := g.samples[:0]
+			for i := 0; i < len(g.samples); i += 2 {
+				kept = append(kept, g.samples[i])
+			}
+			g.samples = kept
+			g.stride *= 2
+		}
+		g.samples = append(g.samples, Sample{T: at, V: v})
+	}
+	g.updates++
+	g.mu.Unlock()
+}
+
+// Add shifts the gauge by delta at virtual time at. No-op on nil.
+func (g *Gauge) Add(delta float64, at vtime.Time) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	v := g.cur + delta
+	g.mu.Unlock()
+	g.Set(v, at)
+}
+
+// Value returns the current value (0 on a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.cur
+}
+
+// Series returns a copy of the retained samples in update order.
+func (g *Gauge) Series() []Sample {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]Sample(nil), g.samples...)
+}
+
+// Histogram collects float64 observations (virtual durations, queue
+// waits) and summarizes them with the vtime percentile statistics.
+type Histogram struct {
+	id string
+
+	mu sync.Mutex
+	xs []float64
+}
+
+// ID returns the histogram's canonical identifier.
+func (h *Histogram) ID() string {
+	if h == nil {
+		return ""
+	}
+	return h.id
+}
+
+// Observe records one sample. No-op on a nil histogram.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.xs = append(h.xs, v)
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.xs)
+}
+
+// Stats summarizes the observations. The samples are sorted before
+// summarizing so the result (including the floating-point Sum) is
+// independent of observation order.
+func (h *Histogram) Stats() vtime.Stats {
+	if h == nil {
+		return vtime.Stats{}
+	}
+	h.mu.Lock()
+	xs := append([]float64(nil), h.xs...)
+	h.mu.Unlock()
+	sort.Float64s(xs)
+	return vtime.Summarize(xs)
+}

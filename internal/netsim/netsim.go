@@ -21,6 +21,7 @@ import (
 	"math/rand"
 	"sync"
 
+	"deisago/internal/metrics"
 	"deisago/internal/vtime"
 )
 
@@ -89,11 +90,19 @@ type node struct {
 	leaf    int
 	egress  *vtime.Resource
 	ingress *vtime.Resource
+
+	// Per-link metric handles, created lazily under Fabric.mu on the
+	// first transfer touching the link (nil when no registry attached).
+	egBytes, inBytes *metrics.Counter
+	egWait, inWait   *metrics.Histogram
 }
 
 type leafSwitch struct {
 	up   *vtime.Resource // toward the spine
 	down *vtime.Resource // from the spine
+
+	upBytes, downBytes *metrics.Counter
+	upWait, downWait   *metrics.Histogram
 }
 
 // Fabric is a simulated interconnect. All methods are safe for concurrent
@@ -109,6 +118,7 @@ type Fabric struct {
 	bytes     int64
 	dropped   int64
 	hooks     []FaultHook
+	reg       *metrics.Registry
 }
 
 // New builds a fabric with numNodes nodes. Nodes are assigned to leaf
@@ -196,6 +206,71 @@ func (f *Fabric) jitter() float64 {
 	return j
 }
 
+// UseMetrics attaches a registry: subsequent transfers count bytes and
+// queue waits per link (component "link") plus fabric totals (component
+// "fabric"), and RecordUtilization can sample link busy fractions. Call
+// before traffic starts; per-link handles are created lazily under the
+// fabric lock as links first carry traffic, so idle links of a large
+// machine never appear in snapshots.
+func (f *Fabric) UseMetrics(r *metrics.Registry) {
+	f.mu.Lock()
+	f.reg = r
+	f.mu.Unlock()
+}
+
+// ensureNodeMetricsLocked creates node n's per-link handles. Caller
+// holds f.mu and has checked f.reg != nil.
+func (f *Fabric) ensureNodeMetricsLocked(n *node) {
+	if n.egBytes != nil {
+		return
+	}
+	eg := metrics.L("link", fmt.Sprintf("node%d-eg", n.id))
+	in := metrics.L("link", fmt.Sprintf("node%d-in", n.id))
+	n.egBytes = f.reg.Counter("link", "bytes", eg)
+	n.inBytes = f.reg.Counter("link", "bytes", in)
+	n.egWait = f.reg.Histogram("link", "queue_wait", eg)
+	n.inWait = f.reg.Histogram("link", "queue_wait", in)
+}
+
+// ensureLeafMetricsLocked creates leaf l's uplink handles.
+func (f *Fabric) ensureLeafMetricsLocked(idx int) {
+	l := f.leaves[idx]
+	if l.upBytes != nil {
+		return
+	}
+	up := metrics.L("link", fmt.Sprintf("leaf%d-up", idx))
+	down := metrics.L("link", fmt.Sprintf("leaf%d-down", idx))
+	l.upBytes = f.reg.Counter("link", "bytes", up)
+	l.downBytes = f.reg.Counter("link", "bytes", down)
+	l.upWait = f.reg.Histogram("link", "queue_wait", up)
+	l.downWait = f.reg.Histogram("link", "queue_wait", down)
+}
+
+// RecordUtilization samples each active link's busy fraction of the
+// virtual interval [0, at] into link/utilization gauges (idle links are
+// skipped). Call once after the workload has drained.
+func (f *Fabric) RecordUtilization(at vtime.Time) {
+	f.mu.Lock()
+	reg := f.reg
+	f.mu.Unlock()
+	if reg == nil || at <= 0 {
+		return
+	}
+	set := func(name string, r *vtime.Resource) {
+		if b := r.Busy(); b > 0 {
+			reg.Gauge("link", "utilization", metrics.L("link", name)).Set(b/at, at)
+		}
+	}
+	for _, n := range f.nodes {
+		set(fmt.Sprintf("node%d-eg", n.id), n.egress)
+		set(fmt.Sprintf("node%d-in", n.id), n.ingress)
+	}
+	for i, l := range f.leaves {
+		set(fmt.Sprintf("leaf%d-up", i), l.up)
+		set(fmt.Sprintf("leaf%d-down", i), l.down)
+	}
+}
+
 // AddFaultHook installs a fault hook consulted on every transfer (chaos
 // fault injection: link degradation, extra latency, message drops). Hooks
 // compose: slow factors multiply, latencies add, and any Drop verdict
@@ -255,12 +330,33 @@ func (f *Fabric) TransferChecked(from, to NodeID, size int64, depart vtime.Time)
 	}
 	a, b := f.nodes[f.check(from)], f.nodes[f.check(to)]
 	v := f.verdict(from, to, size, depart)
+	hops := f.Hops(from, to)
 
+	scope := "remote"
+	if a.id == b.id {
+		scope = "local"
+	}
 	f.mu.Lock()
 	f.transfers++
 	f.bytes += size
 	if v.Drop {
 		f.dropped++
+	}
+	instrumented := f.reg != nil
+	if instrumented {
+		f.reg.Counter("fabric", "transfers", metrics.L("scope", scope)).Inc()
+		f.reg.Counter("fabric", "bytes", metrics.L("scope", scope)).Add(size)
+		if v.Drop {
+			f.reg.Counter("fabric", "dropped").Inc()
+		}
+		if a.id != b.id {
+			f.ensureNodeMetricsLocked(a)
+			f.ensureNodeMetricsLocked(b)
+			if hops == 4 {
+				f.ensureLeafMetricsLocked(a.leaf)
+				f.ensureLeafMetricsLocked(b.leaf)
+			}
+		}
 	}
 	f.mu.Unlock()
 
@@ -268,9 +364,12 @@ func (f *Fabric) TransferChecked(from, to NodeID, size int64, depart vtime.Time)
 	if a.id == b.id {
 		return t, !v.Drop
 	}
+	if instrumented {
+		a.egBytes.Add(size)
+		b.inBytes.Add(size)
+	}
 	j := f.jitter() * v.SlowFactor
 	linkD := j * float64(size) / f.cfg.LinkBandwidth
-	hops := f.Hops(from, to)
 	lat := f.cfg.HopLatency * float64(hops)
 
 	// Pipelined (cut-through) occupancy: each link along the path is
@@ -278,13 +377,21 @@ func (f *Fabric) TransferChecked(from, to NodeID, size int64, depart vtime.Time)
 	// uncongested path costs one serialization, while a congested link
 	// stalls the flow.
 	start, end := a.egress.Acquire(t, linkD)
+	a.egWait.Observe(start - t)
 	if hops == 4 {
+		if instrumented {
+			f.leaves[a.leaf].upBytes.Add(size)
+			f.leaves[b.leaf].downBytes.Add(size)
+		}
 		upD := j * float64(size) / f.uplinkBandwidth()
 		s2, e2 := f.leaves[a.leaf].up.Acquire(start, upD)
+		f.leaves[a.leaf].upWait.Observe(s2 - start)
 		s3, e3 := f.leaves[b.leaf].down.Acquire(s2, upD)
+		f.leaves[b.leaf].downWait.Observe(s3 - s2)
 		start, end = s3, vtime.MaxTime(end, e2, e3)
 	}
-	_, e4 := b.ingress.Acquire(start, linkD)
+	s4, e4 := b.ingress.Acquire(start, linkD)
+	b.inWait.Observe(s4 - start)
 	end = vtime.MaxTime(end, e4)
 	return end + lat, !v.Drop
 }

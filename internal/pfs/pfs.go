@@ -15,6 +15,7 @@ import (
 	"sort"
 	"sync"
 
+	"deisago/internal/metrics"
 	"deisago/internal/vtime"
 )
 
@@ -83,6 +84,10 @@ type FS struct {
 
 	bytesRead    int64
 	bytesWritten int64
+
+	reg      *metrics.Registry
+	ostBytes []*metrics.Counter // per-OST traffic, index-aligned with osts
+	mdsOps   *metrics.Counter
 }
 
 // New creates an empty file system.
@@ -104,6 +109,41 @@ func New(cfg Config) *FS {
 // Config returns the file system configuration.
 func (fs *FS) Config() Config { return fs.cfg }
 
+// UseMetrics attaches a registry: reads and writes count bytes per
+// operation and per OST (component "pfs"), metadata operations are
+// counted, and RecordUtilization can sample OST busy fractions. Call
+// before I/O starts.
+func (fs *FS) UseMetrics(r *metrics.Registry) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.reg = r
+	fs.mdsOps = r.Counter("pfs", "mds_ops")
+	fs.ostBytes = make([]*metrics.Counter, len(fs.osts))
+	for i := range fs.osts {
+		fs.ostBytes[i] = r.Counter("pfs", "ost_bytes", metrics.LInt("ost", i))
+	}
+}
+
+// RecordUtilization samples each OST's busy fraction of [0, at] and the
+// file system's achieved share of its aggregate bandwidth. Call once
+// after the workload has drained.
+func (fs *FS) RecordUtilization(at vtime.Time) {
+	fs.mu.Lock()
+	reg := fs.reg
+	moved := fs.bytesRead + fs.bytesWritten
+	fs.mu.Unlock()
+	if reg == nil || at <= 0 {
+		return
+	}
+	for i, o := range fs.osts {
+		if b := o.Busy(); b > 0 {
+			reg.Gauge("pfs", "ost_utilization", metrics.LInt("ost", i)).Set(b/at, at)
+		}
+	}
+	reg.Gauge("pfs", "aggregate_bw_share").
+		Set(float64(moved)/at/fs.AggregateBandwidth(), at)
+}
+
 // AggregateBandwidth returns the file system's total bandwidth in
 // bytes/second.
 func (fs *FS) AggregateBandwidth() float64 {
@@ -116,6 +156,7 @@ func (fs *FS) Create(path string, at vtime.Time) vtime.Time {
 	_, end := fs.mds.Acquire(at, fs.cfg.MetaLatency)
 	fs.mu.Lock()
 	fs.files[path] = &file{}
+	fs.mdsOps.Inc()
 	fs.mu.Unlock()
 	return end
 }
@@ -133,6 +174,9 @@ func (fs *FS) Remove(path string, at vtime.Time) (vtime.Time, error) {
 	fs.mu.Lock()
 	_, ok := fs.files[path]
 	delete(fs.files, path)
+	if ok {
+		fs.mdsOps.Inc()
+	}
 	fs.mu.Unlock()
 	if !ok {
 		return at, fmt.Errorf("pfs: remove %s: no such file", path)
@@ -182,6 +226,9 @@ func (fs *FS) stripeCost(off, n int64, at vtime.Time) vtime.Time {
 	if n == 0 {
 		return at
 	}
+	fs.mu.Lock()
+	ostBytes := fs.ostBytes
+	fs.mu.Unlock()
 	end := at
 	ss := fs.cfg.StripeSize
 	for pos := off; pos < off+n; {
@@ -192,8 +239,11 @@ func (fs *FS) stripeCost(off, n int64, at vtime.Time) vtime.Time {
 			chunkEnd = stripeEnd
 		}
 		bytes := chunkEnd - pos
-		ost := fs.osts[int(stripe)%len(fs.osts)]
-		_, e := ost.Acquire(at, float64(bytes)/fs.cfg.OSTBandwidth)
+		idx := int(stripe) % len(fs.osts)
+		if ostBytes != nil {
+			ostBytes[idx].Add(bytes)
+		}
+		_, e := fs.osts[idx].Acquire(at, float64(bytes)/fs.cfg.OSTBandwidth)
 		if e > end {
 			end = e
 		}
@@ -225,6 +275,7 @@ func (fs *FS) WriteAtCost(path string, off int64, p []byte, costBytes int64, at 
 	f.writeAt(off, p)
 	fs.mu.Lock()
 	fs.bytesWritten += costBytes
+	fs.reg.Counter("pfs", "bytes", metrics.L("op", "write")).Add(costBytes)
 	fs.mu.Unlock()
 	return fs.stripeCost(off, costBytes, at), nil
 }
@@ -251,6 +302,7 @@ func (fs *FS) ReadAtCost(path string, off, n, costBytes int64, at vtime.Time) ([
 	}
 	fs.mu.Lock()
 	fs.bytesRead += costBytes
+	fs.reg.Counter("pfs", "bytes", metrics.L("op", "read")).Add(costBytes)
 	fs.mu.Unlock()
 	return data, fs.stripeCost(off, costBytes, at), nil
 }

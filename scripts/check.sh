@@ -38,8 +38,31 @@ DEISA_AUDIT=1 go test -race \
     ./internal/chaos \
     ./internal/harness
 
+echo "== coverage gate =="
+# internal/metrics is the observability substrate every claim-checking
+# test leans on; hold it at >= 90%. The repo-wide floor is the total
+# statement coverage measured just before the metrics layer landed —
+# keep it from regressing.
+METRICS_MIN=90.0
+REPO_MIN=80.8
+metrics_cov=$(go test -cover ./internal/metrics | awk '
+    /coverage:/ { for (i = 1; i <= NF; i++) if ($i == "coverage:") { sub(/%.*/, "", $(i+1)); print $(i+1); exit } }')
+profile=$(mktemp)
+go test -coverprofile="$profile" ./... > /dev/null
+repo_cov=$(go tool cover -func="$profile" | awk '/^total:/ { sub(/%/, "", $NF); print $NF }')
+rm -f "$profile"
+echo "internal/metrics coverage:    ${metrics_cov}% (min ${METRICS_MIN}%)"
+echo "repo-wide statement coverage: ${repo_cov}% (min ${REPO_MIN}%)"
+awk -v got="$metrics_cov" -v min="$METRICS_MIN" 'BEGIN { exit !(got+0 >= min+0) }' || {
+    echo "internal/metrics coverage below ${METRICS_MIN}%" >&2; exit 1; }
+awk -v got="$repo_cov" -v min="$REPO_MIN" 'BEGIN { exit !(got+0 >= min+0) }' || {
+    echo "repo-wide coverage below the pre-metrics baseline ${REPO_MIN}%" >&2; exit 1; }
+
 echo "== chaos acceptance (fixed seed, auditor on) =="
 DEISA_AUDIT=1 go run ./cmd/experiments -quick -chaos-seed 7
+
+echo "== golden metrics snapshots (fixed seed) =="
+go test -count=1 -run 'TestGolden' ./internal/harness
 
 echo "== fuzz smoke: scheduler auditor =="
 go test -fuzz=FuzzSchedulerAudit -fuzztime=5s -run '^$' ./internal/dask
