@@ -93,7 +93,11 @@ type Bridge struct {
 	// published remembers every external-mode block this bridge sent, so
 	// blocks lost with a worker (the scheduler reverts their key to the
 	// external state) can be republished from the producer's copy.
-	published map[taskgraph.Key]publishedBlock
+	// publishedKeys keeps first-publish order — each rank publishes its
+	// blocks in deterministic timestep order, so scanning it replaces the
+	// per-call key sort RepublishLost used to pay.
+	published     map[taskgraph.Key]publishedBlock
+	publishedKeys []taskgraph.Key
 }
 
 type publishedBlock struct {
@@ -243,6 +247,9 @@ func (b *Bridge) Publish(arrayName string, pos []int, data *ndarray.Array, at vt
 		if err := b.scatterExternal(key, data, step, worker); err != nil {
 			return b.client.Now(), false, err
 		}
+		if _, dup := b.published[key]; !dup {
+			b.publishedKeys = append(b.publishedKeys, key)
+		}
 		b.published[key] = publishedBlock{array: arrayName, pos: append([]int(nil), pos...), data: data}
 	case ModeDEISA1:
 		if err := b.client.Scatter([]dask.ScatterItem{{Key: key, Value: data, Bytes: b.cfg.ScatterBytes}}, false, worker); err != nil {
@@ -337,14 +344,8 @@ func (b *Bridge) RepublishLost(at vtime.Time) (int, error) {
 		return 0, nil
 	}
 	b.client.Clock().Sync(at)
-	keys := make([]string, 0, len(b.published))
-	for k := range b.published {
-		keys = append(keys, string(k))
-	}
-	sort.Strings(keys)
 	n := 0
-	for _, ks := range keys {
-		key := taskgraph.Key(ks)
+	for _, key := range b.publishedKeys {
 		state, ok := b.cfg.Cluster.TaskState(key)
 		if !ok || state != dask.StateExternal {
 			continue

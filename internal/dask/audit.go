@@ -3,7 +3,6 @@ package dask
 import (
 	"fmt"
 	"os"
-	"sort"
 	"strings"
 
 	"deisago/internal/taskgraph"
@@ -21,9 +20,9 @@ import (
 //
 //  1. A task in memory has a valid owning worker the scheduler believes
 //     alive, and that worker's object store actually holds the key.
-//  2. A waiting task's missing set is exactly its dependencies that are
-//     not in memory; no waiting task has an erred dependency (errors
-//     cascade immediately).
+//  2. A waiting task's missing count is exactly the number of its
+//     dependencies that are not in memory; no waiting task has an erred
+//     dependency (errors cascade immediately).
 //  3. External tasks are never assigned to a worker.
 //  4. Released keys hold no bytes on any scheduler-live worker.
 //  5. Processing tasks are assigned to scheduler-live workers.
@@ -35,6 +34,11 @@ import (
 // A violation fails loudly: the auditor panics with the violation and the
 // tail of the full transition log, so the interleaving that produced the
 // bad state is visible.
+//
+// The audit pass is a single walk over the dense interned task table —
+// O(tasks + edges) in deterministic taskID order, with no per-operation
+// sorting and no scratch allocations (released keys are checked in the
+// same walk, at their nil table slots).
 
 // stateNone marks task creation in the transition log (no prior state).
 const stateNone State = -1
@@ -68,7 +72,7 @@ const auditLogCap = 16384
 type auditor struct {
 	log       []Transition
 	truncated int64
-	released  map[taskgraph.Key]bool
+	released  map[taskID]bool
 	op        string // mutation currently in progress (panic context)
 	at        vtime.Time
 }
@@ -88,7 +92,7 @@ func auditEnvEnabled() bool {
 func (c *Cluster) EnableAudit() {
 	c.sched.mu.Lock()
 	if c.sched.audit == nil {
-		c.sched.audit = &auditor{released: map[taskgraph.Key]bool{}}
+		c.sched.audit = &auditor{released: map[taskID]bool{}}
 	}
 	c.sched.mu.Unlock()
 }
@@ -137,7 +141,7 @@ func (s *scheduler) recordLocked(st *schedTask, from State) {
 		Op: a.op, Key: st.key, From: from, To: st.state, Worker: st.worker, At: a.at,
 	})
 	if st.state != stateNone {
-		delete(a.released, st.key) // key re-registered
+		delete(a.released, st.id) // key re-registered
 	}
 }
 
@@ -157,7 +161,7 @@ func (s *scheduler) recordReleaseLocked(st *schedTask) {
 		return
 	}
 	s.recordLocked(st, st.state)
-	a.released[st.key] = true
+	a.released[st.id] = true
 }
 
 // failLocked panics with the violation and the transition log tail.
@@ -179,13 +183,31 @@ func (s *scheduler) failLocked(format string, args ...any) {
 	panic(b.String())
 }
 
-// auditLocked re-checks every invariant. Call with s.mu held at the end
-// of each mutating scheduler operation.
+// auditLocked re-checks every invariant in one pass over the dense task
+// table, in taskID order. Call with s.mu held at the end of each
+// mutating scheduler operation.
 func (s *scheduler) auditLocked() {
 	if s.audit == nil {
 		return
 	}
-	for _, st := range s.tasks {
+	for id, st := range s.tasks {
+		if st == nil {
+			// Interned but currently unregistered slot. If the key left
+			// via release, no scheduler-live worker may still hold its
+			// bytes.
+			if !s.audit.released[taskID(id)] {
+				continue
+			}
+			for wid, w := range s.cl.workers {
+				if s.deadWorkers[wid] {
+					continue
+				}
+				if w.has(taskID(id)) {
+					s.failLocked("released key %q still holds bytes on worker %d", s.keys[id], wid)
+				}
+			}
+			continue
+		}
 		switch st.state {
 		case StateMemory:
 			if st.worker < 0 || st.worker >= len(s.cl.workers) {
@@ -194,45 +216,31 @@ func (s *scheduler) auditLocked() {
 			if s.deadWorkers[st.worker] {
 				s.failLocked("task %q in memory on dead worker %d", st.key, st.worker)
 			}
-			if !s.cl.workers[st.worker].has(st.key) {
+			if !s.cl.workers[st.worker].has(st.id) {
 				s.failLocked("task %q in memory but worker %d's store lacks it", st.key, st.worker)
 			}
 			if st.bytes < 0 {
 				s.failLocked("task %q in memory with negative size %d", st.key, st.bytes)
 			}
 		case StateWaiting:
+			var want int32
 			for _, d := range st.deps {
 				dt := s.tasks[d]
 				if dt == nil {
-					if !st.missing[d] {
-						s.failLocked("waiting task %q: unregistered dependency %q not in missing set", st.key, d)
-					}
+					want++ // unregistered dependency is by definition unfinished
 					continue
 				}
 				switch dt.state {
 				case StateMemory:
-					if st.missing[d] {
-						s.failLocked("waiting task %q: dependency %q is in memory but still marked missing", st.key, d)
-					}
+					// satisfied
 				case StateErred:
-					s.failLocked("waiting task %q has erred dependency %q (error did not cascade)", st.key, d)
+					s.failLocked("waiting task %q has erred dependency %q (error did not cascade)", st.key, dt.key)
 				default:
-					if !st.missing[d] {
-						s.failLocked("waiting task %q: unfinished dependency %q (state %s) not in missing set", st.key, d, dt.state)
-					}
+					want++
 				}
 			}
-			for d := range st.missing {
-				found := false
-				for _, dep := range st.deps {
-					if dep == d {
-						found = true
-						break
-					}
-				}
-				if !found {
-					s.failLocked("waiting task %q: missing entry %q is not a dependency", st.key, d)
-				}
+			if st.missingCount != want {
+				s.failLocked("waiting task %q: missing count %d, want %d unfinished dependencies", st.key, st.missingCount, want)
 			}
 		case StateExternal:
 			if st.worker != -1 {
@@ -250,38 +258,20 @@ func (s *scheduler) auditLocked() {
 				s.failLocked("task %q erred without an error", st.key)
 			}
 		}
-		for d := range st.dependents {
+		for _, d := range st.dependents {
 			dt := s.tasks[d]
 			if dt == nil {
-				s.failLocked("task %q has dependent %q that is not registered", st.key, d)
+				s.failLocked("task %q has dependent %q that is not registered", st.key, s.keys[d])
 			}
 			found := false
 			for _, dep := range dt.deps {
-				if dep == st.key {
+				if dep == st.id {
 					found = true
 					break
 				}
 			}
 			if !found {
-				s.failLocked("task %q lists dependent %q, which does not depend on it", st.key, d)
-			}
-		}
-	}
-	if len(s.audit.released) > 0 {
-		keys := make([]string, 0, len(s.audit.released))
-		for k := range s.audit.released {
-			keys = append(keys, string(k))
-		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			key := taskgraph.Key(k)
-			for id, w := range s.cl.workers {
-				if s.deadWorkers[id] {
-					continue
-				}
-				if w.has(key) {
-					s.failLocked("released key %q still holds bytes on worker %d", key, id)
-				}
+				s.failLocked("task %q lists dependent %q, which does not depend on it", st.key, dt.key)
 			}
 		}
 	}

@@ -1,0 +1,40 @@
+package dask
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkAuditorScan measures one invariant-audit pass over a live
+// scheduler state (externals + waiting analytics tasks), the work the
+// auditor repeats after every mutation when DEISA_AUDIT=1. The pass is a
+// single walk over the dense task table: ns/task should stay flat as
+// T×R grows (O(tasks + edges)) and allocs/op must be 0 — no per-op
+// sorting or scratch maps.
+func BenchmarkAuditorScan(b *testing.B) {
+	for _, size := range []struct{ T, R int }{{8, 8}, {32, 32}, {64, 64}} {
+		b.Run(fmt.Sprintf("T%d_R%d", size.T, size.R), func(b *testing.B) {
+			c, _ := testClusterQuick(schedBenchWorkers)
+			defer c.Close()
+			c.EnableAudit()
+			g, externals, _ := schedBenchGraph(size.T, size.R)
+			if _, err := c.sched.createExternal(externals, 0); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := c.sched.submitGraph(g, 0); err != nil {
+				b.Fatal(err)
+			}
+			nTasks := 2*size.T*size.R + 2*size.T // externals + graph tasks
+			s := c.sched
+			s.mu.Lock()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.auditLocked()
+			}
+			b.StopTimer()
+			s.mu.Unlock()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/(float64(b.N)*float64(nTasks)), "ns/task")
+		})
+	}
+}

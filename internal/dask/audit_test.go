@@ -68,7 +68,11 @@ func TestAuditorDetectsStoreMismatch(t *testing.T) {
 	if err := cl.Scatter([]ScatterItem{{Key: "d", Value: 1.0}}, false, 0); err != nil {
 		t.Fatal(err)
 	}
-	c.workers[0].drop("d", 0) // corrupt: scheduler still believes it resident
+	id, ok := c.sched.idFor("d")
+	if !ok {
+		t.Fatal("scattered key was not interned")
+	}
+	c.workers[0].drop(id, 0) // corrupt: scheduler still believes it resident
 	s := c.sched
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -84,7 +88,7 @@ func TestAuditorDetectsExternalWithWorker(t *testing.T) {
 	s := c.sched
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.tasks["ext"].worker = 0 // corrupt: external tasks are never assigned
+	s.lookupLocked("ext").worker = 0 // corrupt: external tasks are never assigned
 	mustPanic(t, "external task", func() { s.auditLocked() })
 }
 
@@ -102,8 +106,8 @@ func TestAuditorDetectsMissingSetDrift(t *testing.T) {
 	s := c.sched
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	delete(s.tasks["use"].missing, "ext") // corrupt: dep not in memory yet
-	mustPanic(t, "not in missing set", func() { s.auditLocked() })
+	s.lookupLocked("use").missingCount = 0 // corrupt: dep not in memory yet
+	mustPanic(t, "missing count", func() { s.auditLocked() })
 }
 
 func TestAuditorDetectsMemoryOnDeadWorker(t *testing.T) {
@@ -131,7 +135,7 @@ func TestAuditorReleasedKeysHoldNoBytes(t *testing.T) {
 	if err := cl.Wait(futs); err != nil {
 		t.Fatal(err)
 	}
-	owner, _, _, err := c.sched.locate("a")
+	owner, id, _, _, err := c.sched.locate("a")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +143,7 @@ func TestAuditorReleasedKeysHoldNoBytes(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Corrupt: sneak the released bytes back into the store.
-	c.workers[owner].put("a", 1.0, 8, 0)
+	c.workers[owner].put(id, 1.0, 8, 0)
 	s := c.sched
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 
-	"deisago/internal/metrics"
 	"deisago/internal/netsim"
 	"deisago/internal/taskgraph"
 	"deisago/internal/vtime"
@@ -104,13 +103,14 @@ func (cl *Client) Submit(g *taskgraph.Graph, targets []taskgraph.Key) ([]*Future
 // graph (satisfied by scheduler-resident data) for client-side culling.
 func (cl *Client) knownExternalDeps(g *taskgraph.Graph) map[taskgraph.Key]bool {
 	ext := map[taskgraph.Key]bool{}
-	for _, k := range g.Keys() {
-		for _, d := range g.Get(k).Deps {
+	g.Walk(func(_ taskgraph.Key, t *taskgraph.Task) bool {
+		for _, d := range t.Deps {
 			if !g.Has(d) {
 				ext[d] = true
 			}
 		}
-	}
+		return true
+	})
 	return ext
 }
 
@@ -170,13 +170,16 @@ func (cl *Client) Scatter(items []ScatterItem, external bool, workerID int) erro
 		if bytes <= 0 {
 			bytes = SizeOf(it.Value)
 		}
+		// Intern the key at the API boundary: worker stores and the
+		// scheduler work on dense task IDs from here on.
+		id := cl.cluster.sched.intern(it.Key)
 		arrive := cl.cluster.xfer(cl.node, w.node, bytes, depart)
-		w.put(it.Key, it.Value, bytes, arrive)
-		cl.cluster.reg.Counter("worker", "scatter_bytes_received", metrics.LInt("id", workerID)).Add(bytes)
+		w.put(id, it.Value, bytes, arrive)
+		w.mScatter.Add(bytes)
 		if arrive > lastData {
 			lastData = arrive
 		}
-		dataItems[i] = dataItem{key: it.Key, bytes: bytes, worker: workerID, readyAt: arrive}
+		dataItems[i] = dataItem{key: it.Key, id: id, bytes: bytes, worker: workerID, readyAt: arrive}
 	}
 	// One metadata message to the scheduler.
 	reqBytes := cl.cluster.cfg.ControlMsgBytes +
@@ -225,12 +228,12 @@ func (cl *Client) Gather(futs []*Future) ([]any, error) {
 	depart := cl.clock.Now()
 	var last vtime.Time = depart
 	for i, f := range futs {
-		wid, bytes, readyAt, err := cl.cluster.sched.locate(f.Key)
+		wid, id, bytes, readyAt, err := cl.cluster.sched.locate(f.Key)
 		if err != nil {
 			return nil, err
 		}
 		w := cl.cluster.worker(wid)
-		e := w.get(f.Key)
+		e := w.get(id)
 		out[i] = e.value
 		from := depart
 		if readyAt > from {

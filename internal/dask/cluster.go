@@ -41,7 +41,7 @@ func NewCluster(fabric *netsim.Fabric, cfg Config, schedNode netsim.NodeID, work
 	c.counters = newCounters(c.reg)
 	c.sched = newScheduler(c)
 	if auditEnvEnabled() {
-		c.sched.audit = &auditor{released: map[taskgraph.Key]bool{}}
+		c.sched.audit = &auditor{released: map[taskID]bool{}}
 	}
 	for i, n := range workerNodes {
 		w := newWorker(c, i, n)

@@ -294,7 +294,7 @@ func TestDataLocalityAssignment(t *testing.T) {
 	if err := cl.Wait(futs); err != nil {
 		t.Fatal(err)
 	}
-	wid, _, _, err := c.sched.locate("use")
+	wid, _, _, _, err := c.sched.locate("use")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -322,7 +322,7 @@ func TestRoundRobinForRootTasks(t *testing.T) {
 	}
 	seen := map[int]int{}
 	for _, k := range targets {
-		wid, _, _, err := c.sched.locate(k)
+		wid, _, _, _, err := c.sched.locate(k)
 		if err != nil {
 			t.Fatal(err)
 		}

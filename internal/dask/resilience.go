@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 
-	"deisago/internal/taskgraph"
 	"deisago/internal/vtime"
 )
 
@@ -73,18 +72,20 @@ func (w *worker) isDead() bool {
 	return w.dead
 }
 
-// workerLost re-plans every task affected by the loss of a worker.
+// workerLost re-plans every task affected by the loss of a worker. The
+// dense task table makes every pass below a deterministic taskID-order
+// walk, so replans are reproducible under the chaos harness.
 func (s *scheduler) workerLost(id int, at vtime.Time) {
 	handled := s.handle("worker-lost", at, s.cl.cfg.SchedulerMsgCost)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	defer s.auditLocked()
+	defer s.endOpLocked()
 	s.beginOpLocked("worker-lost", handled)
 	s.deadWorkers[id] = true
 
 	lostErr := fmt.Errorf("dask: worker %d: %w", id, ErrWorkerDied)
 	for _, st := range s.tasks {
-		if st.worker != id {
+		if st == nil || st.worker != id {
 			continue
 		}
 		switch st.state {
@@ -109,32 +110,39 @@ func (s *scheduler) workerLost(id int, at vtime.Time) {
 			s.setStateLocked(st, StateWaiting)
 		}
 	}
-	// Cascade: a task in memory may depend on nothing anymore, but tasks
-	// WAITING on lost results must have their missing sets rebuilt; and
-	// tasks whose results survived need no change. Rebuild missing for
-	// every non-terminal task, then launch the ready frontier.
+	// Cascade: tasks WAITING on lost results must have their missing
+	// counts rebuilt (the incremental counters can't distinguish a
+	// result that regressed out of memory), and tasks whose results
+	// survived need no change. Rebuild the count for every non-terminal
+	// task, then launch the ready frontier through the ready queue.
 	for _, st := range s.tasks {
-		if st.state != StateWaiting {
+		if st == nil || st.state != StateWaiting {
 			continue
 		}
-		st.missing = map[taskgraph.Key]bool{}
+		var missing int32
 		for _, d := range st.deps {
 			dt := s.tasks[d]
+			if dt == nil {
+				missing++ // unregistered dependency: unfinished by definition
+				continue
+			}
 			switch dt.state {
 			case StateMemory:
 				// satisfied
 			case StateErred:
-				s.erredLocked(st, fmt.Errorf("dask: dependency %q erred: %w", d, dt.err))
+				s.erredLocked(st, fmt.Errorf("dask: dependency %q erred: %w", dt.key, dt.err))
 			default:
-				st.missing[d] = true
+				missing++
 			}
 		}
+		st.missingCount = missing
 	}
 	for _, st := range s.tasks {
-		if st.state == StateWaiting && len(st.missing) == 0 && (st.fn != nil || st.timed != nil) {
-			s.assignLocked(st, handled)
+		if st != nil && st.state == StateWaiting && st.missingCount == 0 && (st.fn != nil || st.timed != nil) {
+			s.ready.push(st.priority, st.id)
 		}
 	}
+	s.drainReadyLocked(handled)
 	s.cond.Broadcast()
 }
 

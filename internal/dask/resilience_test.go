@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"deisago/internal/taskgraph"
 )
@@ -27,7 +28,7 @@ func TestKillWorkerRecomputesFromLineage(t *testing.T) {
 	if err := cl.Wait(futs); err != nil {
 		t.Fatal(err)
 	}
-	owner, _, _, err := c.sched.locate("a")
+	owner, _, _, _, err := c.sched.locate("a")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +55,7 @@ func TestKillWorkerRecomputesFromLineage(t *testing.T) {
 	if aRuns.Load() != 2 {
 		t.Fatalf("a executed %d times, want 2 (original + recompute)", aRuns.Load())
 	}
-	newOwner, _, _, err := c.sched.locate("a")
+	newOwner, _, _, _, err := c.sched.locate("a")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +194,7 @@ func TestKillWorkerDeepLineage(t *testing.T) {
 	if err := cl.Wait(futs); err != nil {
 		t.Fatal(err)
 	}
-	owner, _, _, _ := c.sched.locate("c")
+	owner, _, _, _, _ := c.sched.locate("c")
 	if err := c.KillWorker(owner, cl.Now()); err != nil {
 		t.Fatal(err)
 	}
@@ -253,7 +254,7 @@ func TestCascadingKillTwoOfThree(t *testing.T) {
 	if got := c.LiveWorkers(); len(got) != 1 || got[0] != 2 {
 		t.Fatalf("LiveWorkers = %v, want [2]", got)
 	}
-	if owner, _, _, err := c.sched.locate("sum"); err != nil || owner != 2 {
+	if owner, _, _, _, err := c.sched.locate("sum"); err != nil || owner != 2 {
 		t.Fatalf("sum owner = %d (%v), want survivor 2", owner, err)
 	}
 }
@@ -283,7 +284,7 @@ func TestKillDuringWaitFor(t *testing.T) {
 	}()
 	<-started // task body is running on its worker
 	c.sched.mu.Lock()
-	victim := c.sched.tasks["slow"].worker
+	victim := c.sched.lookupLocked("slow").worker
 	c.sched.mu.Unlock()
 	if err := c.KillWorker(victim, cl.Now()); err != nil {
 		t.Fatal(err)
@@ -299,7 +300,7 @@ func TestKillDuringWaitFor(t *testing.T) {
 	if vals[0].(float64) != 7 {
 		t.Fatalf("slow = %v, want 7", vals[0])
 	}
-	owner, _, _, err := c.sched.locate("slow")
+	owner, _, _, _, err := c.sched.locate("slow")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -431,7 +432,7 @@ func TestKillWorkerAbortsTraceSpan(t *testing.T) {
 	}
 	<-started
 	c.sched.mu.Lock()
-	victim := c.sched.tasks["victim"].worker
+	victim := c.sched.lookupLocked("victim").worker
 	c.sched.mu.Unlock()
 	if err := c.KillWorker(victim, 1.0); err != nil {
 		t.Fatal(err)
@@ -440,7 +441,23 @@ func TestKillWorkerAbortsTraceSpan(t *testing.T) {
 	if err := cl.Wait(futs); err != nil {
 		t.Fatal(err)
 	}
-	events := c.TraceEvents()
+	// Wait only syncs with the survivor's completion; the killed worker's
+	// goroutine records its aborted span concurrently. Poll until it lands.
+	var events []TraceEvent
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		events = c.TraceEvents()
+		found := false
+		for _, e := range events {
+			if e.Aborted {
+				found = true
+				break
+			}
+		}
+		if found || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
 	var aborted, completed int
 	for _, e := range events {
 		if e.End < e.Start {

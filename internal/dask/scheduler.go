@@ -46,21 +46,47 @@ func (s State) String() string {
 	return fmt.Sprintf("State(%d)", int(s))
 }
 
+// taskID is a dense integer handle for a task key, interned the first
+// time the scheduler sees the key. IDs live for the cluster lifetime:
+// releasing a key frees its task-table slot but keeps the interning, so
+// a re-registered key reuses its old ID. All scheduler-internal state
+// (task table, dependency wiring, worker object stores) is keyed by ID;
+// the string key survives only at the client API boundary and in
+// traces, metrics labels, and error messages.
+type taskID int32
+
 type schedTask struct {
-	key        taskgraph.Key
-	fn         taskgraph.Fn
-	timed      taskgraph.TimedFn
-	cost       vtime.Dur
-	outBytes   int64
-	priority   int
-	deps       []taskgraph.Key
-	missing    map[taskgraph.Key]bool // deps not yet in memory
-	dependents map[taskgraph.Key]bool
-	state      State
-	worker     int // result owner (memory) or assignee (processing); -1 unknown
-	bytes      int64
-	readyAt    vtime.Time
-	err        error
+	id       taskID
+	key      taskgraph.Key // original key, for traces/errors/labels
+	fn       taskgraph.Fn
+	timed    taskgraph.TimedFn
+	cost     vtime.Dur
+	outBytes int64
+	priority int
+	// deps holds the deduplicated dependency IDs, carved from one
+	// per-submit block; it is never mutated after registration.
+	deps []taskID
+	// missingCount is the number of deps not yet in memory. It replaces
+	// the per-task missing map: decremented as deps reach memory,
+	// rebuilt from dep states on worker loss.
+	missingCount int32
+	// dependents lists the registered tasks depending on this one.
+	// In-batch edges are carved from one shared block per submitGraph;
+	// later cross-batch edges append past the carved cap, which
+	// reallocates the slice without touching neighbouring windows.
+	dependents []taskID
+	// wired marks registration complete; during submitGraph it
+	// distinguishes the batch being registered (whose dependent windows
+	// are still being carved, using deg as scratch) from older tasks.
+	wired bool
+	deg   int32
+	state State
+	// worker is the result owner (memory) or assignee (processing); -1
+	// unknown.
+	worker  int
+	bytes   int64
+	readyAt vtime.Time
+	err     error
 	// wasExternal marks tasks created in the external state: if their
 	// result is lost with a worker, they return to external (the
 	// producing environment can republish) instead of erring.
@@ -82,13 +108,76 @@ type queueEntry struct {
 	items []queueItem
 }
 
+// readyItem is one runnable task queued for assignment.
+type readyItem struct {
+	priority int
+	id       taskID
+}
+
+// readyQueue is a binary min-heap of runnable tasks ordered by
+// (priority, taskID). The taskID tie-break makes the pop order a pure
+// function of the queue contents — no insertion-order dependence — so
+// same-seed runs drain identically. A typed heap (rather than
+// container/heap) keeps push/pop free of interface boxing allocations.
+type readyQueue []readyItem
+
+func (q readyQueue) less(i, j int) bool {
+	return q[i].priority < q[j].priority ||
+		(q[i].priority == q[j].priority && q[i].id < q[j].id)
+}
+
+func (q *readyQueue) push(priority int, id taskID) {
+	arr := append(*q, readyItem{priority: priority, id: id})
+	for i := len(arr) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !arr.less(i, parent) {
+			break
+		}
+		arr[i], arr[parent] = arr[parent], arr[i]
+		i = parent
+	}
+	*q = arr
+}
+
+func (q *readyQueue) pop() taskID {
+	arr := *q
+	top := arr[0].id
+	n := len(arr) - 1
+	arr[0] = arr[n]
+	arr = arr[:n]
+	for i := 0; ; {
+		small := i
+		if l := 2*i + 1; l < n && arr.less(l, small) {
+			small = l
+		}
+		if r := 2*i + 2; r < n && arr.less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		arr[i], arr[small] = arr[small], arr[i]
+		i = small
+	}
+	*q = arr
+	return top
+}
+
 type scheduler struct {
 	cl  *Cluster
 	cpu *vtime.Resource
 
-	mu     sync.Mutex
-	cond   *sync.Cond
-	tasks  map[taskgraph.Key]*schedTask
+	mu   sync.Mutex
+	cond *sync.Cond
+	// Interned key tables. ids and keys are append-only for the cluster
+	// lifetime; tasks is indexed by taskID and nil for released (or
+	// interned-but-never-registered) slots.
+	ids   map[taskgraph.Key]taskID
+	keys  []taskgraph.Key
+	tasks []*schedTask
+	// ready queues runnable tasks between a transition and assignment;
+	// it is always drained before the owning operation returns.
+	ready  readyQueue
 	vars   map[string]*varEntry
 	queues map[string]*queueEntry
 	rr     int
@@ -102,22 +191,85 @@ type scheduler struct {
 	// opAt is the handling time of the mutation in progress; it stamps
 	// the per-state task-count gauges (metrics), mirroring auditor.at.
 	opAt vtime.Time
-	// stateCounts tracks the live number of tasks per state for the
+	// nByState tracks the live number of tasks per state for the
 	// scheduler/tasks{state=...} gauges (the dashboard's queue depths).
 	nByState [StateExternal + 1]int
+	// dirtyStates accumulates states whose gauge changed during the
+	// mutation in progress; endOpLocked flushes them in one batch
+	// instead of one registry call per transition.
+	dirtyStates uint8
+
+	// Cached registry handles: the per-message and per-transition
+	// counters are on the hot path, and the registry's Counter lookup
+	// formats a metric ID per call. msgC is built once at construction
+	// and read-only afterwards (handle runs outside s.mu); transC and
+	// stateG fill lazily under s.mu so the registry contents stay
+	// identical to creating each series on first use.
+	msgC   map[string]*metrics.Counter
+	transC [StateExternal + 2][StateExternal + 2]*metrics.Counter
+	stateG [StateExternal + 1]*metrics.Gauge
+
+	// Locality scratch for assignLocked: per-worker byte tallies reused
+	// across calls via an epoch stamp, replacing a per-call map.
+	assignBytes   []int64
+	assignMark    []uint32
+	assignTouched []int
+	assignEpoch   uint32
+}
+
+// msgKinds enumerates every scheduler message kind, so the per-kind
+// counters can be created once up front and then read without locking.
+var msgKinds = []string{
+	"submit", "create-external", "update-data", "task-finished",
+	"task-erred", "wait", "metadata", "release", "heartbeat",
+	"var-set", "var-get", "queue-put", "queue-get", "worker-lost",
 }
 
 func newScheduler(cl *Cluster) *scheduler {
 	s := &scheduler{
 		cl:          cl,
 		cpu:         vtime.NewResource("scheduler-cpu"),
-		tasks:       make(map[taskgraph.Key]*schedTask),
+		ids:         make(map[taskgraph.Key]taskID),
 		vars:        make(map[string]*varEntry),
 		queues:      make(map[string]*queueEntry),
 		deadWorkers: map[int]bool{},
+		msgC:        make(map[string]*metrics.Counter, len(msgKinds)),
+	}
+	for _, kind := range msgKinds {
+		s.msgC[kind] = cl.reg.Counter("scheduler", "messages", metrics.L("kind", kind))
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s
+}
+
+// internLocked returns the dense ID for a key, assigning the next one on
+// first sight. Caller holds s.mu.
+func (s *scheduler) internLocked(k taskgraph.Key) taskID {
+	if id, ok := s.ids[k]; ok {
+		return id
+	}
+	id := taskID(len(s.keys))
+	s.ids[k] = id
+	s.keys = append(s.keys, k)
+	s.tasks = append(s.tasks, nil)
+	return id
+}
+
+// intern is the locking wrapper used by the client boundary (scatter
+// interns keys before shipping data so worker stores are ID-keyed).
+func (s *scheduler) intern(k taskgraph.Key) taskID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.internLocked(k)
+}
+
+// lookupLocked resolves a key to its registered task, or nil if the key
+// was never registered or has been released. Caller holds s.mu.
+func (s *scheduler) lookupLocked(k taskgraph.Key) *schedTask {
+	if id, ok := s.ids[k]; ok {
+		return s.tasks[id]
+	}
+	return nil
 }
 
 // handle charges the scheduler CPU for one incoming message of the
@@ -125,7 +277,11 @@ func newScheduler(cl *Cluster) *scheduler {
 // returns the handling completion time.
 func (s *scheduler) handle(kind string, arrival vtime.Time, extra vtime.Dur) vtime.Time {
 	s.cl.counters.TotalSchedulerMsg.Add(1)
-	s.cl.reg.Counter("scheduler", "messages", metrics.L("kind", kind)).Inc()
+	if c, ok := s.msgC[kind]; ok {
+		c.Inc()
+	} else {
+		s.cl.reg.Counter("scheduler", "messages", metrics.L("kind", kind)).Inc()
+	}
 	_, end := s.cpu.Acquire(arrival, s.cl.cfg.SchedulerMsgCost+extra)
 	return end
 }
@@ -139,31 +295,57 @@ func stateLabel(st State) string {
 	return st.String()
 }
 
-// noteTransLocked counts one task state transition and refreshes the
-// per-state task-count gauges at the current mutation time. from is
-// stateNone on task creation. Call with s.mu held.
+// transCounterLocked returns the cached counter for a from→to
+// transition; toIdx StateExternal+1 is the released pseudo-state.
+func (s *scheduler) transCounterLocked(from State, toIdx int, toLabel string) *metrics.Counter {
+	c := s.transC[from+1][toIdx]
+	if c == nil {
+		c = s.cl.reg.Counter("scheduler", "transitions",
+			metrics.L("from", stateLabel(from)), metrics.L("to", toLabel))
+		s.transC[from+1][toIdx] = c
+	}
+	return c
+}
+
+// noteTransLocked counts one task state transition and marks the
+// per-state task-count gauges dirty (flushed once per mutation by
+// endOpLocked). from is stateNone on task creation. Call with s.mu held.
 func (s *scheduler) noteTransLocked(from, to State) {
-	s.cl.reg.Counter("scheduler", "transitions",
-		metrics.L("from", stateLabel(from)), metrics.L("to", to.String())).Inc()
+	s.transCounterLocked(from, int(to), to.String()).Inc()
 	if from != stateNone {
 		s.nByState[from]--
-		s.stateGaugeLocked(from)
+		s.dirtyStates |= 1 << uint(from)
 	}
 	s.nByState[to]++
-	s.stateGaugeLocked(to)
+	s.dirtyStates |= 1 << uint(to)
 }
 
 // noteReleaseLocked counts a task leaving the scheduler via release.
 func (s *scheduler) noteReleaseLocked(from State) {
-	s.cl.reg.Counter("scheduler", "transitions",
-		metrics.L("from", from.String()), metrics.L("to", "released")).Inc()
+	s.transCounterLocked(from, int(StateExternal)+1, "released").Inc()
 	s.nByState[from]--
-	s.stateGaugeLocked(from)
+	s.dirtyStates |= 1 << uint(from)
 }
 
-func (s *scheduler) stateGaugeLocked(st State) {
-	s.cl.reg.Gauge("scheduler", "tasks", metrics.L("state", st.String())).
-		Set(float64(s.nByState[st]), s.opAt)
+// endOpLocked closes a mutating operation: it flushes the dirty
+// per-state gauges at the operation's handling time in one batch, then
+// runs the invariant auditor. Deferred by every mutating entry point.
+func (s *scheduler) endOpLocked() {
+	if s.dirtyStates != 0 {
+		for st := StateWaiting; st <= StateExternal; st++ {
+			if s.dirtyStates&(1<<uint(st)) == 0 {
+				continue
+			}
+			g := s.stateG[st]
+			if g == nil {
+				g = s.cl.reg.Gauge("scheduler", "tasks", metrics.L("state", st.String()))
+				s.stateG[st] = g
+			}
+			g.Set(float64(s.nByState[st]), s.opAt)
+		}
+		s.dirtyStates = 0
+	}
+	s.auditLocked()
 }
 
 // submitGraph registers a culled task graph arriving at the given time.
@@ -176,72 +358,118 @@ func (s *scheduler) submitGraph(g *taskgraph.Graph, arrival vtime.Time) (vtime.T
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	defer s.auditLocked()
+	defer s.endOpLocked()
 	s.beginOpLocked("submit", handled)
 
 	keys := g.Keys()
-	// Validate first: no duplicates, all out-of-graph deps known.
-	for _, k := range keys {
-		if _, dup := s.tasks[k]; dup {
-			return handled, fmt.Errorf("dask: task %q already exists on the scheduler", k)
+	// Validate first, before any scheduler mutation: no duplicates, no
+	// bodyless tasks, all out-of-graph deps known.
+	totalDeps := 0
+	var verr error
+	g.Walk(func(k taskgraph.Key, t *taskgraph.Task) bool {
+		if s.lookupLocked(k) != nil {
+			verr = fmt.Errorf("dask: task %q already exists on the scheduler", k)
+			return false
 		}
-		t := g.Get(k)
 		if t.IsData() {
-			return handled, fmt.Errorf("dask: task %q has no body; scatter data instead of submitting it", k)
+			verr = fmt.Errorf("dask: task %q has no body; scatter data instead of submitting it", k)
+			return false
 		}
+		totalDeps += len(t.Deps)
 		for _, d := range t.Deps {
 			if g.Has(d) {
 				continue
 			}
-			if _, known := s.tasks[d]; !known {
-				return handled, fmt.Errorf("dask: task %q depends on unknown key %q", k, d)
+			if s.lookupLocked(d) == nil {
+				verr = fmt.Errorf("dask: task %q depends on unknown key %q", k, d)
+				return false
+			}
+		}
+		return true
+	})
+	if verr != nil {
+		return handled, verr
+	}
+	// Register. One schedTask block and one dependency-ID block serve
+	// the whole batch: per-task registration allocates O(1), not
+	// O(deps) — the win the interning buys over per-task maps.
+	slab := make([]schedTask, len(keys))
+	depIDs := make([]taskID, 0, totalDeps)
+	for i, k := range keys {
+		gt := g.Get(k)
+		id := s.internLocked(k)
+		start := len(depIDs)
+	deps:
+		for _, d := range gt.Deps {
+			did := s.internLocked(d)
+			for _, seen := range depIDs[start:] {
+				if seen == did {
+					continue deps // count each dependency edge once
+				}
+			}
+			depIDs = append(depIDs, did)
+		}
+		slab[i] = schedTask{
+			id:       id,
+			key:      k,
+			fn:       gt.Fn,
+			timed:    gt.Timed,
+			cost:     gt.Cost,
+			outBytes: gt.OutBytes,
+			priority: gt.Priority,
+			deps:     depIDs[start:len(depIDs):len(depIDs)],
+			state:    StateWaiting,
+			worker:   -1,
+		}
+		st := &slab[i]
+		s.tasks[id] = st
+		s.recordLocked(st, stateNone)
+		s.noteTransLocked(stateNone, st.state)
+	}
+	s.cl.counters.TasksRegistered.Add(int64(len(keys)))
+	// Carve dependent-edge windows: count each new task's in-batch
+	// degree, then hand it a zero-length window of one shared block.
+	// Edges into previously-registered tasks append to their existing
+	// slices (append past the carved cap reallocates, so windows of
+	// different tasks never clobber each other).
+	inBatch := 0
+	for i := range slab {
+		for _, d := range slab[i].deps {
+			if dt := s.tasks[d]; !dt.wired {
+				dt.deg++
+				inBatch++
 			}
 		}
 	}
-	// Register.
-	for _, k := range keys {
-		gt := g.Get(k)
-		st := &schedTask{
-			key:        k,
-			fn:         gt.Fn,
-			timed:      gt.Timed,
-			cost:       gt.Cost,
-			outBytes:   gt.OutBytes,
-			priority:   gt.Priority,
-			deps:       append([]taskgraph.Key(nil), gt.Deps...),
-			missing:    map[taskgraph.Key]bool{},
-			dependents: map[taskgraph.Key]bool{},
-			state:      StateWaiting,
-			worker:     -1,
-		}
-		s.tasks[k] = st
-		s.recordLocked(st, stateNone)
-		s.noteTransLocked(stateNone, st.state)
-		s.cl.counters.TasksRegistered.Add(1)
+	edges := make([]taskID, inBatch)
+	off := 0
+	for i := range slab {
+		deg := int(slab[i].deg)
+		slab[i].dependents = edges[off : off : off+deg]
+		off += deg
+		slab[i].deg = 0
+		slab[i].wired = true
 	}
-	// Wire dependencies and find initially runnable tasks.
-	var runnable []*schedTask
-	for _, k := range keys {
-		st := s.tasks[k]
+	// Wire dependencies and queue initially runnable tasks.
+	for i := range slab {
+		st := &slab[i]
 		for _, d := range st.deps {
 			dt := s.tasks[d]
-			dt.dependents[k] = true
+			dt.dependents = append(dt.dependents, st.id)
 			switch dt.state {
 			case StateMemory:
 				// satisfied
 			case StateErred:
-				s.erredLocked(st, fmt.Errorf("dask: dependency %q erred: %w", d, dt.err))
+				s.erredLocked(st, fmt.Errorf("dask: dependency %q erred: %w", dt.key, dt.err))
 			default:
-				st.missing[d] = true
+				st.missingCount++
 			}
 		}
-		if st.state == StateWaiting && len(st.missing) == 0 {
-			runnable = append(runnable, st)
+		if st.state == StateWaiting && st.missingCount == 0 {
+			s.ready.push(st.priority, st.id)
 		}
 	}
-	for _, st := range runnable {
-		s.assignLocked(st, handled)
-	}
+	s.drainReadyLocked(handled)
 	s.cond.Broadcast()
 	return handled, nil
 }
@@ -251,33 +479,39 @@ func (s *scheduler) createExternal(keys []taskgraph.Key, arrival vtime.Time) (vt
 	handled := s.handle("create-external", arrival, s.cl.cfg.SchedulerTaskCost*vtime.Dur(len(keys)))
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	defer s.auditLocked()
+	defer s.endOpLocked()
 	s.beginOpLocked("create-external", handled)
 	for _, k := range keys {
-		if _, dup := s.tasks[k]; dup {
+		if s.lookupLocked(k) != nil {
 			return handled, fmt.Errorf("dask: external task %q already exists", k)
 		}
 	}
-	for _, k := range keys {
-		st := &schedTask{
+	slab := make([]schedTask, len(keys))
+	for i, k := range keys {
+		id := s.internLocked(k)
+		slab[i] = schedTask{
+			id:          id,
 			key:         k,
 			state:       StateExternal,
 			worker:      -1,
-			missing:     map[taskgraph.Key]bool{},
-			dependents:  map[taskgraph.Key]bool{},
+			wired:       true,
 			wasExternal: true,
 		}
-		s.tasks[k] = st
+		st := &slab[i]
+		s.tasks[id] = st
 		s.recordLocked(st, stateNone)
 		s.noteTransLocked(stateNone, st.state)
-		s.cl.counters.ExternalCreated.Add(1)
 	}
+	s.cl.counters.ExternalCreated.Add(int64(len(keys)))
 	return handled, nil
 }
 
 // dataItem describes one scattered value already resident on a worker.
+// The key is interned by the client boundary before the data message
+// departs, so the scheduler works on IDs throughout.
 type dataItem struct {
 	key     taskgraph.Key
+	id      taskID
 	bytes   int64
 	worker  int
 	readyAt vtime.Time // when the value landed in worker memory
@@ -293,10 +527,10 @@ func (s *scheduler) updateData(items []dataItem, external bool, arrival vtime.Ti
 	handled := s.handle("update-data", arrival, s.cl.cfg.SchedulerTaskCost*vtime.Dur(len(items)))
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	defer s.auditLocked()
+	defer s.endOpLocked()
 	s.beginOpLocked("update-data", handled)
 	for _, it := range items {
-		st, known := s.tasks[it.key]
+		st := s.tasks[it.id]
 		if s.deadWorkers[it.worker] {
 			// The target died before the scheduler processed the update:
 			// the shipped bytes are lost with it. External keys stay in
@@ -306,33 +540,34 @@ func (s *scheduler) updateData(items []dataItem, external bool, arrival vtime.Ti
 				it.key, it.worker, ErrWorkerDied)
 		}
 		if external {
-			if !known {
+			if st == nil {
 				return handled, fmt.Errorf("dask: external update for unknown key %q", it.key)
 			}
 			if st.state != StateExternal {
 				return handled, fmt.Errorf("dask: external update for key %q in state %s", it.key, st.state)
 			}
 		} else {
-			if known {
+			if st != nil {
 				if st.state == StateExternal {
 					return handled, fmt.Errorf("dask: non-external scatter to external key %q", it.key)
 				}
 				return handled, fmt.Errorf("dask: scatter to existing key %q", it.key)
 			}
 			st = &schedTask{
-				key:        it.key,
-				worker:     -1,
-				missing:    map[taskgraph.Key]bool{},
-				dependents: map[taskgraph.Key]bool{},
+				id:     it.id,
+				key:    it.key,
+				worker: -1,
+				wired:  true,
 			}
-			s.tasks[it.key] = st
+			s.tasks[it.id] = st
 			s.noteTransLocked(stateNone, st.state)
 		}
 		st.worker = it.worker
 		st.bytes = it.bytes
 		st.readyAt = it.readyAt
 		s.setStateLocked(st, StateMemory)
-		s.onMemoryLocked(st, handled)
+		s.onMemoryLocked(st)
+		s.drainReadyLocked(handled)
 	}
 	s.cond.Broadcast()
 	return handled, nil
@@ -340,15 +575,15 @@ func (s *scheduler) updateData(items []dataItem, external bool, arrival vtime.Ti
 
 // taskFinished is the worker's completion report; it triggers the
 // transition cascade for dependents.
-func (s *scheduler) taskFinished(key taskgraph.Key, workerID int, finishedAt vtime.Time, bytes int64, arrival vtime.Time) {
+func (s *scheduler) taskFinished(id taskID, workerID int, finishedAt vtime.Time, bytes int64, arrival vtime.Time) {
 	s.cl.counters.TaskFinishedMsgs.Add(1)
 	handled := s.handle("task-finished", arrival, s.cl.cfg.SchedulerTaskCost)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	defer s.auditLocked()
+	defer s.endOpLocked()
 	s.beginOpLocked("task-finished", handled)
-	st, ok := s.tasks[key]
-	if !ok || st.state != StateProcessing || st.worker != workerID || s.deadWorkers[workerID] {
+	st := s.tasks[id]
+	if st == nil || st.state != StateProcessing || st.worker != workerID || s.deadWorkers[workerID] {
 		// Late, duplicate, or dead-worker report; ignore. The worker
 		// check rejects completion reports racing a kill after the
 		// workerLost replan reassigned the task elsewhere.
@@ -358,18 +593,19 @@ func (s *scheduler) taskFinished(key taskgraph.Key, workerID int, finishedAt vti
 	st.bytes = bytes
 	st.readyAt = finishedAt
 	s.setStateLocked(st, StateMemory)
-	s.onMemoryLocked(st, handled)
+	s.onMemoryLocked(st)
+	s.drainReadyLocked(handled)
 	s.cond.Broadcast()
 }
 
 // taskErred marks a task failed and cascades the error to dependents.
-func (s *scheduler) taskErred(key taskgraph.Key, err error, arrival vtime.Time) {
+func (s *scheduler) taskErred(id taskID, err error, arrival vtime.Time) {
 	handled := s.handle("task-erred", arrival, s.cl.cfg.SchedulerTaskCost)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	defer s.auditLocked()
+	defer s.endOpLocked()
 	s.beginOpLocked("task-erred", handled)
-	if st, ok := s.tasks[key]; ok {
+	if st := s.tasks[id]; st != nil {
 		s.erredLocked(st, err)
 	}
 	s.cond.Broadcast()
@@ -381,43 +617,74 @@ func (s *scheduler) erredLocked(st *schedTask, err error) {
 	}
 	st.err = err
 	s.setStateLocked(st, StateErred)
-	for d := range st.dependents {
+	for _, d := range st.dependents {
 		if dt := s.tasks[d]; dt != nil {
 			s.erredLocked(dt, fmt.Errorf("dask: dependency %q erred: %w", st.key, err))
 		}
 	}
 }
 
-// onMemoryLocked unblocks dependents of a task that just reached memory.
-func (s *scheduler) onMemoryLocked(st *schedTask, handled vtime.Time) {
-	for d := range st.dependents {
+// onMemoryLocked unblocks dependents of a task that just reached memory,
+// queuing newly-runnable ones on the ready heap. The caller drains the
+// heap before returning.
+func (s *scheduler) onMemoryLocked(st *schedTask) {
+	for _, d := range st.dependents {
 		dt := s.tasks[d]
 		if dt == nil || dt.state != StateWaiting {
 			continue
 		}
-		delete(dt.missing, st.key)
-		if len(dt.missing) == 0 {
-			s.assignLocked(dt, handled)
+		dt.missingCount--
+		if dt.missingCount == 0 {
+			s.ready.push(dt.priority, dt.id)
 		}
+	}
+}
+
+// drainReadyLocked assigns every queued runnable task in (priority,
+// taskID) order. Entries whose task changed state since queuing (erred
+// cascade, release) are skipped.
+func (s *scheduler) drainReadyLocked(departAt vtime.Time) {
+	for len(s.ready) > 0 {
+		id := s.ready.pop()
+		st := s.tasks[id]
+		if st == nil || st.state != StateWaiting || st.missingCount != 0 ||
+			(st.fn == nil && st.timed == nil) {
+			continue
+		}
+		s.assignLocked(st, departAt)
 	}
 }
 
 // assignLocked picks a worker for a ready task and enqueues it there.
 func (s *scheduler) assignLocked(st *schedTask, departAt vtime.Time) {
 	s.setStateLocked(st, StateReady)
-	// Decide worker: most dependency bytes already local; ties go round
-	// robin. This matches Dask's data-locality-first decide_worker.
-	// Dead workers are never chosen.
-	best, bestBytes := -1, int64(-1)
-	counts := make(map[int]int64)
+	// Decide worker: most dependency bytes already local; ties go to the
+	// lowest worker id. This matches Dask's data-locality-first
+	// decide_worker. Dead workers are never chosen. The per-worker byte
+	// tallies live in epoch-stamped scratch arrays so deciding allocates
+	// nothing.
+	if len(s.assignMark) < len(s.cl.workers) {
+		s.assignMark = make([]uint32, len(s.cl.workers))
+		s.assignBytes = make([]int64, len(s.cl.workers))
+	}
+	s.assignEpoch++
+	touched := s.assignTouched[:0]
 	for _, d := range st.deps {
 		dt := s.tasks[d]
 		if dt != nil && dt.worker >= 0 && dt.state == StateMemory && !s.deadWorkers[dt.worker] {
-			counts[dt.worker] += dt.bytes
+			w := dt.worker
+			if s.assignMark[w] != s.assignEpoch {
+				s.assignMark[w] = s.assignEpoch
+				s.assignBytes[w] = 0
+				touched = append(touched, w)
+			}
+			s.assignBytes[w] += dt.bytes
 		}
 	}
-	for w, b := range counts {
-		if b > bestBytes || (b == bestBytes && w < best) {
+	s.assignTouched = touched
+	best, bestBytes := -1, int64(-1)
+	for _, w := range touched {
+		if b := s.assignBytes[w]; b > bestBytes || (b == bestBytes && w < best) {
 			best, bestBytes = w, b
 		}
 	}
@@ -436,11 +703,11 @@ func (s *scheduler) assignLocked(st *schedTask, departAt vtime.Time) {
 	locs := make([]depLoc, 0, len(st.deps))
 	for _, d := range st.deps {
 		dt := s.tasks[d]
-		locs = append(locs, depLoc{key: d, worker: dt.worker, bytes: dt.bytes, readyAt: dt.readyAt})
+		locs = append(locs, depLoc{id: d, worker: dt.worker, bytes: dt.bytes, readyAt: dt.readyAt})
 	}
 	w := s.cl.workers[best]
 	arrive := s.cl.xfer(s.cl.schedNode, w.node, s.cl.cfg.ControlMsgBytes, departAt)
-	w.enqueue(assignment{key: st.key, fn: st.fn, timed: st.timed, cost: st.cost, outBytes: st.outBytes, priority: st.priority, deps: locs, arriveAt: arrive})
+	w.enqueue(assignment{id: st.id, key: st.key, fn: st.fn, timed: st.timed, cost: st.cost, outBytes: st.outBytes, priority: st.priority, deps: locs, arriveAt: arrive})
 }
 
 // waitFor blocks until every key is in memory (or erred) and returns the
@@ -454,8 +721,8 @@ func (s *scheduler) waitFor(keys []taskgraph.Key, arrival vtime.Time) (vtime.Tim
 		done := true
 		latest = handled
 		for _, k := range keys {
-			st, ok := s.tasks[k]
-			if !ok {
+			st := s.lookupLocked(k)
+			if st == nil {
 				return handled, fmt.Errorf("dask: wait for unknown key %q", k)
 			}
 			switch st.state {
@@ -476,30 +743,35 @@ func (s *scheduler) waitFor(keys []taskgraph.Key, arrival vtime.Time) (vtime.Tim
 	}
 }
 
-// locate returns the owner of a key in memory.
-func (s *scheduler) locate(key taskgraph.Key) (workerID int, bytes int64, readyAt vtime.Time, err error) {
+// locate returns the owner of a key in memory, along with the key's
+// interned ID (worker object stores are ID-keyed).
+func (s *scheduler) locate(key taskgraph.Key) (workerID int, id taskID, bytes int64, readyAt vtime.Time, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	st, ok := s.tasks[key]
-	if !ok {
-		return 0, 0, 0, fmt.Errorf("dask: locate unknown key %q", key)
+	st := s.lookupLocked(key)
+	if st == nil {
+		return 0, 0, 0, 0, fmt.Errorf("dask: locate unknown key %q", key)
 	}
 	if st.state == StateErred {
-		return 0, 0, 0, st.err
+		return 0, 0, 0, 0, st.err
 	}
 	if st.state != StateMemory {
-		return 0, 0, 0, fmt.Errorf("dask: key %q not in memory (state %s)", key, st.state)
+		return 0, 0, 0, 0, fmt.Errorf("dask: key %q not in memory (state %s)", key, st.state)
 	}
-	return st.worker, st.bytes, st.readyAt, nil
+	return st.worker, st.id, st.bytes, st.readyAt, nil
 }
 
-// stateCounts tallies tasks by state for monitoring.
+// stateCounts tallies tasks by state for monitoring, served from the
+// batched per-state counts kept by the transition recorder (no task
+// table scan).
 func (s *scheduler) stateCounts() map[State]int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := map[State]int{}
-	for _, st := range s.tasks {
-		out[st.state]++
+	for st, n := range s.nByState {
+		if n != 0 {
+			out[State(st)] = n
+		}
 	}
 	return out
 }
@@ -508,11 +780,19 @@ func (s *scheduler) stateCounts() map[State]int {
 func (s *scheduler) taskState(key taskgraph.Key) (State, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	st, ok := s.tasks[key]
-	if !ok {
+	st := s.lookupLocked(key)
+	if st == nil {
 		return 0, false
 	}
 	return st.state, true
+}
+
+// idFor returns the interned ID of a key, if the key has ever been seen.
+func (s *scheduler) idFor(key taskgraph.Key) (taskID, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id, ok := s.ids[key]
+	return id, ok
 }
 
 // metadata accounts one bulk metadata message with the given number of
@@ -525,40 +805,49 @@ func (s *scheduler) metadata(entries int, arrival vtime.Time) vtime.Time {
 
 // release forgets keys: scheduler state is dropped and worker store
 // entries freed (Dask's future release / client cancel for completed
-// data). Keys with dependents still registered are refused.
+// data). Keys with dependents still registered are refused. The
+// released key keeps its interned ID; re-registering the key later
+// reuses the same slot.
 func (s *scheduler) release(keys []taskgraph.Key, arrival vtime.Time) (vtime.Time, error) {
 	handled := s.handle("release", arrival, s.cl.cfg.SchedulerTaskCost*vtime.Dur(len(keys)))
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	defer s.auditLocked()
+	defer s.endOpLocked()
 	s.beginOpLocked("release", handled)
 	for _, k := range keys {
-		st, ok := s.tasks[k]
-		if !ok {
+		st := s.lookupLocked(k)
+		if st == nil {
 			continue
 		}
-		for d := range st.dependents {
+		for _, d := range st.dependents {
 			if dt := s.tasks[d]; dt != nil {
-				return handled, fmt.Errorf("dask: cannot release %q: task %q depends on it", k, d)
+				return handled, fmt.Errorf("dask: cannot release %q: task %q depends on it", k, dt.key)
 			}
 		}
 	}
 	for _, k := range keys {
-		st, ok := s.tasks[k]
-		if !ok {
+		st := s.lookupLocked(k)
+		if st == nil {
 			continue
 		}
 		if st.state == StateMemory && st.worker >= 0 {
-			s.cl.workers[st.worker].drop(k, handled)
+			s.cl.workers[st.worker].drop(st.id, handled)
 		}
 		for _, d := range st.deps {
-			if dt := s.tasks[d]; dt != nil {
-				delete(dt.dependents, k)
+			dt := s.tasks[d]
+			if dt == nil {
+				continue
+			}
+			for i, x := range dt.dependents {
+				if x == st.id {
+					dt.dependents = append(dt.dependents[:i], dt.dependents[i+1:]...)
+					break
+				}
 			}
 		}
 		s.recordReleaseLocked(st)
 		s.noteReleaseLocked(st.state)
-		delete(s.tasks, k)
+		s.tasks[st.id] = nil
 	}
 	return handled, nil
 }

@@ -10,16 +10,22 @@ import (
 	"deisago/internal/vtime"
 )
 
-// depLoc tells a worker where to fetch one dependency.
+// depLoc tells a worker where to fetch one dependency. Dependencies are
+// addressed by interned task ID; the human-readable key never crosses
+// the scheduler→worker wire (the paper's metadata-slimming argument:
+// control messages carry dense handles, not strings).
 type depLoc struct {
-	key     taskgraph.Key
+	id      taskID
 	worker  int
 	bytes   int64
 	readyAt vtime.Time
 }
 
-// assignment is one task handed to a worker by the scheduler.
+// assignment is one task handed to a worker by the scheduler. The key
+// rides along only for traces and error text; all data-plane lookups use
+// the ID.
 type assignment struct {
+	id       taskID
 	key      taskgraph.Key
 	fn       taskgraph.Fn
 	timed    taskgraph.TimedFn
@@ -28,6 +34,15 @@ type assignment struct {
 	priority int
 	deps     []depLoc
 	arriveAt vtime.Time
+}
+
+// inboxItem is one queued assignment plus its arrival sequence number;
+// the inbox heap orders by (priority, seq), i.e. highest Dask priority
+// first and FIFO among equals — the same pick the seed's linear
+// min-scan made, at O(log n) instead of O(n) per dequeue.
+type inboxItem struct {
+	a   assignment
+	seq uint64
 }
 
 type storeEntry struct {
@@ -47,13 +62,14 @@ type worker struct {
 
 	mu       sync.Mutex
 	cond     *sync.Cond
-	inbox    []assignment
+	inbox    []inboxItem // binary min-heap on (priority, seq)
+	seq      uint64
 	quit     bool
 	dead     bool
 	killedAt vtime.Time
 
 	storeMu  sync.RWMutex
-	store    map[taskgraph.Key]storeEntry
+	store    map[taskID]storeEntry
 	memBytes int64 // sum of stored entry sizes, guarded by storeMu
 
 	executed int64
@@ -63,6 +79,7 @@ type worker struct {
 	mSpill    *metrics.Gauge   // blocks eligible for spilling
 	mExecuted *metrics.Counter // tasks completed
 	mRecv     *metrics.Counter // bytes fetched from peer workers
+	mScatter  *metrics.Counter // bytes received via client scatter
 }
 
 func newWorker(cl *Cluster, id int, node netsim.NodeID) *worker {
@@ -71,24 +88,64 @@ func newWorker(cl *Cluster, id int, node netsim.NodeID) *worker {
 		id:    id,
 		node:  node,
 		cpu:   vtime.NewResource(fmt.Sprintf("worker%d-cpu", id)),
-		store: make(map[taskgraph.Key]storeEntry),
+		store: make(map[taskID]storeEntry),
 	}
 	lid := metrics.LInt("id", id)
 	w.mMem = cl.reg.Gauge("worker", "memory_bytes", lid)
 	w.mSpill = cl.reg.Gauge("worker", "spill_eligible_blocks", lid)
 	w.mExecuted = cl.reg.Counter("worker", "tasks_executed", lid)
 	w.mRecv = cl.reg.Counter("worker", "bytes_received", lid)
+	w.mScatter = cl.reg.Counter("worker", "scatter_bytes_received", lid)
 	w.cond = sync.NewCond(&w.mu)
 	return w
+}
+
+func inboxLess(a, b inboxItem) bool {
+	return a.a.priority < b.a.priority ||
+		(a.a.priority == b.a.priority && a.seq < b.seq)
 }
 
 func (w *worker) enqueue(a assignment) {
 	w.mu.Lock()
 	if !w.dead {
-		w.inbox = append(w.inbox, a)
+		w.inbox = append(w.inbox, inboxItem{a: a, seq: w.seq})
+		w.seq++
+		for i := len(w.inbox) - 1; i > 0; {
+			parent := (i - 1) / 2
+			if !inboxLess(w.inbox[i], w.inbox[parent]) {
+				break
+			}
+			w.inbox[i], w.inbox[parent] = w.inbox[parent], w.inbox[i]
+			i = parent
+		}
 	}
 	w.mu.Unlock()
 	w.cond.Broadcast()
+}
+
+// popInboxLocked removes and returns the heap minimum. Caller holds w.mu
+// and guarantees the inbox is non-empty.
+func (w *worker) popInboxLocked() assignment {
+	top := w.inbox[0].a
+	n := len(w.inbox) - 1
+	w.inbox[0] = w.inbox[n]
+	w.inbox[n] = inboxItem{} // release the assignment's references
+	w.inbox = w.inbox[:n]
+	for i := 0; ; {
+		small := i
+		if l := 2*i + 1; l < n && inboxLess(w.inbox[l], w.inbox[small]) {
+			small = l
+		}
+		if r := 2*i + 2; r < n && inboxLess(w.inbox[r], w.inbox[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		w.inbox[i], w.inbox[small] = w.inbox[small], w.inbox[i]
+		i = small
+	}
+	return top
 }
 
 func (w *worker) stop() {
@@ -108,16 +165,7 @@ func (w *worker) run() {
 			w.mu.Unlock()
 			return
 		}
-		// Pick the lowest-priority-value assignment (FIFO among equals):
-		// Dask schedules higher-priority tasks first on each worker.
-		best := 0
-		for i := 1; i < len(w.inbox); i++ {
-			if w.inbox[i].priority < w.inbox[best].priority {
-				best = i
-			}
-		}
-		a := w.inbox[best]
-		w.inbox = append(w.inbox[:best], w.inbox[best+1:]...)
+		a := w.popInboxLocked()
 		w.mu.Unlock()
 		w.exec(a)
 	}
@@ -125,12 +173,12 @@ func (w *worker) run() {
 
 // put inserts a value into the worker's object store (used by both task
 // execution and client scatter).
-func (w *worker) put(key taskgraph.Key, value any, bytes int64, readyAt vtime.Time) {
+func (w *worker) put(id taskID, value any, bytes int64, readyAt vtime.Time) {
 	w.storeMu.Lock()
-	if old, ok := w.store[key]; ok {
+	if old, ok := w.store[id]; ok {
 		w.memBytes -= old.bytes
 	}
-	w.store[key] = storeEntry{value: value, bytes: bytes, readyAt: readyAt}
+	w.store[id] = storeEntry{value: value, bytes: bytes, readyAt: readyAt}
 	w.memBytes += bytes
 	mem, spill := w.memBytes, w.spillEligibleLocked()
 	w.storeMu.Unlock()
@@ -150,37 +198,37 @@ func (w *worker) spillEligibleLocked() int {
 	return len(w.store)
 }
 
-// get returns a stored value. It panics if the key is absent: the
+// get returns a stored value. It panics if the ID is absent: the
 // scheduler only references data it has been told is resident, so absence
 // is a protocol bug, not a user error.
-func (w *worker) get(key taskgraph.Key) storeEntry {
+func (w *worker) get(id taskID) storeEntry {
 	w.storeMu.RLock()
-	e, ok := w.store[key]
+	e, ok := w.store[id]
 	w.storeMu.RUnlock()
 	if !ok {
-		panic(fmt.Sprintf("dask: worker %d has no key %q", w.id, key))
+		panic(fmt.Sprintf("dask: worker %d has no task id %d", w.id, id))
 	}
 	return e
 }
 
-// drop removes a key from the object store (release path) at the given
-// virtual time.
-func (w *worker) drop(key taskgraph.Key, at vtime.Time) {
+// drop removes an entry from the object store (release path) at the
+// given virtual time.
+func (w *worker) drop(id taskID, at vtime.Time) {
 	w.storeMu.Lock()
-	if old, ok := w.store[key]; ok {
+	if old, ok := w.store[id]; ok {
 		w.memBytes -= old.bytes
 	}
-	delete(w.store, key)
+	delete(w.store, id)
 	mem, spill := w.memBytes, w.spillEligibleLocked()
 	w.storeMu.Unlock()
 	w.mMem.Set(float64(mem), at)
 	w.mSpill.Set(float64(spill), at)
 }
 
-// has reports whether the store holds a key.
-func (w *worker) has(key taskgraph.Key) bool {
+// has reports whether the store holds an entry.
+func (w *worker) has(id taskID) bool {
 	w.storeMu.RLock()
-	_, ok := w.store[key]
+	_, ok := w.store[id]
 	w.storeMu.RUnlock()
 	return ok
 }
@@ -192,7 +240,7 @@ func (w *worker) exec(a assignment) {
 	depReady := a.arriveAt
 	for i, d := range a.deps {
 		if d.worker == w.id {
-			e := w.get(d.key)
+			e := w.get(d.id)
 			vals[i] = e.value
 			if e.readyAt > depReady {
 				depReady = e.readyAt
@@ -200,7 +248,7 @@ func (w *worker) exec(a assignment) {
 			continue
 		}
 		peer := w.cl.worker(d.worker)
-		e := peer.get(d.key)
+		e := peer.get(d.id)
 		vals[i] = e.value
 		depart := a.arriveAt
 		if e.readyAt > depart {
@@ -246,19 +294,19 @@ func (w *worker) exec(a assignment) {
 	}
 	report := w.cl.xfer(w.node, w.cl.schedNode, w.cl.cfg.ControlMsgBytes, end)
 	if err != nil {
-		w.cl.sched.taskErred(a.key, err, report)
+		w.cl.sched.taskErred(a.id, err, report)
 		return
 	}
 	bytes := SizeOf(value)
 	if a.outBytes > 0 {
 		bytes = a.outBytes
 	}
-	w.put(a.key, value, bytes, end)
+	w.put(a.id, value, bytes, end)
 	w.mu.Lock()
 	w.executed++
 	w.mu.Unlock()
 	w.mExecuted.Inc()
-	w.cl.sched.taskFinished(a.key, w.id, end, bytes, report)
+	w.cl.sched.taskFinished(a.id, w.id, end, bytes, report)
 }
 
 // invoke runs the task body, converting panics into task errors, as

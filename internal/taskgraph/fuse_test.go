@@ -178,3 +178,47 @@ func evalQuick(g *Graph, target Key) float64 {
 	}
 	return vals[target].(float64)
 }
+
+func TestFuseChainWithExternalHeadDep(t *testing.T) {
+	// A chain whose head consumes an external key (a scheduler-resident
+	// block that is not in the graph — the deisa publish path) must fuse
+	// into one task that keeps the external edge and the tail's priority.
+	g := New()
+	g.AddFn("h0", []Key{"ext"}, func(in []any) (any, error) {
+		return in[0].(float64) + 1, nil
+	}, 1)
+	g.AddFn("h1", []Key{"h0"}, func(in []any) (any, error) {
+		return in[0].(float64) + 1, nil
+	}, 1)
+	tail := g.AddFn("h2", []Key{"h1"}, func(in []any) (any, error) {
+		return in[0].(float64) + 1, nil
+	}, 1)
+	tail.Priority = -3
+	fused := Fuse(g, map[Key]bool{"h2": true})
+	if fused.Len() != 1 {
+		t.Fatalf("fused graph has %d tasks, want 1: %v", fused.Len(), fused.Keys())
+	}
+	ft := fused.Get("h2")
+	if ft == nil {
+		t.Fatal("tail key lost")
+	}
+	if len(ft.Deps) != 1 || ft.Deps[0] != "ext" {
+		t.Fatalf("fused deps = %v, want [ext]", ft.Deps)
+	}
+	if ft.Priority != -3 {
+		t.Fatalf("fused priority = %d, want tail's -3", ft.Priority)
+	}
+	if ft.Cost != 3 {
+		t.Fatalf("fused cost = %v, want 3", ft.Cost)
+	}
+	if err := fused.Validate(map[Key]bool{"ext": true}); err != nil {
+		t.Fatal(err)
+	}
+	v, err := ft.Fn([]any{10.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(float64) != 13 {
+		t.Fatalf("fused body = %v, want 13 (external value + 3)", v)
+	}
+}

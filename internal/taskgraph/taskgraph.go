@@ -58,6 +58,10 @@ func (g *Graph) AddTimed(key Key, deps []Key, fn TimedFn, cost vtime.Dur) *Task 
 // Graph is a set of tasks keyed by Key.
 type Graph struct {
 	tasks map[Key]*Task
+	// sorted caches the Keys() order. nil means dirty; the length guard
+	// in Keys additionally catches direct map writes (Cull, Merge).
+	// Callers must treat the returned slice as read-only.
+	sorted []Key
 }
 
 // New returns an empty graph.
@@ -75,6 +79,7 @@ func (g *Graph) Add(t *Task) {
 		panic(fmt.Sprintf("taskgraph: duplicate key %q", t.Key))
 	}
 	g.tasks[t.Key] = t
+	g.sorted = nil
 }
 
 // AddFn is a convenience wrapper building and adding a Task.
@@ -93,14 +98,32 @@ func (g *Graph) Has(k Key) bool { _, ok := g.tasks[k]; return ok }
 // Len returns the number of tasks.
 func (g *Graph) Len() int { return len(g.tasks) }
 
-// Keys returns all keys in sorted order (deterministic iteration).
+// Keys returns all keys in sorted order (deterministic iteration). The
+// order is computed once and cached until the graph changes; callers
+// share the cached slice and must not mutate it. Repeat calls on an
+// unchanged graph allocate nothing.
 func (g *Graph) Keys() []Key {
+	if g.sorted != nil && len(g.sorted) == len(g.tasks) {
+		return g.sorted
+	}
 	out := make([]Key, 0, len(g.tasks))
 	for k := range g.tasks {
 		out = append(out, k)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	g.sorted = out
 	return out
+}
+
+// Walk calls yield for every task in sorted key order, stopping early if
+// yield returns false. It reuses the Keys cache, so iterating an
+// unchanged graph allocates nothing.
+func (g *Graph) Walk(yield func(Key, *Task) bool) {
+	for _, k := range g.Keys() {
+		if !yield(k, g.tasks[k]) {
+			return
+		}
+	}
 }
 
 // Merge copies all tasks of other into g; duplicate keys must denote
@@ -114,6 +137,7 @@ func (g *Graph) Merge(other *Graph) {
 			continue
 		}
 		g.tasks[k] = t
+		g.sorted = nil
 	}
 }
 

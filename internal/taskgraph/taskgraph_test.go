@@ -267,3 +267,70 @@ func TestAddPanicsOnBadTask(t *testing.T) {
 		}()
 	}
 }
+
+func TestKeysCachedAndInvalidated(t *testing.T) {
+	g := diamond()
+	first := g.Keys()
+	want := []Key{"a", "b", "c", "d"}
+	if len(first) != len(want) {
+		t.Fatalf("Keys() = %v, want %v", first, want)
+	}
+	for i, k := range want {
+		if first[i] != k {
+			t.Fatalf("Keys() = %v, want %v", first, want)
+		}
+	}
+	// A second call on an unchanged graph must reuse the cache.
+	if n := testing.AllocsPerRun(10, func() { g.Keys() }); n != 0 {
+		t.Fatalf("cached Keys() allocates %v per run, want 0", n)
+	}
+	// Add invalidates.
+	addConst(g, "aa", 2)
+	after := g.Keys()
+	if len(after) != 5 || after[0] != "a" || after[1] != "aa" {
+		t.Fatalf("Keys() after Add = %v, want aa in sorted position", after)
+	}
+	// Merge invalidates.
+	other := New()
+	addConst(other, "zz", 3)
+	g.Merge(other)
+	merged := g.Keys()
+	if len(merged) != 6 || merged[5] != "zz" {
+		t.Fatalf("Keys() after Merge = %v, want zz last", merged)
+	}
+}
+
+func TestWalkOrderAndEarlyStop(t *testing.T) {
+	g := diamond()
+	var visited []Key
+	g.Walk(func(k Key, task *Task) bool {
+		if task == nil || task.Key != k {
+			t.Fatalf("Walk yielded task %+v for key %q", task, k)
+		}
+		visited = append(visited, k)
+		return true
+	})
+	keys := g.Keys()
+	if len(visited) != len(keys) {
+		t.Fatalf("Walk visited %v, want %v", visited, keys)
+	}
+	for i := range keys {
+		if visited[i] != keys[i] {
+			t.Fatalf("Walk visited %v, want %v", visited, keys)
+		}
+	}
+	count := 0
+	g.Walk(func(Key, *Task) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Fatalf("Walk after yield=false visited %d tasks, want 1", count)
+	}
+	// Iterating an unchanged graph through Walk allocates nothing.
+	if n := testing.AllocsPerRun(10, func() {
+		g.Walk(func(Key, *Task) bool { return true })
+	}); n != 0 {
+		t.Fatalf("Walk allocates %v per run, want 0", n)
+	}
+}

@@ -1,0 +1,162 @@
+// Command benchgate compares a `go test -bench` run of the scheduler
+// scalability suite against the baselines recorded in BENCH_SCHED.json
+// and fails on regression: more than +15% ns/task, or any allocs/task
+// growth (beyond a small float-noise epsilon). scripts/check.sh pipes
+// the benchmark output through it.
+//
+// Usage: go test -bench 'BenchmarkSched...' ./internal/dask | benchgate -baseline BENCH_SCHED.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// nsSlack is the allowed ns/task growth over the recorded baseline
+// (benchmarks at -benchtime 5x are noisy; the baseline is the max of
+// several runs and real regressions overshoot this by far).
+const nsSlack = 1.15
+
+// allocEps absorbs float rounding in the allocs/task metric (runtime
+// background allocations make the count vary by a hair across runs).
+const allocEps = 0.05
+
+// entry is one benchmark's baseline record in BENCH_SCHED.json.
+type entry struct {
+	PR4NsPerTask     float64 `json:"pr4_ns_per_task"`
+	PR4AllocsPerTask float64 `json:"pr4_allocs_per_task"`
+}
+
+// baselineFile mirrors the parts of BENCH_SCHED.json the gate needs.
+type baselineFile struct {
+	Benchmarks map[string]entry `json:"benchmarks"`
+}
+
+// result is one benchmark's measured per-task metrics.
+type result struct {
+	nsPerTask     float64
+	allocsPerTask float64
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s`)
+
+// parseBench extracts the ns/task and allocs/task custom metrics from
+// `go test -bench` output. Lines without both metrics are ignored.
+func parseBench(r io.Reader) (map[string]result, error) {
+	out := map[string]result{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		fields := strings.Fields(line)
+		res := result{nsPerTask: -1, allocsPerTask: -1}
+		for i := 1; i < len(fields); i++ {
+			v, err := strconv.ParseFloat(fields[i-1], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i] {
+			case "ns/task":
+				res.nsPerTask = v
+			case "allocs/task":
+				res.allocsPerTask = v
+			}
+		}
+		if res.nsPerTask >= 0 && res.allocsPerTask >= 0 {
+			out[strings.TrimPrefix(m[1], "Benchmark")] = res
+		}
+	}
+	return out, sc.Err()
+}
+
+// gate checks every baseline entry with pr4 numbers against the measured
+// results and returns the list of violations. A baseline entry missing
+// from the run is itself a violation (the suite must actually run).
+func gate(base map[string]entry, got map[string]result) []string {
+	var problems []string
+	// Deterministic report order: walk the measured names sorted is not
+	// needed for correctness, but iterate baselines via sorted keys so
+	// failures print stably.
+	names := make([]string, 0, len(base))
+	for name, e := range base {
+		if e.PR4NsPerTask <= 0 {
+			continue // seed-only entry
+		}
+		names = append(names, name)
+	}
+	sortStrings(names)
+	for _, name := range names {
+		e := base[name]
+		r, ok := got[strings.TrimPrefix(name, "Benchmark")]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("%s: baseline entry has no measurement in this run", name))
+			continue
+		}
+		if limit := e.PR4NsPerTask * nsSlack; r.nsPerTask > limit {
+			problems = append(problems, fmt.Sprintf("%s: %.1f ns/task exceeds baseline %.1f by more than %d%%",
+				name, r.nsPerTask, e.PR4NsPerTask, int(nsSlack*100)-100))
+		}
+		if r.allocsPerTask > e.PR4AllocsPerTask+allocEps {
+			problems = append(problems, fmt.Sprintf("%s: %.3f allocs/task regresses baseline %.3f",
+				name, r.allocsPerTask, e.PR4AllocsPerTask))
+		}
+	}
+	return problems
+}
+
+// sortStrings is insertion sort — the entry count is tiny and this keeps
+// the import list lean.
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func run(baselinePath string, in io.Reader, out io.Writer) int {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		fmt.Fprintf(out, "benchgate: %v\n", err)
+		return 2
+	}
+	var base baselineFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(out, "benchgate: %s: %v\n", baselinePath, err)
+		return 2
+	}
+	got, err := parseBench(in)
+	if err != nil {
+		fmt.Fprintf(out, "benchgate: reading bench output: %v\n", err)
+		return 2
+	}
+	if len(got) == 0 {
+		fmt.Fprintln(out, "benchgate: no benchmark results on stdin")
+		return 2
+	}
+	problems := gate(base.Benchmarks, got)
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(out, "benchgate: REGRESSION:", p)
+		}
+		return 1
+	}
+	fmt.Fprintf(out, "benchgate: %d benchmarks within baseline\n", len(got))
+	return 0
+}
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_SCHED.json", "baseline JSON file")
+	flag.Parse()
+	os.Exit(run(*baseline, os.Stdin, os.Stderr))
+}

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: deisago/internal/dask
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSchedSubmit/T8_R8         	       5	    100000 ns/op	       1.020 allocs/task	     500.0 ns/task
+BenchmarkSchedDrive/T8_R8-4        	       5	    900000 ns/op	       6.000 allocs/task	    5000 ns/task
+BenchmarkUnrelated                 	       5	      1000 ns/op
+PASS
+ok  	deisago/internal/dask	1.234s
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d results, want 2: %v", len(got), got)
+	}
+	sub, ok := got["SchedSubmit/T8_R8"]
+	if !ok {
+		t.Fatalf("SchedSubmit/T8_R8 missing from %v", got)
+	}
+	if sub.nsPerTask != 500 || sub.allocsPerTask != 1.02 {
+		t.Fatalf("SchedSubmit = %+v, want ns 500 allocs 1.02", sub)
+	}
+	// The -4 cpu suffix must be stripped.
+	drv, ok := got["SchedDrive/T8_R8"]
+	if !ok {
+		t.Fatalf("SchedDrive/T8_R8 (cpu suffix) missing from %v", got)
+	}
+	if drv.nsPerTask != 5000 || drv.allocsPerTask != 6 {
+		t.Fatalf("SchedDrive = %+v, want ns 5000 allocs 6", drv)
+	}
+}
+
+func TestGate(t *testing.T) {
+	base := map[string]entry{
+		"BenchmarkSchedSubmit/T8_R8": {PR4NsPerTask: 500, PR4AllocsPerTask: 1.0},
+		"BenchmarkSchedDrive/T8_R8":  {PR4NsPerTask: 5000, PR4AllocsPerTask: 6.0},
+		"BenchmarkSeedOnly":          {}, // no pr4 numbers: never gated
+	}
+	ok := map[string]result{
+		"SchedSubmit/T8_R8": {nsPerTask: 560, allocsPerTask: 1.04}, // +12% ns, +eps allocs
+		"SchedDrive/T8_R8":  {nsPerTask: 4000, allocsPerTask: 5.5},
+	}
+	if problems := gate(base, ok); len(problems) != 0 {
+		t.Fatalf("within-slack run flagged: %v", problems)
+	}
+
+	bad := map[string]result{
+		"SchedSubmit/T8_R8": {nsPerTask: 600, allocsPerTask: 1.0},  // +20% ns
+		"SchedDrive/T8_R8":  {nsPerTask: 5000, allocsPerTask: 6.2}, // alloc regression
+	}
+	problems := gate(base, bad)
+	if len(problems) != 2 {
+		t.Fatalf("problems = %v, want ns and alloc regressions", problems)
+	}
+	if !strings.Contains(problems[1], "ns/task") || !strings.Contains(problems[0], "allocs/task") {
+		t.Fatalf("unexpected problem messages: %v", problems)
+	}
+
+	missing := map[string]result{
+		"SchedSubmit/T8_R8": {nsPerTask: 500, allocsPerTask: 1.0},
+	}
+	problems = gate(base, missing)
+	if len(problems) != 1 || !strings.Contains(problems[0], "no measurement") {
+		t.Fatalf("missing bench not flagged: %v", problems)
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "bench.json")
+	if err := os.WriteFile(baseline, []byte(`{
+		"benchmarks": {
+			"BenchmarkSchedSubmit/T8_R8": {"pr4_ns_per_task": 500, "pr4_allocs_per_task": 1.0},
+			"BenchmarkSchedDrive/T8_R8": {"pr4_ns_per_task": 5000, "pr4_allocs_per_task": 6.0}
+		}
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if code := run(baseline, strings.NewReader(sampleBench), &out); code != 0 {
+		t.Fatalf("run = %d, output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "2 benchmarks within baseline") {
+		t.Fatalf("unexpected output: %s", out.String())
+	}
+
+	out.Reset()
+	if code := run(baseline, strings.NewReader("PASS\n"), &out); code != 2 {
+		t.Fatalf("empty bench output: run = %d, want 2", code)
+	}
+	out.Reset()
+	if code := run(filepath.Join(dir, "nope.json"), strings.NewReader(sampleBench), &out); code != 2 {
+		t.Fatalf("missing baseline: run = %d, want 2", code)
+	}
+	out.Reset()
+	if err := os.WriteFile(baseline, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run(baseline, strings.NewReader(sampleBench), &out); code != 2 {
+		t.Fatalf("corrupt baseline: run = %d, want 2", code)
+	}
+}

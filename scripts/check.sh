@@ -2,7 +2,8 @@
 # Pre-PR gate: formatting, vet, full tests, a race-detector pass over
 # the packages with parallel kernels or concurrent runtime machinery
 # (with the scheduler invariant auditor on and a fixed chaos seed), and
-# a short fuzz smoke of the scheduler auditor.
+# a short fuzz smoke of the scheduler auditor, then a bench-regression
+# gate over the scheduler scalability suite (see BENCH_SCHED.json).
 # Usage: ./scripts/check.sh
 set -eu
 
@@ -66,5 +67,13 @@ go test -count=1 -run 'TestGolden' ./internal/harness
 
 echo "== fuzz smoke: scheduler auditor =="
 go test -fuzz=FuzzSchedulerAudit -fuzztime=5s -run '^$' ./internal/dask
+
+echo "== scheduler bench regression gate =="
+# Compare a fresh T x R sweep against the pr4 baselines in
+# BENCH_SCHED.json; benchgate fails on >15% ns/task growth or any
+# allocs/task regression. -benchtime 5x keeps the sweep fast; the
+# baselines carry enough headroom for short-run timing noise.
+go test -run xxx -bench 'BenchmarkSched(Submit|Drive)' -benchtime 5x ./internal/dask \
+    | go run ./scripts/benchgate -baseline BENCH_SCHED.json
 
 echo "OK"
