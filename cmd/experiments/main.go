@@ -33,6 +33,7 @@ func main() {
 		csv      = flag.Bool("csv", false, "CSV output for tables")
 		svgDir   = flag.String("svg", "", "also write each figure as an SVG chart into this directory")
 		workers  = flag.Int("kernel-workers", 0, "cap goroutines per dense kernel (0 = GOMAXPROCS); figures are unaffected — time is virtual")
+		parallel = flag.Int("parallel", 0, "run up to this many independent simulations concurrently per sweep (0 = GOMAXPROCS, 1 = serial); outputs are byte-identical for any value")
 
 		chaosSeed  = flag.Int64("chaos-seed", 0, "run the Fig-2b pipeline under a seeded random fault plan (kills, link degradation, dropped publishes) and verify results against the fault-free run")
 		chaosPlan  = flag.String("chaos-plan", "", "explicit fault plan DSL, e.g. 'kill:1@0/3;degrade:2-5:4@0.5-inf;drop:0/2:2;delay:1/4:0.25' (overrides -chaos-seed)")
@@ -50,6 +51,7 @@ func main() {
 	if *quick {
 		opts = harness.QuickOptions()
 	}
+	opts.Parallel = *parallel
 	if !*all && *fig == "" && !*headline && *ablation == "" && *chaosSeed == 0 && *chaosPlan == "" &&
 		*metricsOut == "" {
 		flag.Usage()
@@ -86,7 +88,11 @@ func main() {
 		}
 		check(err)
 		start := time.Now()
-		report, err := harness.RunChaos(cfg, plan)
+		chaosPar := opts.Parallel
+		if chaosPar == 0 {
+			chaosPar = 2
+		}
+		report, err := harness.RunChaosParallel(cfg, plan, chaosPar)
 		check(err)
 		fmt.Print(report.Format())
 		fmt.Fprintf(os.Stderr, "[chaos done in %v]\n", time.Since(start).Round(time.Millisecond))

@@ -98,6 +98,12 @@ type Bridge struct {
 	// per-call key sort RepublishLost used to pay.
 	published     map[taskgraph.Key]publishedBlock
 	publishedKeys []taskgraph.Key
+
+	// scatterBuf is the one-item scratch slice handed to Client.Scatter,
+	// which consumes it synchronously and does not retain it — so the
+	// per-publish slice allocation of the seed is gone. A Bridge is owned
+	// by a single rank goroutine, so no lock is needed.
+	scatterBuf [1]dask.ScatterItem
 }
 
 type publishedBlock struct {
@@ -247,12 +253,19 @@ func (b *Bridge) Publish(arrayName string, pos []int, data *ndarray.Array, at vt
 		if err := b.scatterExternal(key, data, step, worker); err != nil {
 			return b.client.Now(), false, err
 		}
-		if _, dup := b.published[key]; !dup {
+		if prev, dup := b.published[key]; !dup {
+			// First publish of this key: copy pos once for the republish
+			// index. Re-publishes of the same key (same pos by
+			// construction) only refresh the data reference.
 			b.publishedKeys = append(b.publishedKeys, key)
+			b.published[key] = publishedBlock{array: arrayName, pos: append([]int(nil), pos...), data: data}
+		} else {
+			prev.data = data
+			b.published[key] = prev
 		}
-		b.published[key] = publishedBlock{array: arrayName, pos: append([]int(nil), pos...), data: data}
 	case ModeDEISA1:
-		if err := b.client.Scatter([]dask.ScatterItem{{Key: key, Value: data, Bytes: b.cfg.ScatterBytes}}, false, worker); err != nil {
+		b.scatterBuf[0] = dask.ScatterItem{Key: key, Value: data, Bytes: b.cfg.ScatterBytes}
+		if err := b.client.Scatter(b.scatterBuf[:], false, worker); err != nil {
 			return b.client.Now(), false, err
 		}
 		b.mShippedBytes.Add(b.blockBytes(data))
@@ -321,7 +334,8 @@ func (b *Bridge) scatterExternal(key taskgraph.Key, data *ndarray.Array, step, w
 			lastErr = ErrPublishDropped
 			continue
 		}
-		err := b.client.Scatter([]dask.ScatterItem{{Key: key, Value: data, Bytes: b.cfg.ScatterBytes}}, true, target)
+		b.scatterBuf[0] = dask.ScatterItem{Key: key, Value: data, Bytes: b.cfg.ScatterBytes}
+		err := b.client.Scatter(b.scatterBuf[:], true, target)
 		if err == nil {
 			b.mPublishOK.Inc()
 			b.mShippedBytes.Add(b.blockBytes(data))

@@ -25,6 +25,7 @@ type PdiPluginDeisa struct {
 	mapIn        map[string]string         // data name -> deisa array name
 	arrayCfg     map[string]map[string]any // deisa array name -> raw config
 	declared     bool
+	shapeBuf     []int // per-publish reshape scratch (plugin is rank-local)
 }
 
 // NewPdiPluginDeisa wraps a bridge as a PDI plugin.
@@ -174,11 +175,17 @@ func (p *PdiPluginDeisa) DataShared(name string, data *ndarray.Array, at vtime.T
 			start, pos[va.TimeDim], step)
 	}
 	// The shared buffer is the spatial block; publish it with the
-	// leading time axis of extent 1 expected by the chunk layout.
+	// leading time axis of extent 1 expected by the chunk layout. The
+	// reshape is a view over the shared buffer (no element copy); only
+	// the target shape is staged, in a reused scratch.
 	block := data
 	if block.NDim() == len(va.Size)-1 {
-		shape := append([]int{1}, block.Shape()...)
-		block = block.Contiguous().Reshape(shape...)
+		buf := append(p.shapeBuf[:0], 1)
+		for d := 0; d < block.NDim(); d++ {
+			buf = append(buf, block.Dim(d))
+		}
+		p.shapeBuf = buf
+		block = block.Contiguous().Reshape(buf...)
 	}
 	end, _, err := p.bridge.Publish(arrName, pos, block, at)
 	return end, err

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 
 	"deisago/internal/array"
 	"deisago/internal/taskgraph"
@@ -48,6 +49,25 @@ type VirtualArray struct {
 	Size    []int  `json:"size"`    // global extent per dimension
 	Subsize []int  `json:"subsize"` // block extent per dimension
 	TimeDim int    `json:"timedim"`
+
+	// grid caches Size[d]/Subsize[d]; it is derived state, computed once
+	// on first use. Descriptors are treated as immutable after
+	// declaration, so the cache never goes stale.
+	gridOnce sync.Once
+	grid     []int
+}
+
+// gridCached returns the per-dimension block counts without allocating.
+// Callers must not mutate the result.
+func (v *VirtualArray) gridCached() []int {
+	v.gridOnce.Do(func() {
+		g := make([]int, len(v.Size))
+		for d := range g {
+			g[d] = v.Size[d] / v.Subsize[d]
+		}
+		v.grid = g
+	})
+	return v.grid
 }
 
 // Validate checks the descriptor invariants: equal ranks, positive
@@ -77,13 +97,10 @@ func (v *VirtualArray) Validate() error {
 	return nil
 }
 
-// Grid returns the number of blocks per dimension.
+// Grid returns the number of blocks per dimension. The result is a copy;
+// hot paths use the internal cache directly.
 func (v *VirtualArray) Grid() []int {
-	g := make([]int, len(v.Size))
-	for d := range g {
-		g[d] = v.Size[d] / v.Subsize[d]
-	}
-	return g
+	return append([]int(nil), v.gridCached()...)
 }
 
 // Timesteps returns the extent of the time dimension.
@@ -92,7 +109,7 @@ func (v *VirtualArray) Timesteps() int { return v.Size[v.TimeDim] }
 // SpatialBlocks returns the number of blocks per timestep.
 func (v *VirtualArray) SpatialBlocks() int {
 	n := 1
-	for d, g := range v.Grid() {
+	for d, g := range v.gridCached() {
 		if d != v.TimeDim {
 			n *= g
 		}
@@ -117,15 +134,24 @@ func (v *VirtualArray) BlockKey(pos []int) taskgraph.Key {
 	if len(pos) != len(v.Size) {
 		panic(fmt.Sprintf("core: block position %v has rank %d, array %s has rank %d", pos, len(pos), v.Name, len(v.Size)))
 	}
-	grid := v.Grid()
-	parts := make([]string, len(pos))
+	grid := v.gridCached()
+	// One allocation: the key bytes themselves (which the scheduler
+	// interns and retains anyway).
+	buf := make([]byte, 0, len(KeyPrefix)+len(v.Name)+2+4*len(pos))
+	buf = append(buf, KeyPrefix...)
+	buf = append(buf, '-')
+	buf = append(buf, v.Name...)
+	buf = append(buf, '-')
 	for d, p := range pos {
 		if p < 0 || p >= grid[d] {
 			panic(fmt.Sprintf("core: block position %v outside grid %v of %s", pos, grid, v.Name))
 		}
-		parts[d] = strconv.Itoa(p)
+		if d > 0 {
+			buf = append(buf, '.')
+		}
+		buf = strconv.AppendInt(buf, int64(p), 10)
 	}
-	return taskgraph.Key(KeyPrefix + "-" + v.Name + "-" + strings.Join(parts, "."))
+	return taskgraph.Key(buf)
 }
 
 // ParseBlockKey inverts BlockKey, returning the array name and position.
@@ -167,7 +193,7 @@ func (v *VirtualArray) PositionForStart(start []int) ([]int, error) {
 		return nil, fmt.Errorf("core: start %v has rank %d, array %s has rank %d", start, len(start), v.Name, len(v.Size))
 	}
 	pos := make([]int, len(start))
-	grid := v.Grid()
+	grid := v.gridCached()
 	for d, s := range start {
 		if s%v.Subsize[d] != 0 {
 			return nil, fmt.Errorf("core: start %v not aligned to subsize %v in dim %d", start, v.Subsize, d)
@@ -198,7 +224,7 @@ func (v *VirtualArray) WorkerForBlock(pos []int, numWorkers int) int {
 	if numWorkers <= 0 {
 		panic("core: numWorkers must be positive")
 	}
-	grid := v.Grid()
+	grid := v.gridCached()
 	linear := 0
 	for d := 0; d < len(pos); d++ {
 		if d == v.TimeDim {

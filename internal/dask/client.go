@@ -23,6 +23,12 @@ type Client struct {
 
 	heartbeatInterval vtime.Dur
 	lastHeartbeat     vtime.Time
+
+	// dataBuf is scratch for Scatter's dataItem batch. The scheduler's
+	// updateData consumes it synchronously inside the roundTrip closure
+	// and copies out only field values, so the slice can be reused across
+	// calls. A Client is driven by a single actor goroutine.
+	dataBuf []dataItem
 }
 
 // NewClient connects a client at the given fabric node. heartbeat is the
@@ -164,7 +170,10 @@ func (cl *Client) Scatter(items []ScatterItem, external bool, workerID int) erro
 	depart := cl.clock.Now()
 	// Data messages to the worker.
 	var lastData vtime.Time
-	dataItems := make([]dataItem, len(items))
+	if cap(cl.dataBuf) < len(items) {
+		cl.dataBuf = make([]dataItem, len(items))
+	}
+	dataItems := cl.dataBuf[:len(items)]
 	for i, it := range items {
 		bytes := it.Bytes
 		if bytes <= 0 {

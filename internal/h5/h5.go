@@ -22,6 +22,37 @@ import (
 
 const bytesPerElem = 8
 
+// Chunk staging pools. WriteChunk encodes into a transient byte buffer
+// (the pfs copies it into file storage) and ReadChunk decodes from a
+// transient one (pfs copies file bytes into it); edge chunks additionally
+// stage through a zero-padded float buffer. All of these die immediately
+// in the seed implementation, so per-step chunk traffic allocates
+// O(chunk) garbage; the pools recycle them instead. Buffers are
+// capacity-checked on reuse, so datasets with different chunk sizes can
+// share the pools.
+var (
+	bytePool  = sync.Pool{New: func() any { return new([]byte) }}
+	floatPool = sync.Pool{New: func() any { return new([]float64) }}
+)
+
+func getByteBuf(n int) *[]byte {
+	p := bytePool.Get().(*[]byte)
+	if cap(*p) < n {
+		*p = make([]byte, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+func getFloatBuf(n int) *[]float64 {
+	p := floatPool.Get().(*[]float64)
+	if cap(*p) < n {
+		*p = make([]float64, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
 type dsMeta struct {
 	Shape  []int `json:"shape"`
 	Chunks []int `json:"chunks"`
@@ -256,15 +287,37 @@ func (d *Dataset) WriteChunk(idx []int, a *ndarray.Array, at vtime.Time) (vtime.
 			return at, fmt.Errorf("h5: chunk %v shape %v, want %v", idx, ash, ext)
 		}
 	}
-	full := ndarray.New(d.meta.Chunks...)
-	ranges := make([]ndarray.Range, len(ext))
-	for i, e := range ext {
-		ranges[i] = ndarray.Range{Start: 0, Stop: e}
+	elems := chunkElems(d.meta.Chunks)
+	var src []float64
+	var staged *[]float64
+	if a.Size() == elems && a.IsContiguous() {
+		// Interior chunk from a contiguous array: encode straight from
+		// the caller's buffer, no staging copy at all.
+		src = a.Data()
+	} else {
+		staged = getFloatBuf(elems)
+		buf := *staged
+		for i := range buf {
+			buf[i] = 0 // edge chunks are stored zero-padded
+		}
+		full := ndarray.FromSlice(buf, d.meta.Chunks...)
+		ranges := make([]ndarray.Range, len(ext))
+		for i, e := range ext {
+			ranges[i] = ndarray.Range{Start: 0, Stop: e}
+		}
+		full.Slice(ranges...).CopyFrom(a)
+		src = buf
 	}
-	full.Slice(ranges...).CopyFrom(a)
-	raw := encodeFloats(full.Data())
-	return d.file.fs.WriteAtCost(d.file.path, d.chunkOffset(idx), raw,
+	rawp := getByteBuf(len(src) * bytesPerElem)
+	raw := *rawp
+	encodeFloats(raw, src)
+	end, werr := d.file.fs.WriteAtCost(d.file.path, d.chunkOffset(idx), raw,
 		int64(len(raw))*d.sizeScale(), at)
+	bytePool.Put(rawp) // WriteAtCost copied raw into file storage
+	if staged != nil {
+		floatPool.Put(staged)
+	}
+	return end, werr
 }
 
 // ReadChunk loads the chunk at idx, trimmed to its in-bounds extent.
@@ -273,18 +326,41 @@ func (d *Dataset) ReadChunk(idx []int, at vtime.Time) (*ndarray.Array, vtime.Tim
 	if err != nil {
 		return nil, at, err
 	}
-	nbytes := int64(chunkElems(d.meta.Chunks)) * bytesPerElem
-	raw, end, err := d.file.fs.ReadAtCost(d.file.path, d.chunkOffset(idx), nbytes,
-		nbytes*d.sizeScale(), at)
+	elems := chunkElems(d.meta.Chunks)
+	nbytes := int64(elems) * bytesPerElem
+	rawp := getByteBuf(int(nbytes))
+	raw, end, err := d.file.fs.ReadAtCostBuf(d.file.path, d.chunkOffset(idx), nbytes,
+		nbytes*d.sizeScale(), *rawp, at)
 	if err != nil {
+		bytePool.Put(rawp)
 		return nil, at, err
 	}
-	full := ndarray.FromSlice(decodeFloats(raw), d.meta.Chunks...)
+	full := true
+	for i, e := range ext {
+		if e != d.meta.Chunks[i] {
+			full = false
+			break
+		}
+	}
+	if full {
+		// Interior chunk: decode directly into the result buffer (it is
+		// retained by the caller, so only the byte staging is pooled).
+		out := make([]float64, elems)
+		decodeFloats(out, raw)
+		bytePool.Put(rawp)
+		return ndarray.FromSlice(out, d.meta.Chunks...), end, nil
+	}
+	staged := getFloatBuf(elems)
+	decodeFloats(*staged, raw)
+	bytePool.Put(rawp)
+	fullArr := ndarray.FromSlice(*staged, d.meta.Chunks...)
 	ranges := make([]ndarray.Range, len(ext))
 	for i, e := range ext {
 		ranges[i] = ndarray.Range{Start: 0, Stop: e}
 	}
-	return full.Slice(ranges...).Copy(), end, nil
+	trimmed := fullArr.Slice(ranges...).Copy()
+	floatPool.Put(staged)
+	return trimmed, end, nil
 }
 
 // ReadAll assembles the whole dataset by reading every chunk in sequence
@@ -324,18 +400,17 @@ func (d *Dataset) ReadAll(at vtime.Time) (*ndarray.Array, vtime.Time, error) {
 	return out, end, nil
 }
 
-func encodeFloats(xs []float64) []byte {
-	out := make([]byte, len(xs)*bytesPerElem)
+// encodeFloats serializes xs into out, which must be len(xs)*8 bytes.
+func encodeFloats(out []byte, xs []float64) {
 	for i, x := range xs {
 		binary.LittleEndian.PutUint64(out[i*bytesPerElem:], math.Float64bits(x))
 	}
-	return out
 }
 
-func decodeFloats(raw []byte) []float64 {
-	out := make([]float64, len(raw)/bytesPerElem)
+// decodeFloats deserializes raw into out, which must hold len(raw)/8
+// elements.
+func decodeFloats(out []float64, raw []byte) {
 	for i := range out {
 		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*bytesPerElem:]))
 	}
-	return out
 }

@@ -234,7 +234,10 @@ func TestChunkRoundtripQuick(t *testing.T) {
 
 func TestEncodeDecode(t *testing.T) {
 	xs := []float64{0, 1.5, -2.25, 1e300, -1e-300}
-	got := decodeFloats(encodeFloats(xs))
+	raw := make([]byte, len(xs)*bytesPerElem)
+	encodeFloats(raw, xs)
+	got := make([]float64, len(xs))
+	decodeFloats(got, raw)
 	for i := range xs {
 		if got[i] != xs[i] {
 			t.Fatalf("roundtrip[%d] = %v, want %v", i, got[i], xs[i])

@@ -65,17 +65,35 @@ type ChaosReport struct {
 // the faulty run; any invariant violation panics) and compares the
 // analytics outputs bitwise.
 func RunChaos(cfg Config, plan *chaos.Plan) (*ChaosReport, error) {
-	clean := cfg
-	clean.ChaosPlan = nil
-	cr, err := Run(clean)
+	return RunChaosParallel(cfg, plan, 1)
+}
+
+// RunChaosParallel is RunChaos with the twin runs executed on a pool of
+// the given width. The runs are independent simulations, so the report —
+// fault log included — is identical for any width; 2 halves wall-clock.
+func RunChaosParallel(cfg Config, plan *chaos.Plan, parallel int) (*ChaosReport, error) {
+	var cr, fr *Result
+	err := runPool(parallel, 2, func(i int) error {
+		c := cfg
+		if i == 0 {
+			c.ChaosPlan = nil
+			res, err := Run(c)
+			if err != nil {
+				return fmt.Errorf("harness: fault-free run: %w", err)
+			}
+			cr = res
+			return nil
+		}
+		c.ChaosPlan = plan
+		res, err := Run(c)
+		if err != nil {
+			return fmt.Errorf("harness: chaos run: %w", err)
+		}
+		fr = res
+		return nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("harness: fault-free run: %w", err)
-	}
-	faulty := cfg
-	faulty.ChaosPlan = plan
-	fr, err := Run(faulty)
-	if err != nil {
-		return nil, fmt.Errorf("harness: chaos run: %w", err)
+		return nil, err
 	}
 	return &ChaosReport{
 		Plan:      plan,

@@ -2,7 +2,10 @@ package harness
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"deisago/internal/vtime"
 )
@@ -101,6 +104,12 @@ type Options struct {
 	// processes, 1 GiB each).
 	Fig5Procs      int
 	Fig5BlockBytes int64
+	// Parallel caps how many independent simulations the sweep helpers
+	// run concurrently (0 = GOMAXPROCS, 1 = serial). Each run builds its
+	// own machine, fabric, metrics registry and clocks, and every result
+	// lands in a slot indexed by (system, point, run), so sweep outputs
+	// are byte-identical for any setting.
+	Parallel int
 }
 
 // DefaultOptions returns the paper's experiment scales.
@@ -134,26 +143,83 @@ func QuickOptions() Options {
 
 func (o *Options) defaults() {
 	if o.Runs == 0 {
+		p := o.Parallel
 		*o = DefaultOptions()
+		o.Parallel = p
 	}
 	if o.Model.CoresPerNode == 0 {
 		o.Model = DefaultModel()
 	}
 }
 
-// runRepeats executes a configuration Runs times with distinct seeds and
-// returns the results.
-func runRepeats(o Options, cfg Config) ([]*Result, error) {
-	out := make([]*Result, 0, o.Runs)
-	for run := 0; run < o.Runs; run++ {
-		cfg.Seed = int64(run*1009 + 1)
-		cfg.Model = o.Model
-		cfg.Timesteps = o.Timesteps
-		res, err := Run(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("%s P=%d W=%d run %d: %w", cfg.System, cfg.Ranks, cfg.Workers, run, err)
+// parallel resolves the Parallel option to a concrete worker count.
+func (o *Options) parallel() int {
+	if o.Parallel > 0 {
+		return o.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runPool executes n indexed jobs on at most parallel goroutines and
+// returns the lowest-index error (matching what a serial loop would have
+// reported). Jobs communicate only through slots they own — pre-indexed
+// result arrays — so sweeps produce identical output for any pool size.
+func runPool(parallel, n int, job func(i int) error) error {
+	if parallel > n {
+		parallel = n
+	}
+	if parallel <= 1 {
+		for i := 0; i < n; i++ {
+			if err := job(i); err != nil {
+				return err
+			}
 		}
-		out = append(out, res)
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = job(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runRepeats executes a configuration Runs times with distinct seeds
+// (concurrently, up to Options.Parallel) and returns the results in run
+// order.
+func runRepeats(o Options, cfg Config) ([]*Result, error) {
+	out := make([]*Result, o.Runs)
+	err := runPool(o.parallel(), o.Runs, func(run int) error {
+		c := cfg
+		c.Seed = int64(run*1009 + 1)
+		c.Model = o.Model
+		c.Timesteps = o.Timesteps
+		res, err := Run(c)
+		if err != nil {
+			return fmt.Errorf("%s P=%d W=%d run %d: %w", c.System, c.Ranks, c.Workers, run, err)
+		}
+		out[run] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -164,24 +230,48 @@ func meanStd(vals []float64) (float64, float64) {
 }
 
 // collect runs all requested systems over a sweep of (ranks, workers)
-// pairs and returns results[system][point][run].
+// pairs and returns results[system][point][run]. The full (system, point,
+// run) cross product is flattened into one job list and executed on a
+// bounded pool; runs are independent simulations, and each writes its
+// pre-assigned slot, so the table is identical to serial execution.
 func collect(o Options, systems []System, points [][2]int, blockBytes func(procs int) int64) (map[System][][]*Result, error) {
 	out := map[System][][]*Result{}
+	type job struct {
+		sys     System
+		pt, run int
+	}
+	jobs := make([]job, 0, len(systems)*len(points)*o.Runs)
 	for _, sys := range systems {
-		var per [][]*Result
-		for _, pt := range points {
-			res, err := runRepeats(o, Config{
-				System:     sys,
-				Ranks:      pt[0],
-				Workers:    pt[1],
-				BlockBytes: blockBytes(pt[0]),
-			})
-			if err != nil {
-				return nil, err
+		per := make([][]*Result, len(points))
+		for i := range points {
+			per[i] = make([]*Result, o.Runs)
+			for run := 0; run < o.Runs; run++ {
+				jobs = append(jobs, job{sys, i, run})
 			}
-			per = append(per, res)
 		}
 		out[sys] = per
+	}
+	err := runPool(o.parallel(), len(jobs), func(k int) error {
+		j := jobs[k]
+		pt := points[j.pt]
+		cfg := Config{
+			System:     j.sys,
+			Ranks:      pt[0],
+			Workers:    pt[1],
+			Timesteps:  o.Timesteps,
+			BlockBytes: blockBytes(pt[0]),
+			Seed:       int64(j.run*1009 + 1),
+			Model:      o.Model,
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s P=%d W=%d run %d: %w", cfg.System, cfg.Ranks, cfg.Workers, j.run, err)
+		}
+		out[j.sys][j.pt][j.run] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -432,29 +522,33 @@ type Fig5Run struct {
 // variability for DEISA1/2/3 across independent runs.
 func Fig5(o Options) ([]Fig5Run, error) {
 	o.defaults()
-	var out []Fig5Run
-	for _, sys := range []System{DEISA1, DEISA2, DEISA3} {
-		for run := 0; run < o.Runs; run++ {
-			cfg := Config{
-				System:     sys,
-				Ranks:      o.Fig5Procs,
-				Workers:    o.Fig5Procs / 2,
-				Timesteps:  o.Timesteps,
-				BlockBytes: o.Fig5BlockBytes,
-				Seed:       int64(run*271 + 13),
-				Model:      o.Model,
-			}
-			res, err := Run(cfg)
-			if err != nil {
-				return nil, fmt.Errorf("fig5 %s run %d: %w", sys, run, err)
-			}
-			out = append(out, Fig5Run{
-				System: sys,
-				Run:    run,
-				Mean:   res.PerRankCommMean,
-				Std:    res.PerRankCommStd,
-			})
+	systems := []System{DEISA1, DEISA2, DEISA3}
+	out := make([]Fig5Run, len(systems)*o.Runs)
+	err := runPool(o.parallel(), len(out), func(i int) error {
+		sys, run := systems[i/o.Runs], i%o.Runs
+		cfg := Config{
+			System:     sys,
+			Ranks:      o.Fig5Procs,
+			Workers:    o.Fig5Procs / 2,
+			Timesteps:  o.Timesteps,
+			BlockBytes: o.Fig5BlockBytes,
+			Seed:       int64(run*271 + 13),
+			Model:      o.Model,
 		}
+		res, err := Run(cfg)
+		if err != nil {
+			return fmt.Errorf("fig5 %s run %d: %w", sys, run, err)
+		}
+		out[i] = Fig5Run{
+			System: sys,
+			Run:    run,
+			Mean:   res.PerRankCommMean,
+			Std:    res.PerRankCommStd,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -531,22 +625,28 @@ type MetadataCounts struct {
 	DEISA3External   int64
 }
 
-// ComputeMetadataCounts runs both protocols and snapshots the counters.
+// ComputeMetadataCounts runs both protocols (concurrently, when the pool
+// allows) and snapshots the counters.
 func ComputeMetadataCounts(o Options, ranks, workers int) (*MetadataCounts, error) {
 	o.defaults()
-	cfg := Config{
-		System: DEISA1, Ranks: ranks, Workers: workers,
-		Timesteps: o.Timesteps, BlockBytes: o.BlockBytes, Seed: 1, Model: o.Model,
-	}
-	r1, err := Run(cfg)
+	systems := [2]System{DEISA1, DEISA3}
+	var results [2]*Result
+	err := runPool(o.parallel(), 2, func(i int) error {
+		cfg := Config{
+			System: systems[i], Ranks: ranks, Workers: workers,
+			Timesteps: o.Timesteps, BlockBytes: o.BlockBytes, Seed: 1, Model: o.Model,
+		}
+		r, err := Run(cfg)
+		if err != nil {
+			return err
+		}
+		results[i] = r
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	cfg.System = DEISA3
-	r3, err := Run(cfg)
-	if err != nil {
-		return nil, err
-	}
+	r1, r3 := results[0], results[1]
 	return &MetadataCounts{
 		Timesteps:        o.Timesteps,
 		Ranks:            ranks,

@@ -522,6 +522,10 @@ func runPostHoc(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	simEnd := vtime.MaxTime(simEnds...)
+	// The write phase is over and the analytics client below gates its
+	// first submission on Compute(simEnd), so every remaining PFS acquire
+	// arrives at or after simEnd: compact the booking history up to it.
+	fs.ReleaseBefore(simEnd)
 
 	// Analytics phase: a fresh Dask deployment reading from the PFS.
 	dcfg := e.daskConfig()

@@ -97,6 +97,45 @@ type World struct {
 	// SendOverhead is the sender-side software cost per message in
 	// virtual seconds (packing, matching).
 	SendOverhead vtime.Dur
+
+	// Payload buffer free-list. send copies every payload into an
+	// internal buffer (MPI_Send semantics: the sender may reuse its
+	// buffer immediately); receivers that are done with a delivered
+	// payload hand it back via Comm.Recycle so steady-state traffic —
+	// e.g. one halo exchange per timestep — stops allocating.
+	bufMu sync.Mutex
+	bufs  [][]float64
+}
+
+// maxPooledBufs bounds the free-list so a burst of large collectives
+// cannot pin memory for the rest of a run.
+const maxPooledBufs = 256
+
+// getBuf returns a length-n buffer, reusing a recycled payload when one
+// is large enough.
+func (w *World) getBuf(n int) []float64 {
+	w.bufMu.Lock()
+	for i := len(w.bufs) - 1; i >= 0; i-- {
+		if b := w.bufs[i]; cap(b) >= n {
+			w.bufs[i] = w.bufs[len(w.bufs)-1]
+			w.bufs = w.bufs[:len(w.bufs)-1]
+			w.bufMu.Unlock()
+			return b[:n]
+		}
+	}
+	w.bufMu.Unlock()
+	return make([]float64, n)
+}
+
+func (w *World) putBuf(b []float64) {
+	if cap(b) == 0 {
+		return
+	}
+	w.bufMu.Lock()
+	if len(w.bufs) < maxPooledBufs {
+		w.bufs = append(w.bufs, b[:0])
+	}
+	w.bufMu.Unlock()
 }
 
 // NewWorld creates a world of len(rankNodes) ranks; rank r runs on fabric
@@ -176,7 +215,9 @@ func (c *Comm) send(to, tag int, data []float64) {
 	arrive := c.world.fabric.Transfer(c.world.nodes[c.rank], c.world.nodes[to],
 		int64(len(data))*8, depart)
 	// Copy so sender may reuse its buffer, as with MPI_Send semantics.
-	cp := make([]float64, len(data))
+	// The copy target comes from the world's free-list; the receiver may
+	// Recycle it once consumed.
+	cp := c.world.getBuf(len(data))
 	copy(cp, data)
 	c.world.inboxes[to].put(message{from: c.rank, tag: tag, data: cp, at: arrive})
 }
@@ -211,6 +252,14 @@ func (c *Comm) Recv(from, tag int) []float64 {
 func (c *Comm) Sendrecv(partner, tag int, out []float64) []float64 {
 	c.Send(partner, tag, out)
 	return c.Recv(partner, tag)
+}
+
+// Recycle returns a payload previously delivered by Recv/Sendrecv to the
+// world's buffer pool. It is optional: callers that retain delivered
+// slices simply never recycle them. After Recycle the caller must not
+// touch the slice again.
+func (c *Comm) Recycle(buf []float64) {
+	c.world.putBuf(buf)
 }
 
 // Barrier synchronizes all ranks: no rank's clock proceeds past the

@@ -18,7 +18,7 @@ package netsim
 
 import (
 	"fmt"
-	"math/rand"
+	"math"
 	"sync"
 
 	"deisago/internal/metrics"
@@ -47,9 +47,12 @@ type Config struct {
 	SoftwareLatency float64
 	// JitterFrac, if non-zero, scales a deterministic pseudo-random
 	// multiplicative jitter of ±JitterFrac applied to each transfer's
-	// service time. Seeded from Seed, so runs are reproducible.
+	// service time. The jitter is a pure hash of (Seed, from, to, size,
+	// depart) — not a shared stream — so it is lock-free on the transfer
+	// path and independent of the real-time order in which concurrent
+	// goroutines issue transfers.
 	JitterFrac float64
-	// Seed seeds the jitter stream.
+	// Seed seeds the jitter hash.
 	Seed int64
 }
 
@@ -113,7 +116,6 @@ type Fabric struct {
 	leaves []*leafSwitch
 
 	mu        sync.Mutex
-	rng       *rand.Rand
 	transfers int64
 	bytes     int64
 	dropped   int64
@@ -138,7 +140,7 @@ func New(cfg Config, numNodes int) *Fabric {
 	if numNodes <= 0 {
 		panic("netsim: need at least one node")
 	}
-	f := &Fabric{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	f := &Fabric{cfg: cfg}
 	nLeaves := (numNodes + cfg.NodesPerSwitch - 1) / cfg.NodesPerSwitch
 	for l := 0; l < nLeaves; l++ {
 		f.leaves = append(f.leaves, &leafSwitch{
@@ -193,13 +195,33 @@ func (f *Fabric) uplinkBandwidth() float64 {
 	return f.cfg.LinkBandwidth * float64(f.cfg.NodesPerSwitch) / f.cfg.PruneFactor
 }
 
-func (f *Fabric) jitter() float64 {
+// mix64 is the splitmix64 finalizer: a cheap, well-distributed 64-bit
+// permutation used to derive per-transfer jitter without any shared state.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// jitter returns the multiplicative jitter for one transfer. It is a pure
+// function of the fabric seed and the transfer's identity, so it takes no
+// lock, never perturbs other transfers' jitter, and gives the same value
+// no matter which goroutine orders the call first — the property the
+// parallel harness relies on for bit-identical runs.
+func (f *Fabric) jitter(from, to NodeID, size int64, depart vtime.Time) float64 {
 	if f.cfg.JitterFrac == 0 {
 		return 1
 	}
-	f.mu.Lock()
-	j := 1 + f.cfg.JitterFrac*(2*f.rng.Float64()-1)
-	f.mu.Unlock()
+	h := mix64(uint64(f.cfg.Seed) ^ 0x9e3779b97f4a7c15)
+	h = mix64(h ^ uint64(from))
+	h = mix64(h ^ uint64(to))
+	h = mix64(h ^ uint64(size))
+	h = mix64(h ^ math.Float64bits(depart))
+	u := float64(h>>11) / (1 << 53) // uniform in [0,1)
+	j := 1 + f.cfg.JitterFrac*(2*u-1)
 	if j < 0.05 {
 		j = 0.05
 	}
@@ -368,7 +390,7 @@ func (f *Fabric) TransferChecked(from, to NodeID, size int64, depart vtime.Time)
 		a.egBytes.Add(size)
 		b.inBytes.Add(size)
 	}
-	j := f.jitter() * v.SlowFactor
+	j := f.jitter(from, to, size, depart) * v.SlowFactor
 	linkD := j * float64(size) / f.cfg.LinkBandwidth
 	lat := f.cfg.HopLatency * float64(hops)
 
@@ -430,13 +452,12 @@ func (f *Fabric) Dropped() int64 {
 }
 
 // Reset returns every link to idle at time zero and clears counters and
-// fault hooks. The jitter stream is re-seeded so repeated runs are
-// identical.
+// fault hooks. Jitter needs no re-seeding: it is a stateless hash of each
+// transfer, so repeated runs are identical by construction.
 func (f *Fabric) Reset() {
 	f.mu.Lock()
 	f.transfers, f.bytes, f.dropped = 0, 0, 0
 	f.hooks = nil
-	f.rng = rand.New(rand.NewSource(f.cfg.Seed))
 	f.mu.Unlock()
 	for _, n := range f.nodes {
 		n.egress.Reset()

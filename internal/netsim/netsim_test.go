@@ -131,6 +131,28 @@ func TestResetReproducible(t *testing.T) {
 	}
 }
 
+// TestJitterOrderIndependent pins the property the parallel harness and
+// the lock-free transfer path rely on: a transfer's jitter is a pure
+// function of (seed, endpoints, size, depart), not of the real-time order
+// in which goroutines happen to issue transfers. The seed implementation
+// (one shared rand stream) fails this.
+func TestJitterOrderIndependent(t *testing.T) {
+	cfg := testConfig()
+	cfg.JitterFrac = 0.2
+	cfg.Seed = 5
+	// Same two transfers on disjoint node pairs (no queueing interaction),
+	// issued in both orders on fresh fabrics.
+	f1 := New(cfg, 8)
+	a1 := f1.Transfer(0, 1, 1e6, 0)
+	b1 := f1.Transfer(2, 3, 2e6, 0)
+	f2 := New(cfg, 8)
+	b2 := f2.Transfer(2, 3, 2e6, 0)
+	a2 := f2.Transfer(0, 1, 1e6, 0)
+	if a1 != a2 || b1 != b2 {
+		t.Fatalf("jitter depends on issue order: (%v,%v) vs (%v,%v)", a1, b1, a2, b2)
+	}
+}
+
 func TestJitterBounded(t *testing.T) {
 	cfg := testConfig()
 	cfg.JitterFrac = 0.2

@@ -62,13 +62,20 @@ func (f *file) writeAt(off int64, p []byte) {
 	copy(f.data[off:end], p)
 }
 
-func (f *file) readAt(off, n int64) ([]byte, error) {
+// readAt copies the byte range into buf when it has sufficient capacity,
+// allocating a fresh slice otherwise.
+func (f *file) readAt(off, n int64, buf []byte) ([]byte, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if off < 0 || off+n > int64(len(f.data)) {
 		return nil, fmt.Errorf("pfs: read [%d,%d) beyond EOF %d", off, off+n, len(f.data))
 	}
-	out := make([]byte, n)
+	var out []byte
+	if int64(cap(buf)) >= n {
+		out = buf[:n]
+	} else {
+		out = make([]byte, n)
+	}
 	copy(out, f.data[off:off+n])
 	return out, nil
 }
@@ -289,6 +296,14 @@ func (fs *FS) ReadAt(path string, off, n int64, at vtime.Time) ([]byte, vtime.Ti
 // ReadAtCost is ReadAt with an explicit modelled transfer size (see
 // WriteAtCost).
 func (fs *FS) ReadAtCost(path string, off, n, costBytes int64, at vtime.Time) ([]byte, vtime.Time, error) {
+	return fs.ReadAtCostBuf(path, off, n, costBytes, nil, at)
+}
+
+// ReadAtCostBuf is ReadAtCost reading into buf when buf has capacity for
+// n bytes (a fresh slice is allocated otherwise), so callers with a
+// staging-buffer pool avoid a per-read allocation. The returned slice is
+// buf's prefix in the reuse case.
+func (fs *FS) ReadAtCostBuf(path string, off, n, costBytes int64, buf []byte, at vtime.Time) ([]byte, vtime.Time, error) {
 	if costBytes < 0 {
 		return nil, at, fmt.Errorf("pfs: negative cost size %d", costBytes)
 	}
@@ -296,7 +311,7 @@ func (fs *FS) ReadAtCost(path string, off, n, costBytes int64, at vtime.Time) ([
 	if err != nil {
 		return nil, at, err
 	}
-	data, err := f.readAt(off, n)
+	data, err := f.readAt(off, n, buf)
 	if err != nil {
 		return nil, at, err
 	}
@@ -312,6 +327,20 @@ func (fs *FS) Traffic() (read, written int64) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	return fs.bytesRead, fs.bytesWritten
+}
+
+// ReleaseBefore promises that no future I/O on this file system will be
+// issued at a virtual time before t, letting the MDS and every OST
+// compact booking history below that watermark (see vtime.Resource
+// Release). The harness calls it at phase boundaries — e.g. after a post
+// hoc write phase completes at simEnd, every analytics-phase read arrives
+// at or after simEnd — so interval tables stay bounded by the live phase
+// instead of growing with run length.
+func (fs *FS) ReleaseBefore(t vtime.Time) {
+	fs.mds.Release(t)
+	for _, o := range fs.osts {
+		o.Release(t)
+	}
 }
 
 // ResetTime returns all OSTs and the MDS to idle at time zero without

@@ -1,0 +1,70 @@
+package vtime
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchResourceWorkload books jittered, non-coalescing acquires on r for
+// virtual steps [lo, hi), mirroring how pfs OSTs and netsim NIC ports are
+// exercised by a long run. When release is true the caller advances the
+// watermark the way the harness does at phase boundaries, so the interval
+// table stays bounded; otherwise it grows with run length (the seed
+// behaviour).
+func benchResourceWorkload(r *Resource, lo, hi int, release bool) {
+	for i := lo; i < hi; i++ {
+		at := float64(i) + 0.3*float64(i%7)
+		r.Acquire(at, 0.25)
+		if release && i%128 == 127 {
+			r.Release(float64(i) - 8)
+		}
+	}
+}
+
+// BenchmarkResourceAcquire measures the marginal cost of 100k bookings on
+// a resource deep into a long run (8M bookings of prior history), which is
+// where the seed's unbounded interval table hurts: every Acquire binary-
+// searches a multi-megabyte slice that long since fell out of cache.
+// "compacted" uses the Release watermark API (bounded table, O(log window)
+// per booking); "unbounded" is the seed behaviour. ns/op is the cost of
+// one 100k-booking batch.
+func BenchmarkResourceAcquire(b *testing.B) {
+	const history = 8_000_000
+	const batch = 100_000
+	for _, mode := range []struct {
+		name    string
+		release bool
+	}{{"compacted", true}, {"unbounded", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			r := NewResource("bench")
+			benchResourceWorkload(r, 0, history, mode.release)
+			if mode.release {
+				if c := r.IntervalCount(); c > 1024 {
+					b.Fatalf("compacted interval table not bounded: %d", c)
+				}
+			}
+			pos := history
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				benchResourceWorkload(r, pos, pos+batch, mode.release)
+				pos += batch
+			}
+		})
+	}
+}
+
+func BenchmarkSummarize(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 4096)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink Stats
+	for i := 0; i < b.N; i++ {
+		sink = Summarize(xs)
+	}
+	_ = sink
+}

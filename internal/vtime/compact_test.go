@@ -1,0 +1,135 @@
+package vtime
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestResourceCompactionEquivalence is the compaction correctness
+// property: a Resource whose caller periodically Releases a legal
+// watermark returns bit-identical Acquire results — and identical Busy,
+// Requests and FreeAt — to an uncompacted reference that never Releases.
+//
+// The generated workload models what the simulation produces: several
+// actors with monotone (but differently paced) clocks booking jittered
+// service times. The legal watermark is the minimum actor clock, which
+// is exactly the "registered min-clock set" a caller would derive.
+func TestResourceCompactionEquivalence(t *testing.T) {
+	type workload struct {
+		Seed     int64
+		Actors   uint8
+		Bookings uint16
+	}
+	prop := func(w workload) bool {
+		rng := rand.New(rand.NewSource(w.Seed))
+		actors := int(w.Actors)%6 + 2
+		n := int(w.Bookings)%800 + 50
+		clocks := make([]float64, actors)
+
+		compacted := NewResource("compacted")
+		reference := NewResource("reference")
+
+		minClock := func() Time {
+			m := clocks[0]
+			for _, c := range clocks[1:] {
+				if c < m {
+					m = c
+				}
+			}
+			return m
+		}
+		for i := 0; i < n; i++ {
+			a := rng.Intn(actors)
+			clocks[a] += rng.Float64() * float64(a+1)
+			at := clocks[a]
+			d := rng.Float64() * 0.5
+			if rng.Intn(8) == 0 {
+				d = 0
+			}
+			s1, e1 := compacted.Acquire(at, d)
+			s2, e2 := reference.Acquire(at, d)
+			if s1 != s2 || e1 != e2 {
+				t.Logf("booking %d diverged: (%v,%v) vs (%v,%v)", i, s1, e1, s2, e2)
+				return false
+			}
+			if i%32 == 31 {
+				compacted.Release(minClock())
+			}
+		}
+		if compacted.Busy() != reference.Busy() ||
+			compacted.Requests() != reference.Requests() ||
+			compacted.FreeAt() != reference.FreeAt() {
+			t.Logf("aggregates diverged: busy %v/%v req %d/%d freeAt %v/%v",
+				compacted.Busy(), reference.Busy(),
+				compacted.Requests(), reference.Requests(),
+				compacted.FreeAt(), reference.FreeAt())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResourceCompactionBoundsIntervals(t *testing.T) {
+	r := NewResource("r")
+	max := 0
+	for i := 0; i < 100000; i++ {
+		at := float64(i) + 0.3*float64(i%7) // mild backward jitter
+		r.Acquire(at, 0.25)                 // gaps persist: no coalescing
+		if i%128 == 127 {
+			r.Release(float64(i) - 8)
+		}
+		if c := r.IntervalCount(); c > max {
+			max = c
+		}
+	}
+	if max > 512 {
+		t.Fatalf("interval table not bounded under periodic Release: peak %d", max)
+	}
+	if got := r.Requests(); got != 100000 {
+		t.Fatalf("Requests = %d", got)
+	}
+}
+
+func TestResourceReleaseMonotoneAndReset(t *testing.T) {
+	r := NewResource("r")
+	r.Acquire(0, 1)
+	r.Acquire(2, 1)
+	r.Release(5)
+	r.Release(3) // ignored: watermark only advances
+	if got := r.Watermark(); got != 5 {
+		t.Fatalf("Watermark = %v, want 5", got)
+	}
+	if got := r.IntervalCount(); got != 1 {
+		t.Fatalf("IntervalCount after compaction = %d, want 1", got)
+	}
+	if got := r.FreeAt(); got != 3 {
+		t.Fatalf("FreeAt = %v, want 3", got)
+	}
+	if got := r.Busy(); got != 2 {
+		t.Fatalf("Busy = %v, want 2", got)
+	}
+	r.Reset()
+	if r.Watermark() != 0 || r.IntervalCount() != 0 {
+		t.Fatal("Reset did not clear watermark/intervals")
+	}
+	// Legal again after Reset.
+	if s, _ := r.Acquire(0, 1); s != 0 {
+		t.Fatalf("post-Reset Acquire start = %v", s)
+	}
+}
+
+func TestResourceAcquireBelowWatermarkPanics(t *testing.T) {
+	r := NewResource("r")
+	r.Acquire(0, 1)
+	r.Release(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Acquire below watermark did not panic")
+		}
+	}()
+	r.Acquire(9, 1)
+}

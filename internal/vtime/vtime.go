@@ -101,6 +101,7 @@ type Resource struct {
 
 	mu        sync.Mutex
 	intervals []interval // sorted, disjoint busy intervals
+	watermark Time       // no future Acquire may arrive before this
 	busy      Dur        // total service time accumulated
 	nreq      int64
 }
@@ -125,10 +126,80 @@ func (r *Resource) Acquire(at Time, d Dur) (start, end Time) {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if at < r.watermark {
+		panic(fmt.Sprintf("vtime: acquire at %v on %s below released watermark %v", at, r.name, r.watermark))
+	}
 	r.busy += d
 	r.nreq++
 	start = r.book(at, d)
 	return start, start + d
+}
+
+// Release promises that no future Acquire on this resource will arrive
+// before the given time, and compacts the booking history below that
+// watermark into a single prefix interval. Every gap between compacted
+// intervals ends strictly before the watermark, so no booking arriving at
+// or after it could ever have been placed there: Acquire results, Busy,
+// Requests and FreeAt are unchanged, while the interval table stays
+// bounded by the live window instead of growing with run length.
+//
+// Release is monotone (an earlier watermark is ignored) and Acquire
+// panics if the promise is broken, so a miswired caller fails loudly
+// instead of silently perturbing virtual-time results.
+func (r *Resource) Release(before Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if before <= r.watermark {
+		return
+	}
+	r.watermark = before
+	r.compact()
+}
+
+// compact merges all intervals ending at or below the watermark into one
+// prefix interval and trims pathological slack capacity. Caller holds
+// r.mu.
+func (r *Resource) compact() {
+	// Ends are sorted (intervals are sorted and disjoint), so binary
+	// search for the first interval still reachable by a future booking.
+	lo, hi := 0, len(r.intervals)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if r.intervals[mid].end <= r.watermark {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < 2 {
+		return
+	}
+	r.intervals[0].end = r.intervals[lo-1].end
+	n := copy(r.intervals[1:], r.intervals[lo:])
+	r.intervals = r.intervals[:1+n]
+	// Bound memory, not just length: once the live window is much smaller
+	// than the retained capacity, reallocate.
+	if cap(r.intervals) > 64 && cap(r.intervals) > 4*len(r.intervals) {
+		trimmed := make([]interval, len(r.intervals), 2*len(r.intervals))
+		copy(trimmed, r.intervals)
+		r.intervals = trimmed
+	}
+}
+
+// Watermark returns the current release watermark.
+func (r *Resource) Watermark() Time {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.watermark
+}
+
+// IntervalCount returns the number of distinct busy intervals currently
+// retained. It exists so tests and benchmarks can assert that compaction
+// bounds the booking table.
+func (r *Resource) IntervalCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.intervals)
 }
 
 // book finds the earliest gap of length d at or after at, inserts the
@@ -230,6 +301,7 @@ func (r *Resource) Requests() int64 {
 func (r *Resource) Reset() {
 	r.mu.Lock()
 	r.intervals, r.busy, r.nreq = nil, 0, 0
+	r.watermark = 0
 	r.mu.Unlock()
 }
 
@@ -273,22 +345,22 @@ type Stats struct {
 }
 
 // Summarize computes summary statistics over xs. An empty input yields a
-// zero Stats value.
+// zero Stats value. The input is sorted once into a scratch copy and that
+// ordering is reused for Min, Max and every percentile; Sum, Mean and Std
+// still accumulate in the caller's order so their floating-point results
+// are unchanged from the historical implementation.
 func Summarize(xs []float64) Stats {
 	var st Stats
 	st.N = len(xs)
 	if st.N == 0 {
 		return st
 	}
-	st.Min, st.Max = math.Inf(1), math.Inf(-1)
+	sorted := make([]float64, st.N)
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	st.Min, st.Max = sorted[0], sorted[st.N-1]
 	for _, x := range xs {
 		st.Sum += x
-		if x < st.Min {
-			st.Min = x
-		}
-		if x > st.Max {
-			st.Max = x
-		}
 	}
 	st.Mean = st.Sum / float64(st.N)
 	var ss float64
@@ -297,9 +369,6 @@ func Summarize(xs []float64) Stats {
 		ss += d * d
 	}
 	st.Std = math.Sqrt(ss / float64(st.N))
-	sorted := make([]float64, st.N)
-	copy(sorted, xs)
-	sort.Float64s(sorted)
 	st.P50 = percentile(sorted, 0.50)
 	st.P95 = percentile(sorted, 0.95)
 	return st

@@ -1,10 +1,22 @@
-// Command benchgate compares a `go test -bench` run of the scheduler
-// scalability suite against the baselines recorded in BENCH_SCHED.json
-// and fails on regression: more than +15% ns/task, or any allocs/task
-// growth (beyond a small float-noise epsilon). scripts/check.sh pipes
-// the benchmark output through it.
+// Command benchgate compares a `go test -bench` run against the
+// baselines recorded in a BENCH_*.json file and fails on regression.
+// Two baseline schemas are understood, keyed per benchmark entry:
 //
-// Usage: go test -bench 'BenchmarkSched...' ./internal/dask | benchgate -baseline BENCH_SCHED.json
+//   - pr4_ns_per_task / pr4_allocs_per_task gate the custom per-task
+//     metrics of the scheduler scalability suite (BENCH_SCHED.json);
+//   - ns_per_op / allocs_per_op gate the standard testing.B metrics of
+//     the data-plane and sweep suite (BENCH_PIPELINE.json).
+//
+// Either way the rule is the same: more than +15% time, or allocation
+// growth beyond a small noise epsilon, fails. A baseline file may also
+// carry a "speedups" section pairing a slow and a fast benchmark with a
+// minimum ratio; ratios contingent on hardware parallelism declare
+// min_cores, and on smaller machines a fallback_min_ratio (typically
+// ~1: "the parallel path must at least not be slower") applies, so the
+// full claim is enforced exactly where it is measurable.
+// scripts/check.sh pipes the benchmark output through both gates.
+//
+// Usage: go test -bench 'Benchmark...' ./... | benchgate -baseline BENCH_SCHED.json
 package main
 
 import (
@@ -15,6 +27,7 @@ import (
 	"io"
 	"os"
 	"regexp"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -28,27 +41,55 @@ const nsSlack = 1.15
 // background allocations make the count vary by a hair across runs).
 const allocEps = 0.05
 
-// entry is one benchmark's baseline record in BENCH_SCHED.json.
+// allocSlackRel is the relative headroom for whole-run allocs/op
+// entries: pooled buffers dropped by a GC between iterations shift the
+// count by a few tenths of a percent, so "any growth fails" is enforced
+// with a 2% noise margin instead of an absolute epsilon.
+const allocSlackRel = 1.02
+
+// entry is one benchmark's baseline record. The pr4 fields carry the
+// scheduler suite's custom per-task metrics; the op fields carry
+// standard testing.B metrics. An entry sets one pair or the other.
 type entry struct {
 	PR4NsPerTask     float64 `json:"pr4_ns_per_task"`
 	PR4AllocsPerTask float64 `json:"pr4_allocs_per_task"`
+	NsPerOp          float64 `json:"ns_per_op"`
+	AllocsPerOp      float64 `json:"allocs_per_op"`
 }
 
-// baselineFile mirrors the parts of BENCH_SCHED.json the gate needs.
+// speedup is one required ratio between two measured benchmarks. When
+// the running machine has fewer than MinCores cores, FallbackMinRatio
+// (if positive) replaces MinRatio — a hardware-parallelism claim cannot
+// be demonstrated on one core, but the parallel path must still not
+// regress the serial one.
+type speedup struct {
+	Slow             string  `json:"slow"`
+	Fast             string  `json:"fast"`
+	MinRatio         float64 `json:"min_ratio"`
+	MinCores         int     `json:"min_cores"`
+	FallbackMinRatio float64 `json:"fallback_min_ratio"`
+}
+
+// baselineFile mirrors the parts of a BENCH_*.json file the gate needs.
 type baselineFile struct {
-	Benchmarks map[string]entry `json:"benchmarks"`
+	Benchmarks map[string]entry   `json:"benchmarks"`
+	Speedups   map[string]speedup `json:"speedups"`
 }
 
-// result is one benchmark's measured per-task metrics.
+// result is one benchmark's measured metrics (per-task custom metrics
+// and/or standard per-op metrics; absent metrics stay negative).
 type result struct {
 	nsPerTask     float64
 	allocsPerTask float64
+	nsPerOp       float64
+	allocsPerOp   float64
 }
 
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s`)
 
-// parseBench extracts the ns/task and allocs/task custom metrics from
-// `go test -bench` output. Lines without both metrics are ignored.
+// parseBench extracts the per-task custom metrics and the standard
+// per-op metrics from `go test -bench` output. Lines carrying neither a
+// complete task pair nor an ns/op figure are ignored.
 func parseBench(r io.Reader) (map[string]result, error) {
 	out := map[string]result{}
 	sc := bufio.NewScanner(r)
@@ -59,7 +100,7 @@ func parseBench(r io.Reader) (map[string]result, error) {
 			continue
 		}
 		fields := strings.Fields(line)
-		res := result{nsPerTask: -1, allocsPerTask: -1}
+		res := result{nsPerTask: -1, allocsPerTask: -1, nsPerOp: -1, allocsPerOp: -1}
 		for i := 1; i < len(fields); i++ {
 			v, err := strconv.ParseFloat(fields[i-1], 64)
 			if err != nil {
@@ -70,9 +111,13 @@ func parseBench(r io.Reader) (map[string]result, error) {
 				res.nsPerTask = v
 			case "allocs/task":
 				res.allocsPerTask = v
+			case "ns/op":
+				res.nsPerOp = v
+			case "allocs/op":
+				res.allocsPerOp = v
 			}
 		}
-		if res.nsPerTask >= 0 && res.allocsPerTask >= 0 {
+		if (res.nsPerTask >= 0 && res.allocsPerTask >= 0) || res.nsPerOp >= 0 {
 			out[strings.TrimPrefix(m[1], "Benchmark")] = res
 		}
 	}
@@ -89,7 +134,7 @@ func gate(base map[string]entry, got map[string]result) []string {
 	// failures print stably.
 	names := make([]string, 0, len(base))
 	for name, e := range base {
-		if e.PR4NsPerTask <= 0 {
+		if e.PR4NsPerTask <= 0 && e.NsPerOp <= 0 {
 			continue // seed-only entry
 		}
 		names = append(names, name)
@@ -102,13 +147,65 @@ func gate(base map[string]entry, got map[string]result) []string {
 			problems = append(problems, fmt.Sprintf("%s: baseline entry has no measurement in this run", name))
 			continue
 		}
-		if limit := e.PR4NsPerTask * nsSlack; r.nsPerTask > limit {
-			problems = append(problems, fmt.Sprintf("%s: %.1f ns/task exceeds baseline %.1f by more than %d%%",
-				name, r.nsPerTask, e.PR4NsPerTask, int(nsSlack*100)-100))
+		if e.PR4NsPerTask > 0 {
+			if limit := e.PR4NsPerTask * nsSlack; r.nsPerTask > limit {
+				problems = append(problems, fmt.Sprintf("%s: %.1f ns/task exceeds baseline %.1f by more than %d%%",
+					name, r.nsPerTask, e.PR4NsPerTask, int(nsSlack*100)-100))
+			}
+			if r.allocsPerTask > e.PR4AllocsPerTask+allocEps {
+				problems = append(problems, fmt.Sprintf("%s: %.3f allocs/task regresses baseline %.3f",
+					name, r.allocsPerTask, e.PR4AllocsPerTask))
+			}
 		}
-		if r.allocsPerTask > e.PR4AllocsPerTask+allocEps {
-			problems = append(problems, fmt.Sprintf("%s: %.3f allocs/task regresses baseline %.3f",
-				name, r.allocsPerTask, e.PR4AllocsPerTask))
+		if e.NsPerOp > 0 {
+			if limit := e.NsPerOp * nsSlack; r.nsPerOp > limit {
+				problems = append(problems, fmt.Sprintf("%s: %.0f ns/op exceeds baseline %.0f by more than %d%%",
+					name, r.nsPerOp, e.NsPerOp, int(nsSlack*100)-100))
+			}
+			if e.AllocsPerOp > 0 && r.allocsPerOp > e.AllocsPerOp*allocSlackRel {
+				problems = append(problems, fmt.Sprintf("%s: %.0f allocs/op regresses baseline %.0f",
+					name, r.allocsPerOp, e.AllocsPerOp))
+			}
+		}
+	}
+	return problems
+}
+
+// gateSpeedups checks every required slow/fast ratio against the
+// measured run. cores is the running machine's CPU count.
+func gateSpeedups(reqs map[string]speedup, got map[string]result, cores int) []string {
+	var problems []string
+	names := make([]string, 0, len(reqs))
+	for name := range reqs {
+		names = append(names, name)
+	}
+	sortStrings(names)
+	ns := func(r result) float64 {
+		if r.nsPerOp > 0 {
+			return r.nsPerOp
+		}
+		return r.nsPerTask
+	}
+	for _, name := range names {
+		s := reqs[name]
+		slow, okS := got[strings.TrimPrefix(s.Slow, "Benchmark")]
+		fast, okF := got[strings.TrimPrefix(s.Fast, "Benchmark")]
+		if !okS || !okF {
+			problems = append(problems, fmt.Sprintf("speedup %s: %s or %s missing from this run", name, s.Slow, s.Fast))
+			continue
+		}
+		want := s.MinRatio
+		scaled := ""
+		if s.MinCores > 0 && cores < s.MinCores && s.FallbackMinRatio > 0 {
+			want = s.FallbackMinRatio
+			scaled = fmt.Sprintf(" (fallback: %d cores < %d required for the x%.1f claim)", cores, s.MinCores, s.MinRatio)
+		}
+		if fs := ns(fast); fs > 0 {
+			ratio := ns(slow) / fs
+			if ratio < want {
+				problems = append(problems, fmt.Sprintf("speedup %s: %s/%s = x%.2f below required x%.2f%s",
+					name, s.Slow, s.Fast, ratio, want, scaled))
+			}
 		}
 	}
 	return problems
@@ -145,13 +242,14 @@ func run(baselinePath string, in io.Reader, out io.Writer) int {
 		return 2
 	}
 	problems := gate(base.Benchmarks, got)
+	problems = append(problems, gateSpeedups(base.Speedups, got, runtime.NumCPU())...)
 	if len(problems) > 0 {
 		for _, p := range problems {
 			fmt.Fprintln(out, "benchgate: REGRESSION:", p)
 		}
 		return 1
 	}
-	fmt.Fprintf(out, "benchgate: %d benchmarks within baseline\n", len(got))
+	fmt.Fprintf(out, "benchgate: %d benchmarks within baseline, %d speedup claims hold\n", len(got), len(base.Speedups))
 	return 0
 }
 

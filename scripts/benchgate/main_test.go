@@ -23,8 +23,8 @@ func TestParseBench(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got) != 2 {
-		t.Fatalf("parsed %d results, want 2: %v", len(got), got)
+	if len(got) != 3 {
+		t.Fatalf("parsed %d results, want 3: %v", len(got), got)
 	}
 	sub, ok := got["SchedSubmit/T8_R8"]
 	if !ok {
@@ -32,6 +32,14 @@ func TestParseBench(t *testing.T) {
 	}
 	if sub.nsPerTask != 500 || sub.allocsPerTask != 1.02 {
 		t.Fatalf("SchedSubmit = %+v, want ns 500 allocs 1.02", sub)
+	}
+	if sub.nsPerOp != 100000 {
+		t.Fatalf("SchedSubmit ns/op = %v, want 100000", sub.nsPerOp)
+	}
+	// Standard-metric-only lines are parsed too (op-schema baselines).
+	unrel, ok := got["Unrelated"]
+	if !ok || unrel.nsPerOp != 1000 || unrel.allocsPerOp != -1 {
+		t.Fatalf("Unrelated = %+v, want ns/op 1000 and no allocs", unrel)
 	}
 	// The -4 cpu suffix must be stripped.
 	drv, ok := got["SchedDrive/T8_R8"]
@@ -78,6 +86,69 @@ func TestGate(t *testing.T) {
 	}
 }
 
+func TestGateOpMetrics(t *testing.T) {
+	base := map[string]entry{
+		"BenchmarkResourceAcquire/compacted": {NsPerOp: 1000, AllocsPerOp: 100},
+		"BenchmarkSummarize":                 {NsPerOp: 500}, // no alloc baseline: ns-only gate
+	}
+	ok := map[string]result{
+		"ResourceAcquire/compacted": {nsPerOp: 1100, allocsPerOp: 101}, // +10% ns, +1% allocs
+		"Summarize":                 {nsPerOp: 540, allocsPerOp: 9999},
+	}
+	if problems := gate(base, ok); len(problems) != 0 {
+		t.Fatalf("within-slack op run flagged: %v", problems)
+	}
+	bad := map[string]result{
+		"ResourceAcquire/compacted": {nsPerOp: 1200, allocsPerOp: 103}, // +20% ns, +3% allocs
+		"Summarize":                 {nsPerOp: 500, allocsPerOp: 1},
+	}
+	problems := gate(base, bad)
+	if len(problems) != 2 ||
+		!strings.Contains(problems[0], "ns/op") || !strings.Contains(problems[1], "allocs/op") {
+		t.Fatalf("op regressions not flagged: %v", problems)
+	}
+}
+
+func TestGateSpeedups(t *testing.T) {
+	reqs := map[string]speedup{
+		"compaction": {
+			Slow: "BenchmarkResourceAcquire/unbounded", Fast: "BenchmarkResourceAcquire/compacted",
+			MinRatio: 5,
+		},
+		"sweep": {
+			Slow: "BenchmarkPipelineSweep/serial", Fast: "BenchmarkPipelineSweep/parallel",
+			MinRatio: 3, MinCores: 4, FallbackMinRatio: 0.85,
+		},
+	}
+	got := map[string]result{
+		"ResourceAcquire/unbounded": {nsPerOp: 100000, nsPerTask: -1},
+		"ResourceAcquire/compacted": {nsPerOp: 3000, nsPerTask: -1},
+		"PipelineSweep/serial":      {nsPerOp: 20000, nsPerTask: -1},
+		"PipelineSweep/parallel":    {nsPerOp: 19000, nsPerTask: -1},
+	}
+	// On a 1-core machine the sweep claim falls back to "not slower".
+	if problems := gateSpeedups(reqs, got, 1); len(problems) != 0 {
+		t.Fatalf("1-core run flagged: %v", problems)
+	}
+	// On 4 cores the full x3 is demanded and x1.05 fails.
+	problems := gateSpeedups(reqs, got, 4)
+	if len(problems) != 1 || !strings.Contains(problems[0], "speedup sweep") {
+		t.Fatalf("4-core sweep claim not enforced: %v", problems)
+	}
+	// A collapsed compaction ratio fails everywhere.
+	got["ResourceAcquire/unbounded"] = result{nsPerOp: 6000, nsPerTask: -1}
+	problems = gateSpeedups(reqs, got, 1)
+	if len(problems) != 1 || !strings.Contains(problems[0], "speedup compaction") {
+		t.Fatalf("compaction ratio not enforced: %v", problems)
+	}
+	// Missing measurements are themselves violations.
+	delete(got, "PipelineSweep/parallel")
+	problems = gateSpeedups(reqs, got, 1)
+	if len(problems) != 2 || !strings.Contains(problems[1], "missing") {
+		t.Fatalf("missing speedup bench not flagged: %v", problems)
+	}
+}
+
 func TestRunEndToEnd(t *testing.T) {
 	dir := t.TempDir()
 	baseline := filepath.Join(dir, "bench.json")
@@ -93,7 +164,7 @@ func TestRunEndToEnd(t *testing.T) {
 	if code := run(baseline, strings.NewReader(sampleBench), &out); code != 0 {
 		t.Fatalf("run = %d, output:\n%s", code, out.String())
 	}
-	if !strings.Contains(out.String(), "2 benchmarks within baseline") {
+	if !strings.Contains(out.String(), "3 benchmarks within baseline") {
 		t.Fatalf("unexpected output: %s", out.String())
 	}
 

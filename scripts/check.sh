@@ -76,4 +76,21 @@ echo "== scheduler bench regression gate =="
 go test -run xxx -bench 'BenchmarkSched(Submit|Drive)' -benchtime 5x ./internal/dask \
     | go run ./scripts/benchgate -baseline BENCH_SCHED.json
 
+echo "== harness parallel-determinism gate (-race) =="
+# The sweep helpers fan independent simulations onto a bounded pool;
+# every deterministic run output (canonical counters, analytics values,
+# chaos logs) must be byte-identical to serial execution, under the race
+# detector.
+go test -race -count=1 -run 'TestSweepParallelDeterminism|TestChaosParallelDeterminism|TestRunPool' \
+    ./internal/harness
+
+echo "== data-plane / sweep bench regression gate =="
+# Compare the resource-compaction, Summarize and pipeline benchmarks
+# against BENCH_PIPELINE.json: >15% ns/op or >2% allocs/op growth fails,
+# and the recorded speedup claims (compaction >=x5; sweep parallelism
+# >=x3 on >=4 cores, not-slower elsewhere) must hold.
+( go test -run xxx -bench 'BenchmarkResourceAcquire|BenchmarkSummarize' -benchtime 3x ./internal/vtime ; \
+  go test -run xxx -bench 'BenchmarkPipeline' -benchtime 3x ./internal/harness ) \
+    | go run ./scripts/benchgate -baseline BENCH_PIPELINE.json
+
 echo "OK"
