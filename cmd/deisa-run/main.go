@@ -27,6 +27,7 @@ func main() {
 		workers  = flag.Int("workers", 4, "Dask workers (analytics side)")
 		steps    = flag.Int("steps", 10, "timesteps")
 		blockMiB = flag.Int64("block-mib", 128, "modelled block size per process per step (MiB)")
+		workMem  = flag.Int64("worker-mem", 0, "per-worker managed-memory limit (MiB); blocks over the limit spill to the PFS in virtual time, 0 = unlimited")
 		seed     = flag.Int64("seed", 1, "allocation/jitter seed (a 'run' in the paper's sense)")
 		perRank  = flag.Bool("per-rank", false, "print per-rank communication statistics (Figure 5 style)")
 		trace    = flag.String("trace", "", "write a Chrome trace-event JSON of the analytics tasks to this file")
@@ -40,13 +41,14 @@ func main() {
 		os.Exit(2)
 	}
 	res, err := harness.Run(harness.Config{
-		System:      sys,
-		Ranks:       *ranks,
-		Workers:     *workers,
-		Timesteps:   *steps,
-		BlockBytes:  *blockMiB << 20,
-		Seed:        *seed,
-		EnableTrace: *trace != "",
+		System:            sys,
+		Ranks:             *ranks,
+		Workers:           *workers,
+		Timesteps:         *steps,
+		BlockBytes:        *blockMiB << 20,
+		WorkerMemoryLimit: *workMem << 20,
+		Seed:              *seed,
+		EnableTrace:       *trace != "",
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)

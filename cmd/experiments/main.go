@@ -39,6 +39,7 @@ func main() {
 		chaosPlan  = flag.String("chaos-plan", "", "explicit fault plan DSL, e.g. 'kill:1@0/3;degrade:2-5:4@0.5-inf;drop:0/2:2;delay:1/4:0.25' (overrides -chaos-seed)")
 		chaosRanks = flag.Int("chaos-ranks", 4, "ranks for the chaos scenario")
 		chaosWrk   = flag.Int("chaos-workers", 4, "workers for the chaos scenario")
+		workerMem  = flag.Int64("worker-mem", 0, "per-worker managed-memory limit (MiB) for the chaos scenario; enables LRU spill-to-PFS, scatter backpressure, and a random memlimit squeeze in seeded plans (0 = unlimited)")
 
 		metricsOut = flag.String("metrics-out", "", "run a fixed-seed DEISA3 reference workflow at the sweep scale and write its metrics snapshot to this file (.csv extension selects CSV, anything else JSON)")
 	)
@@ -79,6 +80,7 @@ func main() {
 
 	if *chaosSeed != 0 || *chaosPlan != "" {
 		cfg := harness.ChaosScenarioConfig(opts, *chaosRanks, *chaosWrk)
+		cfg.WorkerMemoryLimit = *workerMem << 20
 		var plan *chaos.Plan
 		var err error
 		if *chaosPlan != "" {

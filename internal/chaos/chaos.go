@@ -42,6 +42,11 @@ const (
 	// KindDelayPublish stalls rank Rank for Delay virtual seconds before
 	// the first attempt of every block it publishes at step Step.
 	KindDelayPublish
+	// KindMemLimit squeezes worker Worker's memory limit to Limit bytes
+	// inside the virtual window [Start, End); End <= 0 means open-ended.
+	// The worker spills to fit and refuses scatters it cannot hold, which
+	// the bridges absorb via retry/backoff.
+	KindMemLimit
 )
 
 // String names the kind.
@@ -55,6 +60,8 @@ func (k Kind) String() string {
 		return "drop"
 	case KindDelayPublish:
 		return "delay"
+	case KindMemLimit:
+		return "memlimit"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -73,8 +80,10 @@ type Event struct {
 
 	From, To netsim.NodeID // degrade: link endpoints
 	Factor   float64       // degrade: service-time multiplier (>1 slower)
-	Start    vtime.Time    // degrade: window start (virtual seconds)
-	End      vtime.Time    // degrade: window end; <= 0 means open-ended
+	Start    vtime.Time    // degrade/memlimit: window start (virtual seconds)
+	End      vtime.Time    // degrade/memlimit: window end; <= 0 means open-ended
+
+	Limit int64 // memlimit: squeezed per-worker limit in bytes
 }
 
 // String renders the event in the plan DSL.
@@ -93,6 +102,13 @@ func (e Event) String() string {
 		return fmt.Sprintf("drop:%d/%d:%d", e.Rank, e.Step, e.Count)
 	case KindDelayPublish:
 		return fmt.Sprintf("delay:%d/%d:%s", e.Rank, e.Step, trimFloat(float64(e.Delay)))
+	case KindMemLimit:
+		end := "inf"
+		if e.End > 0 {
+			end = trimFloat(float64(e.End))
+		}
+		return fmt.Sprintf("memlimit:%d:%d@%s-%s",
+			e.Worker, e.Limit, trimFloat(float64(e.Start)), end)
 	}
 	return fmt.Sprintf("?%d", int(e.Kind))
 }
@@ -136,6 +152,7 @@ func (p *Plan) Kills() []int {
 //	degrade:A-B:F@T1-T2   slow link A<->B by factor F in [T1,T2); T2 may be "inf"
 //	drop:R/S:N        drop the first N publish attempts of rank R at step S
 //	delay:R/S:D       stall rank R for D virtual seconds at step S
+//	memlimit:W:B@T1-T2    squeeze worker W's memory limit to B bytes in [T1,T2); T2 may be "inf"
 func ParsePlan(s string) (*Plan, error) {
 	p := &Plan{}
 	for _, part := range strings.Split(s, ";") {
@@ -158,6 +175,8 @@ func ParsePlan(s string) (*Plan, error) {
 			ev, err = parseDrop(rest)
 		case "delay":
 			ev, err = parseDelay(rest)
+		case "memlimit":
+			ev, err = parseMemLimit(rest)
 		default:
 			err = fmt.Errorf("unknown kind %q", kind)
 		}
@@ -246,6 +265,44 @@ func parseDelay(s string) (Event, error) {
 	return Event{Kind: KindDelayPublish, Rank: r, Step: step, Delay: vtime.Dur(d)}, nil
 }
 
+func parseMemLimit(s string) (Event, error) {
+	ws, rest, ok := strings.Cut(s, ":")
+	if !ok {
+		return Event{}, fmt.Errorf("want W:B@T1-T2")
+	}
+	w, err := strconv.Atoi(ws)
+	if err != nil {
+		return Event{}, fmt.Errorf("bad worker %q", ws)
+	}
+	bs, window, ok := strings.Cut(rest, "@")
+	if !ok {
+		return Event{}, fmt.Errorf("want B@T1-T2")
+	}
+	limit, err := strconv.ParseInt(bs, 10, 64)
+	if err != nil || limit <= 0 {
+		return Event{}, fmt.Errorf("bad limit %q", bs)
+	}
+	t1s, t2s, ok := strings.Cut(window, "-")
+	if !ok {
+		return Event{}, fmt.Errorf("window %q: want T1-T2", window)
+	}
+	t1, err := strconv.ParseFloat(t1s, 64)
+	if err != nil {
+		return Event{}, fmt.Errorf("bad window start %q", t1s)
+	}
+	t2 := -1.0
+	if t2s != "inf" {
+		t2, err = strconv.ParseFloat(t2s, 64)
+		if err != nil {
+			return Event{}, fmt.Errorf("bad window end %q", t2s)
+		}
+	}
+	return Event{
+		Kind: KindMemLimit, Worker: w, Limit: limit,
+		Start: vtime.Time(t1), End: vtime.Time(t2),
+	}, nil
+}
+
 // Spec bounds random plan generation: the scenario's shape plus how many
 // faults of each kind to draw.
 type Spec struct {
@@ -260,6 +317,14 @@ type Spec struct {
 	Degrades int
 	Drops    int
 	Delays   int
+
+	// MemLimits is how many memlimit squeeze windows to draw; MemBytes
+	// is the scenario's block size, which scales the squeezed limits
+	// (each drawn limit sits in [MemBytes/4, MemBytes], forcing spills
+	// without wedging single-block scatters forever — windows are always
+	// time-bounded). MemBytes must be positive when MemLimits > 0.
+	MemLimits int
+	MemBytes  int64
 }
 
 // NewRandomPlan draws a fault plan from the seed. Kill victims are
@@ -277,6 +342,9 @@ func NewRandomPlan(seed int64, spec Spec) (*Plan, error) {
 	}
 	if spec.Degrades > 0 && len(spec.Nodes) < 2 {
 		return nil, fmt.Errorf("chaos: degrades need at least 2 nodes")
+	}
+	if spec.MemLimits > 0 && spec.MemBytes <= 0 {
+		return nil, fmt.Errorf("chaos: memlimit draws need MemBytes > 0")
 	}
 	rng := rand.New(rand.NewSource(seed))
 	p := &Plan{Seed: seed}
@@ -316,6 +384,22 @@ func NewRandomPlan(seed int64, spec Spec) (*Plan, error) {
 		p.Events = append(p.Events, Event{
 			Kind: KindDelayPublish, Rank: rng.Intn(spec.Ranks), Step: step(),
 			Delay: vtime.Dur(0.05 + 0.2*rng.Float64()),
+		})
+	}
+	// Memlimit draws come last so plans from pre-memlimit seeds are
+	// byte-identical when MemLimits is zero (the fixed-seed chaos
+	// acceptance gate depends on this).
+	for i := 0; i < spec.MemLimits; i++ {
+		lo := spec.MemBytes / 4
+		if lo < 1 {
+			lo = 1
+		}
+		limit := lo + rng.Int63n(spec.MemBytes-lo+1)
+		start := vtime.Time(rng.Float64())
+		p.Events = append(p.Events, Event{
+			Kind: KindMemLimit, Worker: rng.Intn(spec.Workers),
+			Limit: limit, Start: start,
+			End: start + vtime.Time(0.5+rng.Float64()),
 		})
 	}
 	return p, nil

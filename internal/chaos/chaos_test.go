@@ -44,14 +44,74 @@ func TestPlanDSLRoundTrip(t *testing.T) {
 	}
 }
 
+func TestMemLimitDSLRoundTrip(t *testing.T) {
+	src := "kill:1@0/3;memlimit:2:4096@0.25-1.5;memlimit:0:65536@0-inf"
+	p, err := ParsePlan(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.String(); got != src {
+		t.Fatalf("round trip:\n got %q\nwant %q", got, src)
+	}
+	bounded := p.Events[1]
+	if bounded.Kind != KindMemLimit || bounded.Worker != 2 || bounded.Limit != 4096 ||
+		bounded.Start != 0.25 || bounded.End != 1.5 {
+		t.Fatalf("bounded memlimit event = %+v", bounded)
+	}
+	open := p.Events[2]
+	if open.Kind != KindMemLimit || open.Worker != 0 || open.Limit != 65536 || open.End > 0 {
+		t.Fatalf("open-ended memlimit event = %+v", open)
+	}
+}
+
 func TestParsePlanRejectsGarbage(t *testing.T) {
 	for _, s := range []string{
 		"", "nonsense", "kill:x@y/z", "drop:0/1:0", "degrade:1-2:0@0-1",
 		"delay:0/1:-1", "kill:1",
+		"memlimit:0", "memlimit:0:0@0-1", "memlimit:0:-5@0-1",
+		"memlimit:x:64@0-1", "memlimit:0:64@x-1",
 	} {
 		if _, err := ParsePlan(s); err == nil {
 			t.Errorf("ParsePlan(%q) accepted", s)
 		}
+	}
+}
+
+// TestRandomPlanMemLimitAppendsLast pins the determinism contract: a
+// spec with memlimit draws yields a plan whose non-memlimit prefix is
+// byte-identical to the same seed's plan without them, so governed and
+// ungoverned scenarios share fault schedules.
+func TestRandomPlanMemLimitAppendsLast(t *testing.T) {
+	base := Spec{
+		Workers: 4, Ranks: 4, Steps: 8,
+		Nodes: []netsim.NodeID{0, 1, 2, 3},
+		Kills: 2, Degrades: 1, Drops: 2, Delays: 1,
+	}
+	withMem := base
+	withMem.MemLimits = 1
+	withMem.MemBytes = 1 << 20
+
+	a, err := NewRandomPlan(42, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRandomPlan(42, withMem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Events) != len(a.Events)+1 {
+		t.Fatalf("memlimit spec added %d events, want 1", len(b.Events)-len(a.Events))
+	}
+	if !reflect.DeepEqual(a.Events, b.Events[:len(a.Events)]) {
+		t.Fatalf("memlimit draw perturbed the base plan:\n%s\n%s", a, b)
+	}
+	mem := b.Events[len(b.Events)-1]
+	if mem.Kind != KindMemLimit || mem.Limit <= 0 || mem.Limit > int64(withMem.MemBytes) ||
+		mem.Worker < 0 || mem.Worker >= base.Workers || mem.End <= mem.Start {
+		t.Fatalf("memlimit event = %+v", mem)
+	}
+	if _, err := NewRandomPlan(42, Spec{Workers: 2, Ranks: 1, Steps: 2, MemLimits: 1}); err == nil {
+		t.Fatal("memlimit draw without MemBytes accepted")
 	}
 }
 

@@ -34,6 +34,8 @@ func (e LogEntry) String() string {
 		return fmt.Sprintf("drop %s attempt %d (event %d, rank %d step %d)", e.Key, e.Attempt, e.Event, e.Rank, e.Step)
 	case "delay":
 		return fmt.Sprintf("delay %s (event %d, rank %d step %d)", e.Key, e.Event, e.Rank, e.Step)
+	case "memlimit":
+		return fmt.Sprintf("memlimit worker %d (event %d)", e.Worker, e.Event)
 	}
 	return fmt.Sprintf("%s (event %d)", e.Kind, e.Event)
 }
@@ -68,26 +70,46 @@ func NewController(plan *Plan, cluster *dask.Cluster) (*Controller, error) {
 	n := cluster.NumWorkers()
 	seen := map[int]bool{}
 	for i, ev := range plan.Events {
-		if ev.Kind != KindKillWorker {
-			continue
+		switch ev.Kind {
+		case KindKillWorker:
+			if ev.Worker < 0 || ev.Worker >= n {
+				return nil, fmt.Errorf("chaos: event %d kills worker %d, cluster has %d", i, ev.Worker, n)
+			}
+			if seen[ev.Worker] {
+				return nil, fmt.Errorf("chaos: worker %d killed twice", ev.Worker)
+			}
+			seen[ev.Worker] = true
+		case KindMemLimit:
+			if ev.Worker < 0 || ev.Worker >= n {
+				return nil, fmt.Errorf("chaos: event %d squeezes worker %d, cluster has %d", i, ev.Worker, n)
+			}
+			if ev.Limit <= 0 {
+				return nil, fmt.Errorf("chaos: event %d memlimit must be positive, got %d", i, ev.Limit)
+			}
 		}
-		if ev.Worker < 0 || ev.Worker >= n {
-			return nil, fmt.Errorf("chaos: event %d kills worker %d, cluster has %d", i, ev.Worker, n)
-		}
-		if seen[ev.Worker] {
-			return nil, fmt.Errorf("chaos: worker %d killed twice", ev.Worker)
-		}
-		seen[ev.Worker] = true
 	}
 	if len(seen) >= n {
 		return nil, fmt.Errorf("chaos: plan kills all %d workers", n)
 	}
-	return &Controller{
+	ctrl := &Controller{
 		plan:      plan,
 		cluster:   cluster,
 		killFired: map[int]bool{},
 		log:       map[logKey]LogEntry{},
-	}, nil
+	}
+	// Memlimit windows are keyed on virtual time, not publish
+	// coordinates, so they install (and log) at construction — the log
+	// entry is deterministic regardless of run interleaving.
+	ctrl.mu.Lock()
+	for i, ev := range plan.Events {
+		if ev.Kind != KindMemLimit {
+			continue
+		}
+		cluster.SetWorkerMemoryWindow(ev.Worker, ev.Limit, ev.Start, ev.End)
+		ctrl.record(LogEntry{Event: i, Kind: "memlimit", Worker: ev.Worker, Rank: -1, Step: -1})
+	}
+	ctrl.mu.Unlock()
+	return ctrl, nil
 }
 
 // Plan returns the controller's plan.

@@ -287,11 +287,15 @@ func (b *Bridge) Publish(arrayName string, pos []int, data *ndarray.Array, at vt
 
 // scatterExternal ships one block to an external key, retrying with
 // exponential backoff on retryable failures: attempts dropped in flight
-// by the fault interceptor, and targets that died before the scheduler
-// processed the update. When the preselected worker is dead the block
-// fails over to the next live worker (scanning (worker+k) mod N, so the
-// failover target is a deterministic function of the set of dead
-// workers, not of timing).
+// by the fault interceptor, targets that died before the scheduler
+// processed the update, and targets refusing the block under memory
+// pressure. When the preselected worker is dead the block fails over to
+// the next live worker with scatter capacity (scanning (worker+k) mod N
+// and skipping workers paused at their memory watermark, so the
+// failover target is a deterministic function of the dead set and the
+// virtual-time memory state, not of timing). If every live candidate is
+// paused, the first live one is taken anyway — its refusal feeds the
+// same retry/backoff loop, which is the backpressure by construction.
 func (b *Bridge) scatterExternal(key taskgraph.Key, data *ndarray.Array, step, worker int) error {
 	policy := b.cfg.Retry.orDefault()
 	started := b.client.Now()
@@ -311,12 +315,24 @@ func (b *Bridge) scatterExternal(key taskgraph.Key, data *ndarray.Array, step, w
 		target := worker
 		if !b.cfg.Cluster.WorkerAlive(target) {
 			target = -1
+			firstLive := -1
 			n := b.cfg.Cluster.NumWorkers()
+			now := b.client.Now()
 			for k := 1; k < n; k++ {
-				if cand := (worker + k) % n; b.cfg.Cluster.WorkerAlive(cand) {
+				cand := (worker + k) % n
+				if !b.cfg.Cluster.WorkerAlive(cand) {
+					continue
+				}
+				if firstLive < 0 {
+					firstLive = cand
+				}
+				if !b.cfg.Cluster.WorkerPaused(cand, now) {
 					target = cand
 					break
 				}
+			}
+			if target < 0 {
+				target = firstLive
 			}
 			if target < 0 {
 				return fmt.Errorf("core: publish of %q: no live workers", key)
@@ -341,7 +357,7 @@ func (b *Bridge) scatterExternal(key taskgraph.Key, data *ndarray.Array, step, w
 			b.mShippedBytes.Add(b.blockBytes(data))
 			return nil
 		}
-		if !errors.Is(err, dask.ErrWorkerDied) {
+		if !errors.Is(err, dask.ErrWorkerDied) && !errors.Is(err, dask.ErrWorkerPaused) {
 			return err
 		}
 		lastErr = err

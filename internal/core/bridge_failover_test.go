@@ -1,0 +1,115 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"deisago/internal/dask"
+	"deisago/internal/ndarray"
+	"deisago/internal/taskgraph"
+)
+
+// TestFailoverSkipsPausedWorker pins the bridge's failover policy: when
+// the preselected worker is dead, the (worker+k) mod N scan must pass
+// over live workers paused at their memory watermark and land on the
+// next unpaused one, so backpressured workers don't absorb re-routed
+// publishes on top of their existing load.
+func TestFailoverSkipsPausedWorker(t *testing.T) {
+	cluster := testCluster(t, 3)
+
+	// Worker 1 — the first failover candidate after worker 0 — holds a
+	// 32-byte block and is squeezed to a 32-byte limit for the whole
+	// run, parking it above the 0.8 watermark.
+	aux := cluster.NewClient("aux", 1, math.Inf(1))
+	if err := aux.Scatter([]dask.ScatterItem{{Key: "ballast", Value: []float64{1, 2, 3, 4}}}, false, 1); err != nil {
+		t.Fatal(err)
+	}
+	cluster.SetWorkerMemoryWindow(1, 32, 0, -1)
+	if !cluster.WorkerPaused(1, aux.Now()) {
+		t.Fatal("worker 1 should be paused at 32/32 bytes")
+	}
+
+	va := &VirtualArray{Name: "G_f", Size: []int{1, 2, 2}, Subsize: []int{1, 2, 2}, TimeDim: 0}
+	b := NewBridge(BridgeConfig{Rank: 0, Cluster: cluster, Node: 2,
+		HeartbeatInterval: math.Inf(1), Mode: ModeExternal,
+		PlaceWorker: func(_ *VirtualArray, _ []int, _ int) int { return 0 }})
+	if err := b.DeclareArray(va); err != nil {
+		t.Fatal(err)
+	}
+
+	var got float64
+	var wg sync.WaitGroup
+	errs := make(chan error, 2)
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		d := Connect(cluster, 1)
+		set, err := d.GetDeisaArrays()
+		if err != nil {
+			errs <- err
+			return
+		}
+		da, _ := set.Get("G_f")
+		da.SelectAll()
+		if _, err := set.ValidateContract(); err != nil {
+			errs <- err
+			return
+		}
+		g := taskgraph.New()
+		g.AddFn("s", da.Selection().Keys(), func(in []any) (any, error) {
+			return in[0].(*ndarray.Array).Sum(), nil
+		}, 1e-4)
+		futs, err := d.Client().Submit(g, []taskgraph.Key{"s"})
+		if err != nil {
+			errs <- err
+			return
+		}
+		vals, err := d.Client().Gather(futs)
+		if err != nil {
+			errs <- err
+			return
+		}
+		got = vals[0].(float64)
+	}()
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		now, err := b.Init(0)
+		if err != nil {
+			errs <- err
+			return
+		}
+		// The placement target dies before the publish; the failover
+		// scan starts at worker 1 (paused) and must settle on worker 2.
+		if err := cluster.KillWorker(0, now); err != nil {
+			errs <- err
+			return
+		}
+		blk := ndarray.New(1, 2, 2)
+		blk.Fill(2)
+		if _, _, err := b.Publish("G_f", []int{0, 0, 0}, blk, now); err != nil {
+			errs <- err
+			return
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got != 8 {
+		t.Fatalf("sum = %v, want 8", got)
+	}
+
+	stats := cluster.WorkerStatsAll()
+	if stats[1].StoreItems != 1 || stats[1].StoreBytes != 32 {
+		t.Fatalf("paused worker 1 absorbed the failover: %d items / %d bytes, want only its 32-byte ballast",
+			stats[1].StoreItems, stats[1].StoreBytes)
+	}
+	if stats[2].StoreItems == 0 {
+		t.Fatal("worker 2 holds nothing; the failover did not land there")
+	}
+}

@@ -30,6 +30,13 @@ import (
 //     every dependency edge has a matching dependents entry and vice
 //     versa, and dependents only reference registered tasks.
 //  7. Erred tasks carry an error; memory tasks carry non-negative bytes.
+//  8. Memory conservation (governed workers): each live worker's
+//     managed ledger equals the byte sum of its resident blocks, the
+//     spilled ledger equals the byte sum of its spilled blocks, no
+//     block sits in both tiers, no external (pinned) block was ever
+//     spilled, and the resident ledger respects the limit seen by the
+//     last governance pass — except for oversize grants, where at most
+//     one evictable block remains resident (everything else is pinned).
 //
 // A violation fails loudly: the auditor panics with the violation and the
 // tail of the full transition log, so the interleaving that produced the
@@ -273,6 +280,35 @@ func (s *scheduler) auditLocked() {
 			if !found {
 				s.failLocked("task %q lists dependent %q, which does not depend on it", st.key, dt.key)
 			}
+		}
+	}
+	s.auditMemoryLocked()
+}
+
+// auditMemoryLocked checks invariant 8 (memory conservation) on every
+// live governed worker. Dead workers are skipped: their stores are
+// unreachable and the replan already moved their tasks.
+func (s *scheduler) auditMemoryLocked() {
+	for wid, w := range s.cl.workers {
+		if s.deadWorkers[wid] || !w.governed() {
+			continue
+		}
+		mem, sumRes, spilledB, sumSp, overlap, extSpilled, evictable, lastLimit := w.memAudit()
+		if mem != sumRes {
+			s.failLocked("worker %d managed ledger %d != resident block sum %d", wid, mem, sumRes)
+		}
+		if spilledB != sumSp {
+			s.failLocked("worker %d spilled ledger %d != spilled block sum %d", wid, spilledB, sumSp)
+		}
+		if overlap {
+			s.failLocked("worker %d holds a block in both the resident and spilled tiers", wid)
+		}
+		if extSpilled {
+			s.failLocked("worker %d spilled an external (pinned) block", wid)
+		}
+		if lastLimit > 0 && mem > lastLimit && evictable > 1 {
+			s.failLocked("worker %d resident ledger %d exceeds limit %d with %d evictable blocks (not an oversize grant)",
+				wid, mem, lastLimit, evictable)
 		}
 	}
 }

@@ -143,7 +143,7 @@ func TestAuditorReleasedKeysHoldNoBytes(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Corrupt: sneak the released bytes back into the store.
-	c.workers[owner].put(id, 1.0, 8, 0)
+	c.workers[owner].put(id, 1.0, 8, 0, false)
 	s := c.sched
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -168,6 +168,26 @@ func (cl *Client) Scatter(items []ScatterItem, external bool, workerID int) erro
 	}
 	w := cl.cluster.worker(workerID)
 	depart := cl.clock.Now()
+	// Memory governance: a limited worker makes room (spilling in
+	// virtual time) before the batch ships, or refuses it entirely when
+	// a chaos window has squeezed its limit below the batch — the
+	// producer's retry/backoff turns that refusal into backpressure.
+	if w.governed() {
+		var total int64
+		for _, it := range items {
+			if it.Bytes > 0 {
+				total += it.Bytes
+			} else {
+				total += SizeOf(it.Value)
+			}
+		}
+		admitted, err := w.admit(total, depart)
+		if err != nil {
+			cl.clock.Sync(admitted)
+			return err
+		}
+		depart = admitted
+	}
 	// Data messages to the worker.
 	var lastData vtime.Time
 	if cap(cl.dataBuf) < len(items) {
@@ -183,7 +203,7 @@ func (cl *Client) Scatter(items []ScatterItem, external bool, workerID int) erro
 		// scheduler work on dense task IDs from here on.
 		id := cl.cluster.sched.intern(it.Key)
 		arrive := cl.cluster.xfer(cl.node, w.node, bytes, depart)
-		w.put(id, it.Value, bytes, arrive)
+		w.put(id, it.Value, bytes, arrive, external)
 		w.mScatter.Add(bytes)
 		if arrive > lastData {
 			lastData = arrive
@@ -242,11 +262,14 @@ func (cl *Client) Gather(futs []*Future) ([]any, error) {
 			return nil, err
 		}
 		w := cl.cluster.worker(wid)
-		e := w.get(id)
+		e := w.fetch(id, depart)
 		out[i] = e.value
 		from := depart
 		if readyAt > from {
 			from = readyAt
+		}
+		if e.readyAt > from {
+			from = e.readyAt // unspill read completes before the pull
 		}
 		arrive := cl.cluster.xfer(w.node, cl.node, bytes, from)
 		if arrive > last {

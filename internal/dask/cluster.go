@@ -6,6 +6,7 @@ import (
 
 	"deisago/internal/metrics"
 	"deisago/internal/netsim"
+	"deisago/internal/pfs"
 	"deisago/internal/taskgraph"
 	"deisago/internal/vtime"
 )
@@ -22,6 +23,7 @@ type Cluster struct {
 	schedNode netsim.NodeID
 	sched     *scheduler
 	workers   []*worker
+	spill     *pfs.FS // spill tier for memory governance (never nil)
 
 	traceMu sync.Mutex
 	trace   *tracer
@@ -39,6 +41,15 @@ func NewCluster(fabric *netsim.Fabric, cfg Config, schedNode netsim.NodeID, work
 		c.reg = metrics.NewRegistry()
 	}
 	c.counters = newCounters(c.reg)
+	c.spill = cfg.SpillFS
+	if c.spill == nil {
+		// Private spill tier so governance works out of the box. It is
+		// deliberately not attached to the metrics registry: the
+		// memory/spilled_bytes counter already accounts spill traffic,
+		// and a harness that wants pfs-level instruments passes its own
+		// SpillFS.
+		c.spill = pfs.New(pfs.DefaultConfig())
+	}
 	c.sched = newScheduler(c)
 	if auditEnvEnabled() {
 		c.sched.audit = &auditor{released: map[taskID]bool{}}
@@ -112,6 +123,25 @@ func (c *Cluster) RecordUtilization(at vtime.Time) {
 
 // Config returns the cluster's cost-model configuration.
 func (c *Cluster) Config() Config { return c.cfg }
+
+// SetWorkerMemoryWindow installs a temporary memory-limit override on
+// one worker for the virtual-time window [start, end): inside it the
+// worker's effective limit is min(WorkerMemoryLimit, limit). end <= 0
+// leaves the window open-ended. The chaos harness's memlimit event uses
+// this to squeeze a worker mid-run.
+func (c *Cluster) SetWorkerMemoryWindow(worker int, limit int64, start, end vtime.Time) {
+	c.worker(worker).installMemWindow(limit, start, end)
+}
+
+// WorkerPaused reports whether a worker sits at or above its memory
+// high watermark at the given virtual time. Producers consult it to
+// steer failover away from workers that would only bounce the scatter.
+func (c *Cluster) WorkerPaused(id int, at vtime.Time) bool {
+	if id < 0 || id >= len(c.workers) {
+		return false
+	}
+	return c.workers[id].pausedAt(at)
+}
 
 // xfer moves bytes across the fabric, adding the endpoint serialization
 // charge, and returns the arrival time.

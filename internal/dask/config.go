@@ -16,6 +16,7 @@ package dask
 
 import (
 	"deisago/internal/metrics"
+	"deisago/internal/pfs"
 	"deisago/internal/vtime"
 )
 
@@ -50,9 +51,36 @@ type Config struct {
 	Metrics *metrics.Registry
 	// SpillThresholdBytes is the per-worker memory level above which
 	// stored blocks count as spill-eligible in the worker gauges (the
-	// simulator does not spill; the gauge exposes the pressure that would
-	// trigger it). 0 means no threshold: nothing is spill-eligible.
+	// gauge exposes pressure independently of the hard limit below). 0
+	// means no threshold: nothing counts as spill-eligible for the gauge.
 	SpillThresholdBytes int64
+	// WorkerMemoryLimit is the per-worker managed-memory limit in bytes.
+	// When positive, every stored block is accounted in the worker's
+	// ledger and the least-recently-used non-external blocks are spilled
+	// to the spill tier (SpillFS) whenever the ledger exceeds the limit;
+	// spilled blocks are transparently read back on dependency gather.
+	// 0 disables governance entirely (the zero-cost fast path).
+	WorkerMemoryLimit int64
+	// WorkerHighWatermark is the pause threshold as a fraction of the
+	// effective memory limit: a worker whose ledger is at or above
+	// watermark*limit is "paused" — the scheduler stops assigning ready
+	// tasks to it and producers scattering to it back off in virtual
+	// time. <= 0 selects the default 0.8 (Dask's pause fraction).
+	WorkerHighWatermark float64
+	// SpillFS is the parallel file system blocks spill to. Spill writes
+	// and unspill reads charge virtual-time I/O costs there (block values
+	// stay in host memory; only costs are modelled). nil makes the
+	// cluster create a private pfs.FS with pfs.DefaultConfig() so
+	// governance works out of the box.
+	SpillFS *pfs.FS
+}
+
+// highWatermark returns the effective pause fraction.
+func (c Config) highWatermark() float64 {
+	if c.WorkerHighWatermark <= 0 {
+		return 0.8
+	}
+	return c.WorkerHighWatermark
 }
 
 // DefaultConfig returns parameters calibrated against Dask.distributed's

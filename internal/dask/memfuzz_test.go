@@ -1,0 +1,193 @@
+package dask
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"deisago/internal/taskgraph"
+)
+
+// FuzzMemoryGovernance drives a memory-governed cluster through random
+// interleavings of submit / scatter / publish / kill / release / gather
+// ops plus chaos-style memlimit squeeze windows, with the invariant
+// auditor on. The auditor's memory-conservation invariant (ledger ==
+// store sums, tiers disjoint, externals pinned, no silent over-limit
+// residency) panics on violation; a drain that cannot finish within the
+// watchdog is a deadlock. Run with:
+//
+//	go test -fuzz=FuzzMemoryGovernance -fuzztime=30s ./internal/dask
+func FuzzMemoryGovernance(f *testing.F) {
+	f.Add([]byte{1, 9, 1, 17, 1, 25, 7, 3, 1, 33})
+	f.Add([]byte{2, 3, 6, 40, 3, 0, 1, 8, 4, 1, 7, 2})
+	f.Add([]byte{6, 200, 1, 100, 1, 101, 5, 0, 0, 2, 3, 1, 7, 7})
+	f.Add([]byte("spill-squeeze-kill-gather"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 64 {
+			data = data[:64]
+		}
+		const limit = 256 // bytes; blocks below are 32–152 bytes
+		c, cl := testClusterMem(3, limit)
+		defer c.Close()
+		c.EnableAudit()
+
+		sum := func(in []any) (any, error) {
+			total := 0.0
+			for _, v := range in {
+				switch x := v.(type) {
+				case float64:
+					total += x
+				case []float64:
+					for _, f := range x {
+						total += f
+					}
+				}
+			}
+			return total, nil
+		}
+
+		var futs []*Future          // futures to drain at the end
+		var keys []taskgraph.Key    // every registered key, for deps/gather
+		var extKeys []taskgraph.Key // external keys needing publishes
+		bridge := c.NewClient("bridge", 1, math.Inf(1))
+		nextID := 0
+		fresh := func(prefix string) taskgraph.Key {
+			nextID++
+			return taskgraph.Key(fmt.Sprintf("%s%d", prefix, nextID))
+		}
+		liveTarget := func(b byte) (int, bool) {
+			live := c.LiveWorkers()
+			if len(live) == 0 {
+				return 0, false
+			}
+			return live[int(b)%len(live)], true
+		}
+		block := func(b byte) []float64 {
+			val := make([]float64, 4+int(b)%16)
+			for j := range val {
+				val[j] = float64(int(b)+j) * 0.5
+			}
+			return val
+		}
+
+		for i := 0; i < len(data); i++ {
+			op := data[i] % 8
+			arg := byte(0)
+			if i+1 < len(data) {
+				arg = data[i+1]
+			}
+			switch op {
+			case 0: // submit a small chain over random known keys
+				g := taskgraph.New()
+				var deps []taskgraph.Key
+				if len(keys) > 0 {
+					deps = append(deps, keys[int(arg)%len(keys)])
+				}
+				k1 := fresh("t")
+				g.AddFn(k1, deps, sum, 1e-5)
+				k2 := fresh("t")
+				g.AddFn(k2, []taskgraph.Key{k1}, sum, 1e-5)
+				fs, err := cl.Submit(g, []taskgraph.Key{k2})
+				if err != nil {
+					continue // e.g. dep was released concurrently
+				}
+				keys = append(keys, k1, k2)
+				futs = append(futs, fs...)
+			case 1: // scatter a plain block (spill fodder; refusal under a squeeze is fine)
+				if w, ok := liveTarget(arg >> 2); ok {
+					k := fresh("blk")
+					if err := cl.Scatter([]ScatterItem{{Key: k, Value: block(arg)}}, false, w); err == nil {
+						keys = append(keys, k)
+						futs = append(futs, &Future{Key: k, client: cl})
+					}
+				}
+			case 2: // create an external task
+				k := fresh("ext")
+				fs, err := cl.ExternalFutures([]taskgraph.Key{k})
+				if err != nil {
+					continue
+				}
+				keys = append(keys, k)
+				extKeys = append(extKeys, k)
+				futs = append(futs, fs...)
+			case 3: // publish one pending external key (pinned resident)
+				if len(extKeys) == 0 {
+					continue
+				}
+				k := extKeys[int(arg)%len(extKeys)]
+				if st, ok := c.TaskState(k); !ok || st != StateExternal {
+					continue
+				}
+				if w, ok := liveTarget(arg); ok {
+					_ = bridge.Scatter([]ScatterItem{{Key: k, Value: block(arg)}}, true, w)
+				}
+			case 4: // kill a live worker, keeping one survivor
+				live := c.LiveWorkers()
+				if len(live) < 2 {
+					continue
+				}
+				_ = c.KillWorker(live[int(arg)%len(live)], cl.Now())
+			case 5: // release a completed future (waiting on an unpublished
+				// external's dependents here would block past the watchdog)
+				if len(futs) == 0 {
+					continue
+				}
+				fu := futs[int(arg)%len(futs)]
+				if !fu.Done() {
+					continue
+				}
+				_ = cl.Wait([]*Future{fu})
+				_ = cl.Release([]*Future{fu})
+			case 6: // chaos-style squeeze window on a random worker (bounded)
+				w := int(arg>>4) % 3
+				squeeze := int64(16 + int(arg)*2)
+				now := cl.Now()
+				c.SetWorkerMemoryWindow(w, squeeze, now, now+0.5)
+			case 7: // gather a completed future (exercises the unspill path)
+				if len(futs) == 0 {
+					continue
+				}
+				fu := futs[int(arg)%len(futs)]
+				if !fu.Done() {
+					continue
+				}
+				_, _ = cl.Gather([]*Future{fu})
+			}
+		}
+
+		// Drain: republish anything still external (kills can no longer
+		// fire; refusals under a still-open squeeze window carry the
+		// bridge clock past the window, so retries converge), then wait
+		// for every future under a deadlock watchdog.
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for pass := 0; pass < len(extKeys)+len(data)+2; pass++ {
+				n := 0
+				for _, k := range extKeys {
+					if st, ok := c.TaskState(k); ok && st == StateExternal {
+						if w, ok := liveTarget(byte(pass)); ok {
+							_ = bridge.Scatter([]ScatterItem{{Key: k, Value: 1.0}}, true, w)
+							n++
+						}
+					}
+				}
+				if n == 0 {
+					break
+				}
+			}
+			for _, fu := range futs {
+				_ = cl.Wait([]*Future{fu}) // erred/released is fine; hanging is not
+			}
+		}()
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatalf("scheduler deadlocked draining %d futures (ops=%v)", len(futs), data)
+		}
+		if len(c.AuditLog()) == 0 && len(keys) > 0 {
+			t.Fatal("auditor recorded nothing despite registered tasks")
+		}
+	})
+}

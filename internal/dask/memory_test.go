@@ -1,0 +1,436 @@
+package dask
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"deisago/internal/netsim"
+	"deisago/internal/taskgraph"
+)
+
+// testClusterMem is testClusterQuick with worker memory governance on.
+func testClusterMem(nWorkers int, limit int64) (*Cluster, *Client) {
+	cfg := netsim.Config{
+		NodesPerSwitch:  8,
+		LinkBandwidth:   1e9,
+		PruneFactor:     2,
+		HopLatency:      1e-6,
+		SoftwareLatency: 1e-5,
+	}
+	fabric := netsim.New(cfg, nWorkers+2)
+	wnodes := make([]netsim.NodeID, nWorkers)
+	for i := range wnodes {
+		wnodes[i] = netsim.NodeID(i + 2)
+	}
+	dcfg := DefaultConfig()
+	dcfg.WorkerMemoryLimit = limit
+	c := NewCluster(fabric, dcfg, 0, wnodes)
+	return c, c.NewClient("client", 1, math.Inf(1))
+}
+
+// checkLedger asserts invariant 8 by hand on every live worker: ledgers
+// match the map sums, the tiers are disjoint, no pinned block spilled,
+// and any over-limit residency is an oversize grant.
+func checkLedger(t *testing.T, c *Cluster, limit int64) {
+	t.Helper()
+	for wid, w := range c.workers {
+		if !c.WorkerAlive(wid) {
+			continue
+		}
+		mem, sumRes, spilledB, sumSp, overlap, extSpilled, evictable, _ := w.memAudit()
+		if mem != sumRes {
+			t.Fatalf("worker %d: ledger %d != resident sum %d", wid, mem, sumRes)
+		}
+		if spilledB != sumSp {
+			t.Fatalf("worker %d: spilled ledger %d != spilled sum %d", wid, spilledB, sumSp)
+		}
+		if overlap {
+			t.Fatalf("worker %d: block resident and spilled at once", wid)
+		}
+		if extSpilled {
+			t.Fatalf("worker %d: external block was spilled", wid)
+		}
+		if limit > 0 && mem > limit && evictable > 1 {
+			t.Fatalf("worker %d: %d bytes resident over limit %d with %d evictable blocks", wid, mem, limit, evictable)
+		}
+	}
+}
+
+func TestSpillAndUnspillRoundTrip(t *testing.T) {
+	const limit = 64 // two 32-byte blocks
+	c, cl := testClusterMem(1, limit)
+	defer c.Close()
+	c.EnableAudit()
+
+	blocks := map[taskgraph.Key][]float64{
+		"a": {1, 2, 3, 4},
+		"b": {5, 6, 7, 8},
+		"c": {9, 10, 11, 12},
+	}
+	for _, k := range []taskgraph.Key{"a", "b", "c"} {
+		if err := cl.Scatter([]ScatterItem{{Key: k, Value: blocks[k]}}, false, 0); err != nil {
+			t.Fatalf("scatter %s: %v", k, err)
+		}
+		checkLedger(t, c, limit)
+	}
+	st := c.WorkerStatsAll()[0]
+	if st.StoreBytes > limit {
+		t.Fatalf("resident %d bytes exceeds limit %d", st.StoreBytes, limit)
+	}
+	if st.SpilledItems != 1 || st.SpilledBytes != 32 {
+		t.Fatalf("want 1 spilled block of 32 bytes, got %d of %d", st.SpilledItems, st.SpilledBytes)
+	}
+	// "a" was the least recently used, so it is the one on the PFS.
+	ida := c.sched.intern("a")
+	if _, resident := c.workers[0].store[ida]; resident {
+		t.Fatal("expected block a to be spilled, found it resident")
+	}
+	sp := c.Metrics().Counter("memory", "spill_events").Load()
+	if sp != 1 {
+		t.Fatalf("memory/spill_events = %d, want 1", sp)
+	}
+
+	// Gathering a spilled block unspills it transparently and the value
+	// comes back bit-identical; the unspill may push another block out.
+	before := cl.Now()
+	for _, k := range []taskgraph.Key{"a", "b", "c"} {
+		vals, err := cl.Gather([]*Future{{Key: k, client: cl}})
+		if err != nil {
+			t.Fatalf("gather %s: %v", k, err)
+		}
+		got := vals[0].([]float64)
+		want := blocks[k]
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("gather %s: element %d = %v, want %v", k, i, got[i], want[i])
+			}
+		}
+		checkLedger(t, c, limit)
+	}
+	if cl.Now() <= before {
+		t.Fatal("unspill reads charged no virtual time")
+	}
+}
+
+func TestScatterBackpressureWindow(t *testing.T) {
+	c, cl := testClusterQuick(1)
+	defer c.Close()
+	c.EnableAudit()
+
+	// No base limit; a chaos-style window squeezes worker 0 below one
+	// block for [0, 5). The scatter is refused and the client clock is
+	// carried to the window end, so the retry lands past the squeeze.
+	c.SetWorkerMemoryWindow(0, 16, 0, 5)
+	err := cl.Scatter([]ScatterItem{{Key: "x", Value: []float64{1, 2, 3, 4}}}, false, 0)
+	if !errors.Is(err, ErrWorkerPaused) {
+		t.Fatalf("scatter under squeeze: got %v, want ErrWorkerPaused", err)
+	}
+	if now := cl.Now(); now < 5 {
+		t.Fatalf("client clock %v after refusal, want >= window end 5", now)
+	}
+	if err := cl.Scatter([]ScatterItem{{Key: "x", Value: []float64{1, 2, 3, 4}}}, false, 0); err != nil {
+		t.Fatalf("scatter after window: %v", err)
+	}
+	if got := c.WorkerStatsAll()[0].StoreBytes; got != 32 {
+		t.Fatalf("resident bytes = %d, want 32", got)
+	}
+}
+
+func TestOversizeSingleBlockGrant(t *testing.T) {
+	const limit = 64
+	c, cl := testClusterMem(1, limit)
+	defer c.Close()
+	c.EnableAudit()
+
+	// A single block larger than the limit must be admitted (there is
+	// nowhere else for it to go) and the auditor must accept the state
+	// as an oversize grant.
+	big := make([]float64, 16) // 128 bytes
+	if err := cl.Scatter([]ScatterItem{{Key: "big", Value: big}}, false, 0); err != nil {
+		t.Fatalf("oversize scatter: %v", err)
+	}
+	st := c.WorkerStatsAll()[0]
+	if st.StoreBytes != 128 || st.SpilledItems != 0 {
+		t.Fatalf("want 128 resident / 0 spilled, got %d / %d", st.StoreBytes, st.SpilledItems)
+	}
+	checkLedger(t, c, limit)
+}
+
+func TestExternalBlocksArePinned(t *testing.T) {
+	const limit = 64
+	c, cl := testClusterMem(1, limit)
+	defer c.Close()
+	c.EnableAudit()
+
+	keys := []taskgraph.Key{"e1", "e2", "e3"}
+	if _, err := cl.ExternalFutures(keys); err != nil {
+		t.Fatal(err)
+	}
+	bridge := c.NewClient("bridge", 1, math.Inf(1))
+	for _, k := range keys {
+		if err := bridge.Scatter([]ScatterItem{{Key: k, Value: []float64{1, 2, 3, 4}}}, true, 0); err != nil {
+			t.Fatalf("publish %s: %v", k, err)
+		}
+	}
+	// 96 pinned bytes sit over the 64-byte limit and none may spill.
+	st := c.WorkerStatsAll()[0]
+	if st.StoreBytes != 96 || st.SpilledItems != 0 {
+		t.Fatalf("want 96 resident / 0 spilled, got %d / %d", st.StoreBytes, st.SpilledItems)
+	}
+	checkLedger(t, c, limit)
+
+	// Plain data still flows: the first plain block is granted, and a
+	// second one evicts it (the only unpinned block) to the PFS.
+	if err := cl.Scatter([]ScatterItem{{Key: "p1", Value: []float64{1, 2, 3, 4}}}, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Scatter([]ScatterItem{{Key: "p2", Value: []float64{5, 6, 7, 8}}}, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	st = c.WorkerStatsAll()[0]
+	if st.SpilledItems != 1 {
+		t.Fatalf("want the older plain block spilled, got %d spilled", st.SpilledItems)
+	}
+	checkLedger(t, c, limit)
+}
+
+func TestSchedulerSkipsPausedWorker(t *testing.T) {
+	const limit = 64
+	c, cl := testClusterMem(2, limit)
+	defer c.Close()
+	c.EnableAudit()
+
+	// Pin worker 0 above its watermark (0.8 * 64 = 51.2 bytes) with
+	// published external data.
+	if _, err := cl.ExternalFutures([]taskgraph.Key{"ext"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Scatter([]ScatterItem{{Key: "ext", Value: make([]float64, 8)}}, true, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !c.WorkerPaused(0, cl.Now()) {
+		t.Fatal("worker 0 should be paused at 64/64 bytes")
+	}
+	if c.WorkerPaused(1, cl.Now()) {
+		t.Fatal("worker 1 should not be paused")
+	}
+
+	// Independent tasks (no locality pull) must all land on worker 1.
+	g := taskgraph.New()
+	targets := make([]taskgraph.Key, 6)
+	for i := range targets {
+		k := taskgraph.Key(fmt.Sprintf("t%d", i))
+		g.AddFn(k, nil, func([]any) (any, error) { return 1.0, nil }, 1e-5)
+		targets[i] = k
+	}
+	futs, err := cl.Submit(g, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Wait(futs); err != nil {
+		t.Fatal(err)
+	}
+	stats := c.WorkerStatsAll()
+	if stats[0].Executed != 0 {
+		t.Fatalf("paused worker 0 executed %d tasks, want 0", stats[0].Executed)
+	}
+	if stats[1].Executed != int64(len(targets)) {
+		t.Fatalf("worker 1 executed %d tasks, want %d", stats[1].Executed, len(targets))
+	}
+}
+
+func TestAllWorkersPausedStillSchedules(t *testing.T) {
+	const limit = 64
+	c, cl := testClusterMem(1, limit)
+	defer c.Close()
+	c.EnableAudit()
+
+	// The only worker is paused; liveness requires assignment anyway.
+	if _, err := cl.ExternalFutures([]taskgraph.Key{"ext"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Scatter([]ScatterItem{{Key: "ext", Value: make([]float64, 8)}}, true, 0); err != nil {
+		t.Fatal(err)
+	}
+	g := taskgraph.New()
+	g.AddFn("t", nil, func([]any) (any, error) { return 2.0, nil }, 1e-5)
+	futs, err := cl.Submit(g, []taskgraph.Key{"t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := cl.Gather(futs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0].(float64) != 2.0 {
+		t.Fatalf("got %v, want 2", vals[0])
+	}
+	checkLedger(t, c, limit)
+}
+
+// TestMemoryGovernanceTwinProperty drives a governed cluster and an
+// unlimited twin through the same random store/evict/gather workload:
+// analytics values and final block contents must be bit-identical, and
+// the governed ledgers must conserve at every step.
+func TestMemoryGovernanceTwinProperty(t *testing.T) {
+	const limit = 96
+	prop := func(ops []byte) bool {
+		if len(ops) > 48 {
+			ops = ops[:48]
+		}
+		gc, gcl := testClusterMem(2, limit)
+		defer gc.Close()
+		gc.EnableAudit()
+		uc, ucl := testClusterQuick(2)
+		defer uc.Close()
+		uc.EnableAudit()
+
+		sum := func(in []any) (any, error) {
+			total := 0.0
+			for _, v := range in {
+				switch x := v.(type) {
+				case float64:
+					total += x
+				case []float64:
+					for _, f := range x {
+						total += f
+					}
+				}
+			}
+			return total, nil
+		}
+
+		var keys []taskgraph.Key     // scattered block keys
+		var taskKeys []taskgraph.Key // submitted task keys
+		nextID := 0
+		for i := 0; i < len(ops); i++ {
+			op := ops[i] % 4
+			arg := byte(0)
+			if i+1 < len(ops) {
+				arg = ops[i+1]
+			}
+			switch op {
+			case 0: // scatter a block derived from the op stream
+				nextID++
+				k := taskgraph.Key(fmt.Sprintf("blk%d", nextID))
+				val := make([]float64, 4+int(arg)%8)
+				for j := range val {
+					val[j] = float64(int(arg)+j) * 1.5
+				}
+				w := int(arg) % 2
+				if err := gcl.Scatter([]ScatterItem{{Key: k, Value: val}}, false, w); err != nil {
+					t.Logf("op %d: governed scatter %s: %v", i, k, err)
+					return false
+				}
+				if err := ucl.Scatter([]ScatterItem{{Key: k, Value: val}}, false, w); err != nil {
+					t.Logf("op %d: unlimited scatter %s: %v", i, k, err)
+					return false
+				}
+				keys = append(keys, k)
+			case 1: // submit a task over a random block
+				if len(keys) == 0 {
+					continue
+				}
+				dep := keys[int(arg)%len(keys)]
+				nextID++
+				k := taskgraph.Key(fmt.Sprintf("task%d", nextID))
+				for _, pair := range []struct {
+					cl *Client
+				}{{gcl}, {ucl}} {
+					g := taskgraph.New()
+					g.AddFn(k, []taskgraph.Key{dep}, sum, 1e-5)
+					if _, err := pair.cl.Submit(g, []taskgraph.Key{k}); err != nil {
+						t.Logf("op %d: submit %s: %v", i, k, err)
+						return false
+					}
+				}
+				taskKeys = append(taskKeys, k)
+			case 2: // gather one task result on both and compare bits
+				if len(taskKeys) == 0 {
+					continue
+				}
+				k := taskKeys[int(arg)%len(taskKeys)]
+				gv, gerr := gcl.Gather([]*Future{{Key: k, client: gcl}})
+				uv, uerr := ucl.Gather([]*Future{{Key: k, client: ucl}})
+				if (gerr == nil) != (uerr == nil) {
+					t.Logf("op %d: gather %s: governed err %v vs unlimited err %v", i, k, gerr, uerr)
+					return false
+				}
+				if gerr == nil && gv[0].(float64) != uv[0].(float64) {
+					t.Logf("op %d: gather %s: %v vs %v", i, k, gv[0], uv[0])
+					return false
+				}
+			case 3: // release one task result on both
+				if len(taskKeys) == 0 {
+					continue
+				}
+				k := taskKeys[int(arg)%len(taskKeys)]
+				_ = gcl.Wait([]*Future{{Key: k, client: gcl}})
+				_ = ucl.Wait([]*Future{{Key: k, client: ucl}})
+				_ = gcl.Release([]*Future{{Key: k, client: gcl}})
+				_ = ucl.Release([]*Future{{Key: k, client: ucl}})
+			}
+			checkLedger(t, gc, limit)
+		}
+
+		// Barrier: both twins drain all surviving tasks before comparison
+		// (errors are released/unknown keys, which compare by state below).
+		for _, k := range taskKeys {
+			_ = gcl.Wait([]*Future{{Key: k, client: gcl}})
+			_ = ucl.Wait([]*Future{{Key: k, client: ucl}})
+		}
+
+		// Final comparison: every surviving task value and every block's
+		// contents must be bit-identical across the twins, spills or not.
+		for _, k := range taskKeys {
+			gst, gok := gc.TaskState(k)
+			ust, uok := uc.TaskState(k)
+			if gok != uok || (gok && gst != ust) {
+				t.Logf("final: task %s state %v/%v vs %v/%v", k, gst, gok, ust, uok)
+				return false
+			}
+			if !gok || gst != StateMemory {
+				continue
+			}
+			gv, gerr := gcl.Gather([]*Future{{Key: k, client: gcl}})
+			uv, uerr := ucl.Gather([]*Future{{Key: k, client: ucl}})
+			if gerr != nil || uerr != nil || gv[0].(float64) != uv[0].(float64) {
+				t.Logf("final: task %s gather %v (%v) vs %v (%v)", k, gv, gerr, uv, uerr)
+				return false
+			}
+		}
+		for _, k := range keys {
+			_, gid, _, _, gerr := gc.sched.locate(k)
+			_, uid, _, _, uerr := uc.sched.locate(k)
+			if (gerr == nil) != (uerr == nil) {
+				t.Logf("final: block %s locate: %v vs %v", k, gerr, uerr)
+				return false
+			}
+			if gerr != nil {
+				continue
+			}
+			gwid, _, _, _, _ := gc.sched.locate(k)
+			uwid, _, _, _, _ := uc.sched.locate(k)
+			gb := gc.workers[gwid].get(gid).value.([]float64)
+			ub := uc.workers[uwid].get(uid).value.([]float64)
+			if len(gb) != len(ub) {
+				t.Logf("final: block %s length %d vs %d", k, len(gb), len(ub))
+				return false
+			}
+			for j := range gb {
+				if gb[j] != ub[j] {
+					t.Logf("final: block %s element %d: %v vs %v", k, j, gb[j], ub[j])
+					return false
+				}
+			}
+		}
+		checkLedger(t, gc, limit)
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -18,6 +18,13 @@ import (
 // errors.Is and retry on another worker.
 var ErrWorkerDied = errors.New("dask: worker died")
 
+// ErrWorkerPaused reports a scatter refused by memory governance: the
+// target worker cannot fit the batch under a chaos-squeezed memory
+// limit even after spilling everything evictable. Producers match it
+// with errors.Is and back off in virtual time — memlimit windows are
+// time-bounded, so the retry eventually lands past the squeeze.
+var ErrWorkerPaused = errors.New("dask: worker paused (memory watermark)")
+
 // KillWorker removes a worker from the cluster at the given virtual
 // time: its queued assignments are abandoned, its stored results are
 // lost, and the scheduler re-plans affected tasks. At least one live

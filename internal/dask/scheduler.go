@@ -684,6 +684,9 @@ func (s *scheduler) assignLocked(st *schedTask, departAt vtime.Time) {
 	s.assignTouched = touched
 	best, bestBytes := -1, int64(-1)
 	for _, w := range touched {
+		if s.cl.workers[w].pausedAt(departAt) {
+			continue // above its memory watermark: let it drain
+		}
 		if b := s.assignBytes[w]; b > bestBytes || (b == bestBytes && w < best) {
 			best, bestBytes = w, b
 		}
@@ -693,8 +696,34 @@ func (s *scheduler) assignLocked(st *schedTask, departAt vtime.Time) {
 		if len(live) == 0 {
 			panic("dask: no live workers")
 		}
-		best = live[s.rr%len(live)]
-		s.rr++
+		// Round-robin over live workers, skipping paused ones (the
+		// pausedAt probe is a single relaxed load on ungoverned
+		// clusters, so the unmanaged hot path is unchanged).
+		for i := range live {
+			cand := live[(s.rr+i)%len(live)]
+			if !s.cl.workers[cand].pausedAt(departAt) {
+				best = cand
+				s.rr += i + 1
+				break
+			}
+		}
+		if best == -1 {
+			// Every live worker is paused. Stalling the ready queue
+			// would deadlock the run, so take the least-loaded ledger:
+			// liveness beats strictness, and the auditor still bounds
+			// the overrun to oversize grants.
+			var bestMem int64
+			for i, cand := range live {
+				cw := s.cl.workers[cand]
+				cw.storeMu.RLock()
+				mem := cw.memBytes
+				cw.storeMu.RUnlock()
+				if i == 0 || mem < bestMem {
+					best, bestMem = cand, mem
+				}
+			}
+			s.rr++
+		}
 	}
 	st.worker = best
 	s.setStateLocked(st, StateProcessing)

@@ -21,9 +21,15 @@ func SizeOf(v any) int64 {
 		return n
 	case []byte:
 		return int64(len(x))
+	case []float32:
+		return int64(len(x)) * 4
+	case []int:
+		return int64(len(x)) * 8
+	case []int64:
+		return int64(len(x)) * 8
 	case string:
 		return int64(len(x))
-	case float64, int, int64, bool:
+	case float64, float32, int, int32, int64, bool:
 		return 8
 	case Sized:
 		return x.SizeBytes()

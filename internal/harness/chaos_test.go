@@ -76,6 +76,62 @@ func TestChaosAcceptance(t *testing.T) {
 	}
 }
 
+// TestChaosMemoryGovernanceAcceptance is the memory-governance
+// acceptance criterion: the same seeded scenario run with a per-worker
+// memory limit draws an additional memlimit squeeze window, and the
+// compound plan (kills + squeeze) still completes bit-identical to the
+// fault-free governed run with the auditor on — spills, backpressure
+// stalls, and failovers shift timing only, never values. The event log,
+// squeeze included, must reproduce across runs.
+func TestChaosMemoryGovernanceAcceptance(t *testing.T) {
+	opts := QuickOptions()
+	cfg := ChaosScenarioConfig(opts, 4, 4)
+	cfg.WorkerMemoryLimit = 16 << 20
+	plan, err := chaos.NewRandomPlan(7, ChaosSpec(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[chaos.Kind]int{}
+	for _, e := range plan.Events {
+		counts[e.Kind]++
+	}
+	if counts[chaos.KindKillWorker] < 2 || counts[chaos.KindMemLimit] != 1 {
+		t.Fatalf("plan %s lacks kills + memlimit: %v", plan, counts)
+	}
+
+	report, err := RunChaos(cfg, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Identical {
+		t.Fatalf("analytics diverged under memory pressure, plan %s:\n%s", plan, report.Format())
+	}
+	squeezes := 0
+	for _, e := range report.Faulty.ChaosLog {
+		if e.Kind == "memlimit" {
+			squeezes++
+		}
+	}
+	if squeezes != 1 {
+		t.Fatalf("want exactly 1 memlimit entry in the log, got %d: %v", squeezes, report.Faulty.ChaosLog)
+	}
+
+	// Reproducibility: seed and limit together pin plan and log.
+	faulty := cfg
+	faulty.ChaosPlan = plan
+	again, err := Run(faulty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(report.Faulty.ChaosLog, again.ChaosLog) {
+		t.Fatalf("event log not reproducible:\nfirst:  %v\nsecond: %v",
+			report.Faulty.ChaosLog, again.ChaosLog)
+	}
+	if !identicalAnalytics(report.Faulty, again) {
+		t.Fatal("repeated governed chaos run diverged from itself")
+	}
+}
+
 // TestChaosExplicitPlanDSL runs a hand-written DSL plan end to end.
 func TestChaosExplicitPlanDSL(t *testing.T) {
 	opts := QuickOptions()

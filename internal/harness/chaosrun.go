@@ -31,7 +31,10 @@ func ChaosScenarioConfig(o Options, ranks, workers int) Config {
 // ChaosSpec bounds a random plan to the scenario: two worker kills (or
 // as many as leave a survivor), one degraded link, one dropped and one
 // delayed publish — the compound-failure shape of the acceptance
-// criteria.
+// criteria. When the scenario runs with worker memory governance
+// (cfg.WorkerMemoryLimit > 0) the spec additionally draws one memlimit
+// squeeze window scaled to the block size; ungoverned scenarios draw
+// none, so plans from pre-memlimit seeds stay byte-identical.
 func ChaosSpec(cfg Config) chaos.Spec {
 	kills := 2
 	if kills > cfg.Workers-1 {
@@ -41,7 +44,7 @@ func ChaosSpec(cfg Config) chaos.Spec {
 	// that carries no scenario traffic degrades nothing, which is still
 	// a valid (timing-only) fault.
 	nodes := []netsim.NodeID{0, 1, 2, 3}
-	return chaos.Spec{
+	spec := chaos.Spec{
 		Workers:  cfg.Workers,
 		Ranks:    cfg.Ranks,
 		Steps:    cfg.Timesteps,
@@ -51,6 +54,11 @@ func ChaosSpec(cfg Config) chaos.Spec {
 		Drops:    1,
 		Delays:   1,
 	}
+	if cfg.WorkerMemoryLimit > 0 {
+		spec.MemLimits = 1
+		spec.MemBytes = cfg.BlockBytes
+	}
+	return spec
 }
 
 // ChaosReport compares a faulty run against its fault-free twin.

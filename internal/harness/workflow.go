@@ -55,6 +55,12 @@ type Config struct {
 	FuseGraphs bool
 	// EnableTrace records task-execution spans (Result.Trace).
 	EnableTrace bool
+	// WorkerMemoryLimit, when positive, caps each Dask worker's managed
+	// memory: blocks beyond the limit spill to the parallel file system
+	// (LRU, virtual-time I/O costs) and producers scattering into a
+	// worker above its high watermark block in virtual time. 0 keeps
+	// the historical unlimited workers.
+	WorkerMemoryLimit int64
 	// ChaosPlan, when non-nil, runs the scenario under deterministic
 	// fault injection: the scheduler invariant auditor is enabled, the
 	// plan's link faults are installed on the fabric, a chaos controller
@@ -244,6 +250,7 @@ func setup(cfg Config) (*env, error) {
 func (e *env) daskConfig() dask.Config {
 	d := e.cfg.Model.Dask
 	d.MetadataEntryCost = e.cfg.Model.MetaEntryCost
+	d.WorkerMemoryLimit = e.cfg.WorkerMemoryLimit
 	return d
 }
 

@@ -2,8 +2,9 @@
 # Pre-PR gate: formatting, vet, full tests, a race-detector pass over
 # the packages with parallel kernels or concurrent runtime machinery
 # (with the scheduler invariant auditor on and a fixed chaos seed), and
-# a short fuzz smoke of the scheduler auditor, then a bench-regression
-# gate over the scheduler scalability suite (see BENCH_SCHED.json).
+# short fuzz smokes of the scheduler auditor and the worker memory
+# governor, then a bench-regression gate over the scheduler scalability
+# suite (see BENCH_SCHED.json).
 # Usage: ./scripts/check.sh
 set -eu
 
@@ -41,11 +42,11 @@ DEISA_AUDIT=1 go test -race \
 
 echo "== coverage gate =="
 # internal/metrics is the observability substrate every claim-checking
-# test leans on; hold it at >= 90%. The repo-wide floor is the total
-# statement coverage measured just before the metrics layer landed —
-# keep it from regressing.
+# test leans on; hold it at >= 90%. The repo-wide floor tracks the total
+# statement coverage as it rises PR over PR (80.8 pre-metrics, 83.0
+# after the memory-governance battery) — keep it from regressing.
 METRICS_MIN=90.0
-REPO_MIN=80.8
+REPO_MIN=83.0
 metrics_cov=$(go test -cover ./internal/metrics | awk '
     /coverage:/ { for (i = 1; i <= NF; i++) if ($i == "coverage:") { sub(/%.*/, "", $(i+1)); print $(i+1); exit } }')
 profile=$(mktemp)
@@ -68,12 +69,20 @@ go test -count=1 -run 'TestGolden' ./internal/harness
 echo "== fuzz smoke: scheduler auditor =="
 go test -fuzz=FuzzSchedulerAudit -fuzztime=5s -run '^$' ./internal/dask
 
+echo "== fuzz smoke: memory governance =="
+# Random op interleavings on a memory-limited cluster with chaos-style
+# squeeze windows; the auditor's memory-conservation invariant panics on
+# any ledger drift, tier overlap, or pinned-block spill.
+go test -fuzz=FuzzMemoryGovernance -fuzztime=5s -run '^$' ./internal/dask
+
 echo "== scheduler bench regression gate =="
 # Compare a fresh T x R sweep against the pr4 baselines in
 # BENCH_SCHED.json; benchgate fails on >15% ns/task growth or any
 # allocs/task regression. -benchtime 5x keeps the sweep fast; the
-# baselines carry enough headroom for short-run timing noise.
-go test -run xxx -bench 'BenchmarkSched(Submit|Drive)' -benchtime 5x ./internal/dask \
+# baselines carry enough headroom for short-run timing noise. The
+# SpillPath pair rides along: zero_spill pins "governance is free when
+# nothing spills", spill_heavy bounds the spill/unspill machinery.
+go test -run xxx -bench 'BenchmarkSched(Submit|Drive)|BenchmarkSpillPath' -benchtime 5x ./internal/dask \
     | go run ./scripts/benchgate -baseline BENCH_SCHED.json
 
 echo "== harness parallel-determinism gate (-race) =="
