@@ -64,6 +64,11 @@ type BridgeConfig struct {
 	// attempt and may drop or delay it (fault injection). Leave nil for
 	// fault-free runs — beware assigning a typed nil.
 	Interceptor PublishInterceptor
+	// TieBreak, when non-nil, chooses the failover target among all
+	// live non-paused workers instead of the first one in scan order
+	// (schedule-space exploration; see dask.TieBreaker). nil keeps the
+	// deterministic production scan.
+	TieBreak dask.TieBreaker
 }
 
 // Bridge is the simulation-side endpoint of the coupling: one per MPI
@@ -316,6 +321,7 @@ func (b *Bridge) scatterExternal(key taskgraph.Key, data *ndarray.Array, step, w
 		if !b.cfg.Cluster.WorkerAlive(target) {
 			target = -1
 			firstLive := -1
+			var unpaused []int
 			n := b.cfg.Cluster.NumWorkers()
 			now := b.client.Now()
 			for k := 1; k < n; k++ {
@@ -326,10 +332,25 @@ func (b *Bridge) scatterExternal(key taskgraph.Key, data *ndarray.Array, step, w
 				if firstLive < 0 {
 					firstLive = cand
 				}
-				if !b.cfg.Cluster.WorkerPaused(cand, now) {
+				if b.cfg.Cluster.WorkerPaused(cand, now) {
+					continue
+				}
+				if b.cfg.TieBreak == nil {
 					target = cand
 					break
 				}
+				unpaused = append(unpaused, cand)
+			}
+			if tb := b.cfg.TieBreak; tb != nil && len(unpaused) > 0 {
+				// Any live non-paused worker is a legal target; the
+				// breaker chooses among them in ascending-id order.
+				sort.Ints(unpaused)
+				pick := tb.Pick(dask.Decision{Point: dask.PointFailover,
+					Key: fmt.Sprintf("%s#%d", key, attempt), N: len(unpaused)})
+				if pick < 0 || pick >= len(unpaused) {
+					pick = 0
+				}
+				target = unpaused[pick]
 			}
 			if target < 0 {
 				target = firstLive

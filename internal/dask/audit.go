@@ -50,18 +50,31 @@ import (
 // stateNone marks task creation in the transition log (no prior state).
 const stateNone State = -1
 
-// Transition is one audited scheduler state change.
+// Transition is one audited scheduler state change. An entry with an
+// empty Key and both states stateNone is a worker-death marker: the
+// scheduler recorded worker Worker leaving its liveness view, so an
+// offline replay (the simtest reference model) tracks the same dead set
+// the production invariants were checked against.
 type Transition struct {
 	Op     string // scheduler operation that caused the change
 	Key    taskgraph.Key
 	From   State // stateNone on task creation
 	To     State
-	Worker int // owner/assignee after the change; -1 none
+	Worker int   // owner/assignee after the change; -1 none
+	Bytes  int64 // result size after the change (memory states)
 	At     vtime.Time
+}
+
+// WorkerDeath reports whether this entry is a worker-death marker.
+func (tr Transition) WorkerDeath() bool {
+	return tr.Key == "" && tr.From == stateNone && tr.To == stateNone
 }
 
 // String formats one transition.
 func (tr Transition) String() string {
+	if tr.WorkerDeath() {
+		return fmt.Sprintf("[%s] worker %d died (t=%.6f)", tr.Op, tr.Worker, tr.At)
+	}
 	from := "·"
 	if tr.From != stateNone {
 		from = tr.From.String()
@@ -121,6 +134,18 @@ func (c *Cluster) AuditLog() []Transition {
 	return append([]Transition(nil), c.sched.audit.log...)
 }
 
+// AuditTruncated returns how many old transition-log entries were
+// discarded to the log cap. Replays that need the complete history
+// (the simtest reference model) refuse truncated logs.
+func (c *Cluster) AuditTruncated() int64 {
+	c.sched.mu.Lock()
+	defer c.sched.mu.Unlock()
+	if c.sched.audit == nil {
+		return 0
+	}
+	return c.sched.audit.truncated
+}
+
 // beginOpLocked tags the mutation in progress for transition records
 // and stamps the mutation time for metric gauges.
 func (s *scheduler) beginOpLocked(op string, at vtime.Time) {
@@ -132,6 +157,16 @@ func (s *scheduler) beginOpLocked(op string, at vtime.Time) {
 	s.audit.at = at
 }
 
+// appendLocked adds one entry to the bounded transition log.
+func (a *auditor) appendLocked(tr Transition) {
+	if len(a.log) >= auditLogCap {
+		drop := auditLogCap / 4
+		a.truncated += int64(drop)
+		a.log = append(a.log[:0], a.log[drop:]...)
+	}
+	a.log = append(a.log, tr)
+}
+
 // recordLocked appends one transition to the log. Call with s.mu held,
 // after the task's state/worker fields are updated.
 func (s *scheduler) recordLocked(st *schedTask, from State) {
@@ -139,17 +174,23 @@ func (s *scheduler) recordLocked(st *schedTask, from State) {
 	if a == nil {
 		return
 	}
-	if len(a.log) >= auditLogCap {
-		drop := auditLogCap / 4
-		a.truncated += int64(drop)
-		a.log = append(a.log[:0], a.log[drop:]...)
-	}
-	a.log = append(a.log, Transition{
-		Op: a.op, Key: st.key, From: from, To: st.state, Worker: st.worker, At: a.at,
+	a.appendLocked(Transition{
+		Op: a.op, Key: st.key, From: from, To: st.state, Worker: st.worker,
+		Bytes: st.bytes, At: a.at,
 	})
 	if st.state != stateNone {
 		delete(a.released, st.id) // key re-registered
 	}
+}
+
+// recordWorkerDeadLocked appends a worker-death marker, so replays of
+// the log track the scheduler's liveness view at each point.
+func (s *scheduler) recordWorkerDeadLocked(id int) {
+	a := s.audit
+	if a == nil {
+		return
+	}
+	a.appendLocked(Transition{Op: a.op, From: stateNone, To: stateNone, Worker: id, At: a.at})
 }
 
 // setStateLocked transitions a task, records it in the audit log, and

@@ -73,6 +73,12 @@ type Config struct {
 	// cluster create a private pfs.FS with pfs.DefaultConfig() so
 	// governance works out of the box.
 	SpillFS *pfs.FS
+	// TieBreak, when non-nil, redirects the scheduler's benign tie-break
+	// choices (ready-heap pop order, worker choice, spill victim) so the
+	// schedule-space explorer (package simtest) can permute legal
+	// schedules. nil — the default — keeps every production rule and
+	// costs nothing. Must be set before NewCluster and never changed.
+	TieBreak TieBreaker
 }
 
 // highWatermark returns the effective pause fraction.

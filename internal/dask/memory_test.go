@@ -434,3 +434,110 @@ func TestMemoryGovernanceTwinProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestGatherWindowClosesMidGather covers gathering spilled blocks while
+// a chaos memlimit window expires between unspills: the first gather's
+// unspill completes inside the squeeze (governance must honour the
+// tightened limit), the next one completes after the window closed
+// (governance must be back at the base limit). The window boundary is
+// placed between the two unspill completions using the read time
+// measured on an identical twin cluster — the simulation is
+// deterministic, so the twin's timing transfers exactly.
+func TestGatherWindowClosesMidGather(t *testing.T) {
+	const limit = 64 // two 32-byte blocks
+	blocks := map[taskgraph.Key][]float64{
+		"a": {1, 2, 3, 4},
+		"b": {5, 6, 7, 8},
+		"c": {9, 10, 11, 12},
+	}
+	setup := func() (*Cluster, *Client) {
+		c, cl := testClusterMem(1, limit)
+		c.EnableAudit()
+		for _, k := range []taskgraph.Key{"a", "b", "c"} {
+			if err := cl.Scatter([]ScatterItem{{Key: k, Value: blocks[k]}}, false, 0); err != nil {
+				t.Fatalf("scatter %s: %v", k, err)
+			}
+		}
+		return c, cl
+	}
+
+	// Twin run: measure the virtual cost of unspilling "a" (the LRU
+	// victim of the third scatter) with no window installed.
+	tc, tcl := setup()
+	t0 := tcl.Now()
+	if _, err := tcl.Gather([]*Future{{Key: "a", client: tcl}}); err != nil {
+		t.Fatalf("twin gather: %v", err)
+	}
+	unspillCost := tcl.Now() - t0
+	tc.Close()
+	if unspillCost <= 0 {
+		t.Fatalf("twin unspill charged no virtual time (cost %v)", unspillCost)
+	}
+
+	// Real run: squeeze worker 0 to 16 bytes for a window that contains
+	// the first unspill completion (t0 + cost) but not the second
+	// (>= t0 + 2*cost, since the second gather starts after the first).
+	c, cl := setup()
+	defer c.Close()
+	c.SetWorkerMemoryWindow(0, 16, t0, t0+1.5*unspillCost)
+
+	// Gather "a": the unspill lands inside the squeeze, so governance
+	// evicts both resident blocks ("a" itself is kept as an oversize
+	// grant: 32 bytes over a 16-byte limit with nothing else evictable).
+	vals, err := cl.Gather([]*Future{{Key: "a", client: cl}})
+	if err != nil {
+		t.Fatalf("gather a under squeeze: %v", err)
+	}
+	for i, want := range blocks["a"] {
+		if vals[0].([]float64)[i] != want {
+			t.Fatalf("gather a: element %d = %v, want %v", i, vals[0].([]float64)[i], want)
+		}
+	}
+	st := c.WorkerStatsAll()[0]
+	if st.StoreBytes != 32 || st.SpilledItems != 2 {
+		t.Fatalf("under squeeze: want 32 resident / 2 spilled, got %d / %d",
+			st.StoreBytes, st.SpilledItems)
+	}
+	checkLedger(t, c, limit)
+
+	// Gather "b": its unspill completes after the window closed, so the
+	// base limit is back — "b" joins "a" at exactly the 64-byte limit
+	// with no eviction. A still-open window would have evicted "a".
+	vals, err = cl.Gather([]*Future{{Key: "b", client: cl}})
+	if err != nil {
+		t.Fatalf("gather b after window: %v", err)
+	}
+	for i, want := range blocks["b"] {
+		if vals[0].([]float64)[i] != want {
+			t.Fatalf("gather b: element %d = %v, want %v", i, vals[0].([]float64)[i], want)
+		}
+	}
+	st = c.WorkerStatsAll()[0]
+	if st.StoreBytes != 64 || st.SpilledItems != 1 {
+		t.Fatalf("after window: want 64 resident / 1 spilled, got %d / %d",
+			st.StoreBytes, st.SpilledItems)
+	}
+	checkLedger(t, c, limit)
+
+	// Gather "c" round-trips the remaining spilled block and pushes the
+	// ledger back to the limit by evicting the now-LRU "a".
+	vals, err = cl.Gather([]*Future{{Key: "c", client: cl}})
+	if err != nil {
+		t.Fatalf("gather c: %v", err)
+	}
+	for i, want := range blocks["c"] {
+		if vals[0].([]float64)[i] != want {
+			t.Fatalf("gather c: element %d = %v, want %v", i, vals[0].([]float64)[i], want)
+		}
+	}
+	st = c.WorkerStatsAll()[0]
+	if st.StoreBytes != 64 || st.SpilledItems != 1 {
+		t.Fatalf("final: want 64 resident / 1 spilled, got %d / %d",
+			st.StoreBytes, st.SpilledItems)
+	}
+	ida := c.sched.intern("a")
+	if _, resident := c.workers[0].store[ida]; resident {
+		t.Fatal("expected block a (LRU) to be the final spilled block")
+	}
+	checkLedger(t, c, limit)
+}

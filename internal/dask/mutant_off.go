@@ -1,0 +1,12 @@
+//go:build !daskmutant
+
+package dask
+
+// MutantScheduler reports whether this build carries the deliberately
+// broken scheduler used by the simtest mutant self-test (build with
+// -tags daskmutant to flip it on). Production builds are never mutated.
+const MutantScheduler = false
+
+// rebuildDepsWindow returns the dependency window the worker-lost
+// replan rebuilds missing counts from: all of them.
+func rebuildDepsWindow(deps []taskID) []taskID { return deps }

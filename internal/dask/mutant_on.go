@@ -1,0 +1,22 @@
+//go:build daskmutant
+
+package dask
+
+// MutantScheduler marks this build as carrying the deliberately broken
+// scheduler below. The simtest self-test builds with -tags daskmutant
+// and proves the schedule explorer catches the bug and the shrinker
+// reduces the failing (chaos plan, schedule) pair to a minimal
+// reproducer.
+const MutantScheduler = true
+
+// rebuildDepsWindow carries a planted off-by-one: the worker-lost
+// replan skips the first dependency when rebuilding missing counts, so
+// a multi-dependency task waiting on its first dependency is counted
+// complete too early. The invariant auditor's missing-count check
+// (invariant 2) catches the drift on the first replan after a kill.
+func rebuildDepsWindow(deps []taskID) []taskID {
+	if len(deps) > 1 {
+		return deps[1:]
+	}
+	return deps
+}

@@ -89,6 +89,7 @@ func (s *scheduler) workerLost(id int, at vtime.Time) {
 	defer s.endOpLocked()
 	s.beginOpLocked("worker-lost", handled)
 	s.deadWorkers[id] = true
+	s.recordWorkerDeadLocked(id)
 
 	lostErr := fmt.Errorf("dask: worker %d: %w", id, ErrWorkerDied)
 	for _, st := range s.tasks {
@@ -127,7 +128,7 @@ func (s *scheduler) workerLost(id int, at vtime.Time) {
 			continue
 		}
 		var missing int32
-		for _, d := range st.deps {
+		for _, d := range rebuildDepsWindow(st.deps) {
 			dt := s.tasks[d]
 			if dt == nil {
 				missing++ // unregistered dependency: unfinished by definition

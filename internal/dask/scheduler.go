@@ -2,6 +2,7 @@ package dask
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"deisago/internal/metrics"
@@ -126,42 +127,61 @@ func (q readyQueue) less(i, j int) bool {
 		(q[i].priority == q[j].priority && q[i].id < q[j].id)
 }
 
-func (q *readyQueue) push(priority int, id taskID) {
-	arr := append(*q, readyItem{priority: priority, id: id})
-	for i := len(arr) - 1; i > 0; {
+// up sifts element i toward the root.
+func (q readyQueue) up(i int) {
+	for i > 0 {
 		parent := (i - 1) / 2
-		if !arr.less(i, parent) {
+		if !q.less(i, parent) {
 			break
 		}
-		arr[i], arr[parent] = arr[parent], arr[i]
+		q[i], q[parent] = q[parent], q[i]
 		i = parent
 	}
-	*q = arr
 }
 
-func (q *readyQueue) pop() taskID {
-	arr := *q
-	top := arr[0].id
-	n := len(arr) - 1
-	arr[0] = arr[n]
-	arr = arr[:n]
-	for i := 0; ; {
+// down sifts element i toward the leaves.
+func (q readyQueue) down(i int) {
+	n := len(q)
+	for {
 		small := i
-		if l := 2*i + 1; l < n && arr.less(l, small) {
+		if l := 2*i + 1; l < n && q.less(l, small) {
 			small = l
 		}
-		if r := 2*i + 2; r < n && arr.less(r, small) {
+		if r := 2*i + 2; r < n && q.less(r, small) {
 			small = r
 		}
 		if small == i {
 			break
 		}
-		arr[i], arr[small] = arr[small], arr[i]
+		q[i], q[small] = q[small], q[i]
 		i = small
 	}
-	*q = arr
-	return top
 }
+
+func (q *readyQueue) push(priority int, id taskID) {
+	arr := append(*q, readyItem{priority: priority, id: id})
+	arr.up(len(arr) - 1)
+	*q = arr
+}
+
+// removeAt deletes the element at heap index i, restoring heap order.
+// The schedule explorer uses it to pop an arbitrary member of the tied
+// minimal-priority set; i = 0 is the ordinary pop.
+func (q *readyQueue) removeAt(i int) taskID {
+	arr := *q
+	id := arr[i].id
+	n := len(arr) - 1
+	arr[i] = arr[n]
+	arr = arr[:n]
+	*q = arr
+	if i < n {
+		arr.down(i)
+		arr.up(i)
+	}
+	return id
+}
+
+func (q *readyQueue) pop() taskID { return q.removeAt(0) }
 
 type scheduler struct {
 	cl  *Cluster
@@ -215,6 +235,11 @@ type scheduler struct {
 	assignMark    []uint32
 	assignTouched []int
 	assignEpoch   uint32
+
+	// Tie-break scratch, used only when cfg.TieBreak is set (schedule
+	// exploration): candidate sets reused across decisions.
+	readyTied   tied
+	assignCands []int
 }
 
 // msgKinds enumerates every scheduler message kind, so the per-kind
@@ -645,7 +670,7 @@ func (s *scheduler) onMemoryLocked(st *schedTask) {
 // cascade, release) are skipped.
 func (s *scheduler) drainReadyLocked(departAt vtime.Time) {
 	for len(s.ready) > 0 {
-		id := s.ready.pop()
+		id := s.popReadyLocked()
 		st := s.tasks[id]
 		if st == nil || st.state != StateWaiting || st.missingCount != 0 ||
 			(st.fn == nil && st.timed == nil) {
@@ -654,6 +679,45 @@ func (s *scheduler) drainReadyLocked(departAt vtime.Time) {
 		s.assignLocked(st, departAt)
 	}
 }
+
+// popReadyLocked removes the next runnable task from the ready heap.
+// Without a tie-breaker this is the heap minimum — (priority, taskID)
+// order. With one, every entry tied at the minimal priority is a legal
+// next pick: the candidates are ordered by task key (content-stable
+// across runs, unlike interned IDs) and the breaker chooses among them.
+func (s *scheduler) popReadyLocked() taskID {
+	tb := s.cl.cfg.TieBreak
+	if tb == nil || len(s.ready) < 2 {
+		return s.ready.pop()
+	}
+	minPrio := s.ready[0].priority
+	tied := tied(s.readyTied[:0])
+	for i, it := range s.ready {
+		if it.priority == minPrio {
+			tied = append(tied, tiedCand{idx: i, key: string(s.keys[it.id])})
+		}
+	}
+	s.readyTied = tied
+	if len(tied) < 2 {
+		return s.ready.pop()
+	}
+	sort.Sort(tied)
+	pick := clampPick(tb.Pick(Decision{Point: PointReadyPop, Key: tied[0].key, N: len(tied)}), len(tied))
+	return s.ready.removeAt(tied[pick].idx)
+}
+
+// tiedCand is one member of a tied candidate set: its heap index and
+// its content-stable sort key.
+type tiedCand struct {
+	idx int
+	key string
+}
+
+type tied []tiedCand
+
+func (t tied) Len() int           { return len(t) }
+func (t tied) Less(i, j int) bool { return t[i].key < t[j].key }
+func (t tied) Swap(i, j int)      { t[i], t[j] = t[j], t[i] }
 
 // assignLocked picks a worker for a ready task and enqueues it there.
 func (s *scheduler) assignLocked(st *schedTask, departAt vtime.Time) {
@@ -691,20 +755,52 @@ func (s *scheduler) assignLocked(st *schedTask, departAt vtime.Time) {
 			best, bestBytes = w, b
 		}
 	}
+	if tb := s.cl.cfg.TieBreak; tb != nil && best >= 0 {
+		// Every non-paused candidate holding the maximal local bytes is
+		// a legal target; let the breaker choose (ids ascend, so the
+		// candidate order is stable by construction).
+		cands := s.assignCands[:0]
+		for _, w := range touched {
+			if s.assignBytes[w] == bestBytes && !s.cl.workers[w].pausedAt(departAt) {
+				cands = append(cands, w)
+			}
+		}
+		sort.Ints(cands)
+		s.assignCands = cands
+		if len(cands) > 1 {
+			best = cands[clampPick(tb.Pick(Decision{Point: PointAssignWorker, Key: string(st.key), N: len(cands)}), len(cands))]
+		}
+	}
 	if best == -1 {
 		live := s.liveWorkersLocked()
 		if len(live) == 0 {
 			panic("dask: no live workers")
 		}
-		// Round-robin over live workers, skipping paused ones (the
-		// pausedAt probe is a single relaxed load on ungoverned
-		// clusters, so the unmanaged hot path is unchanged).
-		for i := range live {
-			cand := live[(s.rr+i)%len(live)]
-			if !s.cl.workers[cand].pausedAt(departAt) {
-				best = cand
-				s.rr += i + 1
-				break
+		if tb := s.cl.cfg.TieBreak; tb != nil {
+			// Without locality, any non-paused live worker is legal.
+			cands := s.assignCands[:0]
+			for _, cand := range live {
+				if !s.cl.workers[cand].pausedAt(departAt) {
+					cands = append(cands, cand)
+				}
+			}
+			s.assignCands = cands
+			if len(cands) > 0 {
+				best = cands[clampPick(tb.Pick(Decision{Point: PointAssignWorker, Key: string(st.key), N: len(cands)}), len(cands))]
+				s.rr++
+			}
+		}
+		if best == -1 {
+			// Round-robin over live workers, skipping paused ones (the
+			// pausedAt probe is a single relaxed load on ungoverned
+			// clusters, so the unmanaged hot path is unchanged).
+			for i := range live {
+				cand := live[(s.rr+i)%len(live)]
+				if !s.cl.workers[cand].pausedAt(departAt) {
+					best = cand
+					s.rr += i + 1
+					break
+				}
 			}
 		}
 		if best == -1 {

@@ -1,0 +1,66 @@
+package dask
+
+// Schedule-space exploration hooks. Several scheduler choices are
+// benign ties: any of the candidates is legal and the run's results
+// must not depend on which one is taken. Production resolves each tie
+// with a fixed deterministic rule (lowest taskID, locality then lowest
+// worker id, round-robin, lowest LRU stamp). A TieBreaker, installed
+// via Config.TieBreak before the cluster is built, redirects every such
+// choice, letting a test (package simtest) systematically permute the
+// schedule and assert that analytics, counters, and invariants are
+// identical on every explored schedule.
+//
+// The hooks are test-only instrumentation: with Config.TieBreak nil —
+// the default — every decision site takes its original branch and the
+// hot path is untouched.
+
+// Decision points. The Key of a Decision identifies the choice context
+// by content (task key, block key), never by interned ID or call order,
+// so the same logical decision carries the same identity across runs
+// regardless of goroutine interleaving.
+const (
+	// PointReadyPop picks among ready tasks tied at the minimal
+	// priority; candidates are ordered by task key. Key is the
+	// lexicographically smallest tied task key.
+	PointReadyPop = "ready-pop"
+	// PointAssignWorker picks the worker for a ready task among the
+	// non-paused candidates with maximal local dependency bytes (or,
+	// with no locality, among all non-paused live workers); candidates
+	// are ordered by worker id. Key is the task key.
+	PointAssignWorker = "assign-worker"
+	// PointSpillVictim picks the eviction victim among resident blocks
+	// tied at the minimal LRU stamp; candidates are ordered by worker-
+	// local insertion id. Key is "w<worker>" plus the tied LRU stamp.
+	PointSpillVictim = "spill-victim"
+	// PointFailover picks the failover target for an external publish
+	// whose preselected worker is dead, among live non-paused workers;
+	// candidates are ordered by worker id. Key is the block key plus
+	// the attempt number. Used by package core's bridge.
+	PointFailover = "failover-target"
+)
+
+// Decision describes one tie the scheduler (or a cooperating component)
+// is about to break: which decision point, the content-stable context
+// key, and how many legal candidates there are.
+type Decision struct {
+	Point string
+	Key   string
+	N     int
+}
+
+// TieBreaker resolves scheduling ties. Pick returns the index of the
+// chosen candidate in the decision's canonical candidate order; out-of-
+// range picks select candidate 0. Implementations must be safe for
+// concurrent use: bridges and the scheduler decide from different
+// goroutines.
+type TieBreaker interface {
+	Pick(d Decision) int
+}
+
+// clampPick normalizes a TieBreaker result to a valid candidate index.
+func clampPick(p, n int) int {
+	if p < 0 || p >= n {
+		return 0
+	}
+	return p
+}

@@ -2,6 +2,7 @@ package dask
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -247,9 +248,12 @@ func (w *worker) effectiveLimitLocked(at vtime.Time) int64 {
 }
 
 // victimLocked picks the least-recently-used resident non-external
-// block, excluding keep (the entry being inserted or gathered). LRU
-// sequence numbers are unique, so the choice is deterministic despite
-// map iteration order. Returns -1 if nothing is evictable.
+// block, excluding keep (the entry being inserted or gathered).
+// Governed stores stamp unique LRU sequence numbers, but blocks stored
+// before governance switched on (a memlimit window installed mid-run)
+// all carry stamp 0 — those ties break on the lowest task ID, so the
+// choice is deterministic despite map iteration order. Returns -1 if
+// nothing is evictable. A TieBreaker may choose any tied-LRU block.
 func (w *worker) victimLocked(keep taskID) taskID {
 	victim := taskID(-1)
 	var vlru uint64
@@ -257,8 +261,25 @@ func (w *worker) victimLocked(keep taskID) taskID {
 		if e.external || id == keep {
 			continue
 		}
-		if victim < 0 || e.lru < vlru {
+		if victim < 0 || e.lru < vlru || (e.lru == vlru && id < victim) {
 			victim, vlru = id, e.lru
+		}
+	}
+	if victim < 0 {
+		return -1
+	}
+	if tb := w.cl.cfg.TieBreak; tb != nil {
+		var cands []int
+		for id, e := range w.store {
+			if !e.external && id != keep && e.lru == vlru {
+				cands = append(cands, int(id))
+			}
+		}
+		if len(cands) > 1 {
+			sort.Ints(cands)
+			pick := clampPick(tb.Pick(Decision{Point: PointSpillVictim,
+				Key: fmt.Sprintf("w%d@%d", w.id, vlru), N: len(cands)}), len(cands))
+			victim = taskID(cands[pick])
 		}
 	}
 	return victim

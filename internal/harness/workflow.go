@@ -68,6 +68,16 @@ type Config struct {
 	// are republished once the simulation loop finishes. External-mode
 	// (DEISA2/3) in-transit systems only.
 	ChaosPlan *chaos.Plan
+	// TieBreak, when non-nil, redirects every benign scheduling tie in
+	// the cluster and the bridges — ready-pop order, worker choice,
+	// spill victim, failover target — so the schedule-space explorer
+	// (package simtest) can permute legal schedules. nil keeps the
+	// production rules.
+	TieBreak dask.TieBreaker
+	// EnableAudit switches the scheduler invariant auditor on even for
+	// fault-free runs (ChaosPlan enables it regardless) and exposes the
+	// transition log on the Result for offline replay.
+	EnableAudit bool
 }
 
 func (c *Config) defaults() {
@@ -126,6 +136,11 @@ type Result struct {
 	FabricBytes int64
 	// BlocksSent/BlocksSkipped aggregate bridge-side contract filtering.
 	BlocksSent, BlocksSkipped int64
+	// AuditLog is the scheduler's transition log when the invariant
+	// auditor ran (Config.EnableAudit or ChaosPlan); AuditTruncated
+	// counts older entries the bounded log discarded.
+	AuditLog       []dask.Transition
+	AuditTruncated int64
 
 	// Real analytics outputs, for cross-system correctness checks.
 	Components        *ndarray.Array
@@ -251,6 +266,7 @@ func (e *env) daskConfig() dask.Config {
 	d := e.cfg.Model.Dask
 	d.MetadataEntryCost = e.cfg.Model.MetaEntryCost
 	d.WorkerMemoryLimit = e.cfg.WorkerMemoryLimit
+	d.TieBreak = e.cfg.TieBreak
 	return d
 }
 
@@ -301,6 +317,9 @@ func runInTransit(cfg Config) (*Result, error) {
 	if cfg.EnableTrace {
 		dc.EnableTracing()
 	}
+	if cfg.EnableAudit {
+		dc.EnableAudit()
+	}
 
 	mode := core.ModeExternal
 	if cfg.System == DEISA1 {
@@ -340,6 +359,7 @@ func runInTransit(cfg Config) (*Result, error) {
 			ScatterBytes:      cfg.BlockBytes,
 			MetaEntries:       cfg.Ranks,
 			PlaceWorker:       place,
+			TieBreak:          cfg.TieBreak,
 		}
 		if ctrl != nil {
 			bcfg.Interceptor = ctrl
@@ -457,6 +477,10 @@ func runInTransit(cfg Config) (*Result, error) {
 	if ctrl != nil {
 		res.ChaosLog = ctrl.Log()
 	}
+	if dc.AuditEnabled() {
+		res.AuditLog = dc.AuditLog()
+		res.AuditTruncated = dc.AuditTruncated()
+	}
 	end := vtime.MaxTime(res.SimMakespan, res.AnalyticsTime)
 	dc.RecordUtilization(end)
 	e.machine.Fabric().RecordUtilization(end)
@@ -542,6 +566,9 @@ func runPostHoc(cfg Config) (*Result, error) {
 	if cfg.EnableTrace {
 		dc.EnableTracing()
 	}
+	if cfg.EnableAudit {
+		dc.EnableAudit()
+	}
 	client := dc.NewClient("analytics", e.place.ClientNode, math.Inf(1))
 	client.Compute(simEnd) // the analytics job starts when the data is complete
 
@@ -563,6 +590,10 @@ func runPostHoc(cfg Config) (*Result, error) {
 	res.SingularValues = analytics.singularValues
 	res.ExplainedVariance = analytics.explainedVariance
 	res.Counters = dc.Counters().Snapshot()
+	if dc.AuditEnabled() {
+		res.AuditLog = dc.AuditLog()
+		res.AuditTruncated = dc.AuditTruncated()
+	}
 	end := vtime.MaxTime(res.SimMakespan, simEnd+res.AnalyticsTime)
 	dc.RecordUtilization(end)
 	e.machine.Fabric().RecordUtilization(end)

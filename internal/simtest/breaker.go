@@ -1,0 +1,185 @@
+// Package simtest is the schedule-space correctness tooling for the
+// deisa stack: a seeded explorer that permutes every benign scheduling
+// tie (ready-heap pop order, worker choice, spill victim, bridge
+// failover target) and asserts bit-identical analytics across explored
+// schedules; a pure reference model of the task-state machine that
+// replays the production scheduler's transition log; and a delta-
+// debugging shrinker that reduces a failing (chaos plan, schedule)
+// pair to a minimal runnable reproducer in a one-line DSL.
+package simtest
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"deisago/internal/dask"
+)
+
+// SeededBreaker resolves every scheduling tie pseudo-randomly as a pure
+// function of (seed, decision point, context key, candidate count) —
+// never of call order — so concurrently deciding goroutines (bridges,
+// the scheduler) cannot perturb which candidate a given logical
+// decision takes. Different seeds explore different schedules; the
+// breaker records every non-trivial decision so a failing schedule can
+// be replayed and shrunk as an explicit override set.
+type SeededBreaker struct {
+	seed int64
+
+	mu    sync.Mutex
+	seen  map[dask.Decision]int
+	trace io.Writer
+}
+
+// NewSeededBreaker returns a breaker for one explored schedule.
+func NewSeededBreaker(seed int64) *SeededBreaker {
+	return &SeededBreaker{seed: seed, seen: map[dask.Decision]int{}}
+}
+
+// SetTrace streams every non-trivial decision to w as one DSL clause
+// per line, as it is made. The mutant self-test uses this to recover
+// the tie-break trace from a run that dies mid-pipeline (the in-memory
+// record dies with it). Set before the run starts.
+func (b *SeededBreaker) SetTrace(w io.Writer) { b.trace = w }
+
+// Pick implements dask.TieBreaker.
+func (b *SeededBreaker) Pick(d dask.Decision) int {
+	if d.N <= 1 {
+		return 0
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%s|%d", b.seed, d.Point, d.Key, d.N)
+	pick := int(h.Sum64() % uint64(d.N))
+	b.mu.Lock()
+	b.seen[d] = pick
+	if b.trace != nil {
+		fmt.Fprintf(b.trace, "%s\n", FormatDecision(d, pick))
+	}
+	b.mu.Unlock()
+	return pick
+}
+
+// Decisions returns every non-trivial tie this breaker resolved, as an
+// override set replaying the same schedule through an OverrideBreaker.
+func (b *SeededBreaker) Decisions() Overrides {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	o := make(Overrides, len(b.seen))
+	for d, p := range b.seen {
+		o[d] = p
+	}
+	return o
+}
+
+// Overrides forces specific picks for specific decisions. Decisions not
+// present take candidate 0 — the first in the canonical candidate
+// order — so a shrunk override set stays a complete schedule
+// description: dropped entries revert to a fixed default, not to
+// nondeterminism.
+type Overrides map[dask.Decision]int
+
+// OverrideBreaker replays an override set. The zero value (no
+// overrides) picks candidate 0 everywhere.
+type OverrideBreaker struct{ O Overrides }
+
+// Pick implements dask.TieBreaker.
+func (b OverrideBreaker) Pick(d dask.Decision) int {
+	if p, ok := b.O[d]; ok {
+		return p
+	}
+	return 0
+}
+
+// FormatDecision renders one forced pick as a DSL clause:
+//
+//	tb:<point>:<n>:<pick>:<key>
+//
+// The key is the final field so it may contain ':'s.
+func FormatDecision(d dask.Decision, pick int) string {
+	return fmt.Sprintf("tb:%s:%d:%d:%s", d.Point, d.N, pick, d.Key)
+}
+
+// ParseDecision parses one tb: clause back into a decision and pick.
+func ParseDecision(s string) (dask.Decision, int, error) {
+	parts := strings.SplitN(s, ":", 5)
+	if len(parts) != 5 || parts[0] != "tb" {
+		return dask.Decision{}, 0, fmt.Errorf("simtest: clause %q: want tb:<point>:<n>:<pick>:<key>", s)
+	}
+	n, err := strconv.Atoi(parts[2])
+	if err != nil || n < 2 {
+		return dask.Decision{}, 0, fmt.Errorf("simtest: clause %q: bad candidate count %q", s, parts[2])
+	}
+	pick, err := strconv.Atoi(parts[3])
+	if err != nil || pick < 0 || pick >= n {
+		return dask.Decision{}, 0, fmt.Errorf("simtest: clause %q: bad pick %q", s, parts[3])
+	}
+	return dask.Decision{Point: parts[1], Key: parts[4], N: n}, pick, nil
+}
+
+// OverrideEntry is one (decision, pick) pair in a deterministic order,
+// the unit the shrinker deletes.
+type OverrideEntry struct {
+	D    dask.Decision
+	Pick int
+}
+
+// Entries returns the override set sorted by (point, key, n).
+func (o Overrides) Entries() []OverrideEntry {
+	out := make([]OverrideEntry, 0, len(o))
+	for d, p := range o {
+		out = append(out, OverrideEntry{D: d, Pick: p})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].D, out[j].D
+		if a.Point != b.Point {
+			return a.Point < b.Point
+		}
+		if a.Key != b.Key {
+			return a.Key < b.Key
+		}
+		return a.N < b.N
+	})
+	return out
+}
+
+// FromEntries rebuilds an override set from entries.
+func FromEntries(es []OverrideEntry) Overrides {
+	o := make(Overrides, len(es))
+	for _, e := range es {
+		o[e.D] = e.Pick
+	}
+	return o
+}
+
+// Format renders the override set as semicolon-joined DSL clauses in
+// Entries order ("" for an empty set).
+func (o Overrides) Format() string {
+	es := o.Entries()
+	parts := make([]string, len(es))
+	for i, e := range es {
+		parts[i] = FormatDecision(e.D, e.Pick)
+	}
+	return strings.Join(parts, ";")
+}
+
+// ParseOverrides parses semicolon-joined tb: clauses; empty input means
+// no overrides.
+func ParseOverrides(s string) (Overrides, error) {
+	o := Overrides{}
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		d, p, err := ParseDecision(part)
+		if err != nil {
+			return nil, err
+		}
+		o[d] = p
+	}
+	return o, nil
+}

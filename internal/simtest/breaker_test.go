@@ -1,0 +1,142 @@
+package simtest
+
+import (
+	"strings"
+	"testing"
+
+	"deisago/internal/dask"
+)
+
+func TestSeededBreakerDeterministic(t *testing.T) {
+	ds := []dask.Decision{
+		{Point: dask.PointReadyPop, Key: "fit-3", N: 4},
+		{Point: dask.PointAssignWorker, Key: "pca", N: 3},
+		{Point: dask.PointSpillVictim, Key: "w1@0", N: 2},
+		{Point: dask.PointFailover, Key: "blk#1", N: 2},
+	}
+	a, b := NewSeededBreaker(7), NewSeededBreaker(7)
+	for _, d := range ds {
+		pa, pb := a.Pick(d), b.Pick(d)
+		if pa != pb {
+			t.Fatalf("same seed diverged on %+v: %d vs %d", d, pa, pb)
+		}
+		if pa < 0 || pa >= d.N {
+			t.Fatalf("pick %d out of range for %+v", pa, d)
+		}
+	}
+	// Call order must not matter: a third breaker seeing the decisions
+	// reversed picks identically.
+	c := NewSeededBreaker(7)
+	for i := len(ds) - 1; i >= 0; i-- {
+		if got, want := c.Pick(ds[i]), a.Pick(ds[i]); got != want {
+			t.Fatalf("reversed order diverged on %+v: %d vs %d", ds[i], got, want)
+		}
+	}
+	// Different seeds must disagree somewhere across the space.
+	d2 := NewSeededBreaker(8)
+	same := true
+	for _, d := range ds {
+		if d2.Pick(d) != a.Pick(d) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("seeds 7 and 8 picked identically on every decision")
+	}
+}
+
+func TestSeededBreakerTrivialDecision(t *testing.T) {
+	b := NewSeededBreaker(1)
+	if got := b.Pick(dask.Decision{Point: dask.PointReadyPop, Key: "k", N: 1}); got != 0 {
+		t.Fatalf("N=1 pick = %d, want 0", got)
+	}
+	if len(b.Decisions()) != 0 {
+		t.Fatal("trivial decisions must not be recorded")
+	}
+}
+
+func TestDecisionDSLRoundTrip(t *testing.T) {
+	d := dask.Decision{Point: dask.PointFailover, Key: "deisa-t3-b2#1", N: 3}
+	s := FormatDecision(d, 2)
+	got, pick, err := ParseDecision(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != d || pick != 2 {
+		t.Fatalf("round trip: got %+v pick %d from %q", got, pick, s)
+	}
+	// Keys may contain colons (the final field swallows the rest).
+	d.Key = "a:b:c"
+	got, _, err = ParseDecision(FormatDecision(d, 0))
+	if err != nil || got.Key != "a:b:c" {
+		t.Fatalf("colon key round trip: %+v, %v", got, err)
+	}
+}
+
+func TestParseDecisionErrors(t *testing.T) {
+	for _, bad := range []string{
+		"", "kill:0@1/1", "tb:ready-pop:x:0:k", "tb:ready-pop:1:0:k",
+		"tb:ready-pop:3:3:k", "tb:ready-pop:3:-1:k", "tb:ready-pop:3",
+	} {
+		if _, _, err := ParseDecision(bad); err == nil {
+			t.Fatalf("ParseDecision(%q) accepted", bad)
+		}
+	}
+}
+
+func TestOverridesFormatRoundTrip(t *testing.T) {
+	o := Overrides{
+		{Point: dask.PointReadyPop, Key: "b", N: 3}:     2,
+		{Point: dask.PointReadyPop, Key: "a", N: 2}:     1,
+		{Point: dask.PointAssignWorker, Key: "a", N: 4}: 3,
+	}
+	s := o.Format()
+	// Entries order is (point, key, n): assign-worker before ready-pop,
+	// then key order.
+	want := "tb:assign-worker:4:3:a;tb:ready-pop:2:1:a;tb:ready-pop:3:2:b"
+	if s != want {
+		t.Fatalf("Format() = %q, want %q", s, want)
+	}
+	back, err := ParseOverrides(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(o) {
+		t.Fatalf("round trip lost entries: %v", back)
+	}
+	for d, p := range o {
+		if back[d] != p {
+			t.Fatalf("round trip changed %+v: %d -> %d", d, p, back[d])
+		}
+	}
+	if empty, err := ParseOverrides(""); err != nil || len(empty) != 0 {
+		t.Fatalf("empty parse: %v, %v", empty, err)
+	}
+}
+
+func TestOverrideBreakerDefaultsToZero(t *testing.T) {
+	d := dask.Decision{Point: dask.PointReadyPop, Key: "k", N: 5}
+	b := OverrideBreaker{O: Overrides{d: 3}}
+	if got := b.Pick(d); got != 3 {
+		t.Fatalf("override pick = %d, want 3", got)
+	}
+	other := dask.Decision{Point: dask.PointReadyPop, Key: "other", N: 5}
+	if got := b.Pick(other); got != 0 {
+		t.Fatalf("unlisted pick = %d, want 0", got)
+	}
+}
+
+func TestSeededBreakerTrace(t *testing.T) {
+	var sb strings.Builder
+	b := NewSeededBreaker(3)
+	b.SetTrace(&sb)
+	d := dask.Decision{Point: dask.PointSpillVictim, Key: "w0@2", N: 3}
+	pick := b.Pick(d)
+	got, gotPick, err := ParseDecision(strings.TrimSpace(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != d || gotPick != pick {
+		t.Fatalf("trace line %q does not round-trip the decision", sb.String())
+	}
+}

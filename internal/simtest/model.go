@@ -1,0 +1,234 @@
+package simtest
+
+import (
+	"fmt"
+
+	"deisago/internal/dask"
+	"deisago/internal/taskgraph"
+)
+
+// Reference model: a pure, single-threaded replay of the production
+// scheduler's audited transition log. It shares no code with the
+// scheduler — the legality table below is written from the state
+// machine's spec, not from the implementation — so a scheduler bug that
+// records an impossible transition is caught even if the in-process
+// auditor's invariants happen to hold at every scan point.
+//
+// The model tracks, per key: the current state and owning worker; plus
+// the scheduler's dead-worker view (from the log's worker-death
+// markers) and the released-key set. Every record must (a) start from
+// the tracked state, (b) be a legal (op, from, to) edge, and (c) leave
+// worker/bytes fields consistent with the destination state. After each
+// worker-lost replan completes, no key may remain resident on or
+// assigned to a dead worker.
+
+// noState mirrors the log's creation sentinel (dask's unexported
+// stateNone): any negative From marks task creation.
+const noState = dask.State(-1)
+
+// Report summarises a successful replay.
+type Report struct {
+	Records int // records replayed (including worker-death markers)
+	Tasks   int // distinct keys seen
+	Deaths  int // worker-death markers
+	// Final counts tasks by their state at end of log (released keys
+	// are dropped from the tally when released, re-added if re-created).
+	Final map[dask.State]int
+}
+
+// modelTask is the model's view of one key.
+type modelTask struct {
+	state  dask.State
+	worker int
+}
+
+// Replay cross-checks a complete transition log. truncated is the
+// scheduler's discarded-entry count (Result.AuditTruncated); a
+// truncated log cannot be replayed from a known start state, so it is
+// refused rather than half-checked.
+func Replay(log []dask.Transition, truncated int64) (*Report, error) {
+	if truncated > 0 {
+		return nil, fmt.Errorf("simtest: transition log truncated (%d entries discarded); raise the log cap or shorten the run", truncated)
+	}
+	tasks := map[taskgraph.Key]*modelTask{}
+	released := map[taskgraph.Key]bool{}
+	dead := map[int]bool{}
+	deaths := 0
+	// deadDirty marks an in-progress worker-lost replan: residency on
+	// the dead worker is allowed mid-op (the replan is moving tasks off
+	// it) and re-checked as soon as a record from any other op appears.
+	deadDirty := false
+
+	checkDeadResidency := func(i int) error {
+		for k, t := range tasks {
+			if (t.state == dask.StateMemory || t.state == dask.StateProcessing) && dead[t.worker] {
+				return fmt.Errorf("simtest: record %d: key %q left %s on dead worker %d after worker-lost replan", i, k, t.state, t.worker)
+			}
+		}
+		return nil
+	}
+
+	for i, tr := range log {
+		if tr.WorkerDeath() {
+			if tr.Worker < 0 {
+				return nil, fmt.Errorf("simtest: record %d: death marker with invalid worker %d", i, tr.Worker)
+			}
+			if dead[tr.Worker] {
+				return nil, fmt.Errorf("simtest: record %d: worker %d died twice", i, tr.Worker)
+			}
+			dead[tr.Worker] = true
+			deaths++
+			deadDirty = true
+			continue
+		}
+		if deadDirty && tr.Op != "worker-lost" {
+			if err := checkDeadResidency(i); err != nil {
+				return nil, err
+			}
+			deadDirty = false
+		}
+
+		t := tasks[tr.Key]
+		creation := tr.From < 0
+		// The scatter-creation quirk: a non-external update-data
+		// registers the task directly in memory with no creation record;
+		// the first record's From is the zero-value StateWaiting.
+		scatterCreation := tr.Op == "update-data" && t == nil &&
+			tr.From == dask.StateWaiting && tr.To == dask.StateMemory
+		switch {
+		case creation, scatterCreation:
+			if t != nil {
+				return nil, fmt.Errorf("simtest: record %d: key %q created while already tracked in %s", i, tr.Key, t.state)
+			}
+			t = &modelTask{}
+			tasks[tr.Key] = t
+			delete(released, tr.Key)
+		case t == nil:
+			return nil, fmt.Errorf("simtest: record %d: transition for unknown key %q (%s -> %s)", i, tr.Key, tr.From, tr.To)
+		case t.state != tr.From:
+			return nil, fmt.Errorf("simtest: record %d: key %q recorded from %s but model tracks %s", i, tr.Key, tr.From, t.state)
+		}
+
+		if !legalEdge(tr.Op, tr.From, tr.To, creation || scatterCreation) {
+			return nil, fmt.Errorf("simtest: record %d: illegal edge %s -> %s under op %q for key %q", i, tr.From, tr.To, tr.Op, tr.Key)
+		}
+
+		// Field consistency at the destination state.
+		switch tr.To {
+		case dask.StateMemory:
+			if tr.Worker < 0 {
+				return nil, fmt.Errorf("simtest: record %d: key %q in memory without an owner", i, tr.Key)
+			}
+			if dead[tr.Worker] {
+				return nil, fmt.Errorf("simtest: record %d: key %q placed in memory on dead worker %d", i, tr.Key, tr.Worker)
+			}
+			if tr.Bytes < 0 {
+				return nil, fmt.Errorf("simtest: record %d: key %q in memory with negative size %d", i, tr.Key, tr.Bytes)
+			}
+		case dask.StateProcessing:
+			if tr.Worker < 0 {
+				return nil, fmt.Errorf("simtest: record %d: key %q processing without an assignee", i, tr.Key)
+			}
+			if dead[tr.Worker] {
+				return nil, fmt.Errorf("simtest: record %d: key %q assigned to dead worker %d", i, tr.Key, tr.Worker)
+			}
+		case dask.StateWaiting, dask.StateReady, dask.StateExternal:
+			if tr.Op != "release" && tr.Worker != -1 {
+				return nil, fmt.Errorf("simtest: record %d: key %q in %s still owned by worker %d", i, tr.Key, tr.To, tr.Worker)
+			}
+		}
+
+		if tr.Op == "release" {
+			delete(tasks, tr.Key)
+			released[tr.Key] = true
+			continue
+		}
+		t.state = tr.To
+		t.worker = tr.Worker
+	}
+	if deadDirty {
+		if err := checkDeadResidency(len(log)); err != nil {
+			return nil, err
+		}
+	}
+
+	rep := &Report{Records: len(log), Deaths: deaths, Final: map[dask.State]int{}}
+	for _, t := range tasks {
+		rep.Final[t.state]++
+	}
+	rep.Tasks = len(tasks)
+	for range released {
+		rep.Tasks++
+	}
+	return rep, nil
+}
+
+// legalEdge is the model's transition table: every (op, from, to) edge
+// the production state machine may take, and nothing else.
+func legalEdge(op string, from, to dask.State, creation bool) bool {
+	if creation {
+		switch op {
+		case "submit":
+			return to == dask.StateWaiting
+		case "create-external":
+			return to == dask.StateExternal
+		case "update-data":
+			// Scatter-creation quirk (see Replay): recorded waiting→memory.
+			return from == dask.StateWaiting && to == dask.StateMemory
+		}
+		return false
+	}
+	switch op {
+	case "submit":
+		// Wiring a new batch can run zero-dep tasks immediately and
+		// cascade an already-erred dependency into the batch.
+		return edge(from, to,
+			p{dask.StateWaiting, dask.StateReady},
+			p{dask.StateReady, dask.StateProcessing},
+			p{dask.StateWaiting, dask.StateErred})
+	case "update-data":
+		return edge(from, to,
+			p{dask.StateExternal, dask.StateMemory},
+			p{dask.StateWaiting, dask.StateReady},
+			p{dask.StateReady, dask.StateProcessing})
+	case "task-finished":
+		return edge(from, to,
+			p{dask.StateProcessing, dask.StateMemory},
+			p{dask.StateWaiting, dask.StateReady},
+			p{dask.StateReady, dask.StateProcessing})
+	case "task-erred":
+		// The error cascades through dependents in any non-terminal
+		// state, including results already in memory.
+		return to == dask.StateErred &&
+			(from == dask.StateWaiting || from == dask.StateReady ||
+				from == dask.StateProcessing || from == dask.StateMemory)
+	case "worker-lost":
+		return edge(from, to,
+			p{dask.StateMemory, dask.StateWaiting},  // recomputable from lineage
+			p{dask.StateMemory, dask.StateExternal}, // producer republishes
+			p{dask.StateMemory, dask.StateErred},    // plain scatter, gone for good
+			p{dask.StateProcessing, dask.StateWaiting},
+			p{dask.StateReady, dask.StateWaiting},
+			p{dask.StateWaiting, dask.StateErred}, // lost-scatter error cascade
+			p{dask.StateReady, dask.StateErred},
+			p{dask.StateProcessing, dask.StateErred},
+			p{dask.StateMemory, dask.StateErred},
+			p{dask.StateWaiting, dask.StateReady}, // replan re-drains the heap
+			p{dask.StateReady, dask.StateProcessing})
+	case "release":
+		return from == to
+	}
+	return false
+}
+
+// p is one legal (from, to) pair.
+type p struct{ from, to dask.State }
+
+func edge(from, to dask.State, legal ...p) bool {
+	for _, e := range legal {
+		if e.from == from && e.to == to {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,118 @@
+package simtest
+
+import (
+	"strings"
+	"testing"
+
+	"deisago/internal/dask"
+)
+
+func TestModelAcceptsLifecycle(t *testing.T) {
+	log := []dask.Transition{
+		{Op: "create-external", Key: "x0", From: noState, To: dask.StateExternal, Worker: -1},
+		{Op: "submit", Key: "fit", From: noState, To: dask.StateWaiting, Worker: -1},
+		{Op: "update-data", Key: "x0", From: dask.StateExternal, To: dask.StateMemory, Worker: 0, Bytes: 64},
+		{Op: "update-data", Key: "fit", From: dask.StateWaiting, To: dask.StateReady, Worker: -1},
+		{Op: "update-data", Key: "fit", From: dask.StateReady, To: dask.StateProcessing, Worker: 1},
+		{Op: "task-finished", Key: "fit", From: dask.StateProcessing, To: dask.StateMemory, Worker: 1, Bytes: 8},
+		{Op: "release", Key: "x0", From: dask.StateMemory, To: dask.StateMemory, Worker: 0},
+	}
+	rep, err := Replay(log, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tasks != 2 || rep.Records != len(log) {
+		t.Fatalf("report %+v, want 2 tasks over %d records", rep, len(log))
+	}
+	if rep.Final[dask.StateMemory] != 1 {
+		t.Fatalf("final states %v, want one memory task (released x0 dropped)", rep.Final)
+	}
+}
+
+func TestModelAcceptsScatterCreationQuirk(t *testing.T) {
+	// A plain scatter's first record is waiting→memory with no creation
+	// sentinel — the zero value of State is StateWaiting.
+	log := []dask.Transition{
+		{Op: "update-data", Key: "blk", From: dask.StateWaiting, To: dask.StateMemory, Worker: 2, Bytes: 32},
+	}
+	if _, err := Replay(log, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModelAcceptsWorkerLossReplan(t *testing.T) {
+	log := []dask.Transition{
+		{Op: "create-external", Key: "x0", From: noState, To: dask.StateExternal, Worker: -1},
+		{Op: "update-data", Key: "x0", From: dask.StateExternal, To: dask.StateMemory, Worker: 0, Bytes: 64},
+		{Op: "worker-lost", From: noState, To: noState, Worker: 0}, // death marker
+		{Op: "worker-lost", Key: "x0", From: dask.StateMemory, To: dask.StateExternal, Worker: -1},
+		{Op: "update-data", Key: "x0", From: dask.StateExternal, To: dask.StateMemory, Worker: 1, Bytes: 64},
+	}
+	rep, err := Replay(log, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Deaths != 1 {
+		t.Fatalf("deaths %d, want 1", rep.Deaths)
+	}
+}
+
+func TestModelRejectsBadLogs(t *testing.T) {
+	ext := dask.Transition{Op: "create-external", Key: "k", From: noState, To: dask.StateExternal, Worker: -1}
+	mem := dask.Transition{Op: "update-data", Key: "k", From: dask.StateExternal, To: dask.StateMemory, Worker: 0, Bytes: 8}
+	death0 := dask.Transition{Op: "worker-lost", From: noState, To: noState, Worker: 0}
+	cases := []struct {
+		name string
+		log  []dask.Transition
+		want string
+	}{
+		{"illegal edge", []dask.Transition{
+			ext,
+			{Op: "task-finished", Key: "k", From: dask.StateExternal, To: dask.StateMemory, Worker: 0},
+		}, "illegal edge"},
+		{"wrong from-state", []dask.Transition{
+			ext,
+			{Op: "update-data", Key: "k", From: dask.StateMemory, To: dask.StateMemory, Worker: 0},
+		}, "model tracks"},
+		{"unknown key", []dask.Transition{
+			{Op: "task-finished", Key: "ghost", From: dask.StateProcessing, To: dask.StateMemory, Worker: 0},
+		}, "unknown key"},
+		{"double creation", []dask.Transition{ext, ext}, "already tracked"},
+		{"memory without owner", []dask.Transition{
+			ext,
+			{Op: "update-data", Key: "k", From: dask.StateExternal, To: dask.StateMemory, Worker: -1},
+		}, "without an owner"},
+		{"memory on dead worker", []dask.Transition{
+			ext, death0,
+			{Op: "update-data", Key: "k", From: dask.StateExternal, To: dask.StateMemory, Worker: 0},
+		}, "dead worker"},
+		{"stale resident after replan", []dask.Transition{
+			ext, mem, death0,
+			// Replan ends without moving k off worker 0; next op exposes it.
+			{Op: "submit", Key: "t", From: noState, To: dask.StateWaiting, Worker: -1},
+		}, "left memory on dead worker"},
+		{"stale resident at end of log", []dask.Transition{ext, mem, death0}, "left memory on dead worker"},
+		{"double death", []dask.Transition{death0, death0}, "died twice"},
+		{"waiting with owner", []dask.Transition{
+			{Op: "submit", Key: "t", From: noState, To: dask.StateWaiting, Worker: 3},
+		}, "still owned"},
+		{"negative bytes", []dask.Transition{
+			ext,
+			{Op: "update-data", Key: "k", From: dask.StateExternal, To: dask.StateMemory, Worker: 0, Bytes: -1},
+		}, "negative size"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Replay(tc.log, 0)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("want error containing %q, got %v", tc.want, err)
+			}
+		})
+	}
+}
+
+func TestModelRefusesTruncatedLog(t *testing.T) {
+	if _, err := Replay(nil, 7); err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("want truncation refusal, got %v", err)
+	}
+}

@@ -51,6 +51,29 @@ func TestParseBench(t *testing.T) {
 	}
 }
 
+func TestParseBenchBestOfN(t *testing.T) {
+	// -count=N emits the same benchmark several times; the gate keeps
+	// the minimum per metric so one contended repetition cannot flake it.
+	const repeated = `
+BenchmarkSchedSubmit/T8_R8   	5	120000 ns/op	1.020 allocs/task	600.0 ns/task
+BenchmarkSchedSubmit/T8_R8   	5	100000 ns/op	1.025 allocs/task	480.0 ns/task
+BenchmarkSchedSubmit/T8_R8   	5	110000 ns/op	1.020 allocs/task	530.0 ns/task
+BenchmarkUnrelated           	5	  1500 ns/op
+BenchmarkUnrelated           	5	  1200 ns/op
+`
+	got, err := parseBench(strings.NewReader(repeated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := got["SchedSubmit/T8_R8"]
+	if sub.nsPerTask != 480 || sub.allocsPerTask != 1.02 || sub.nsPerOp != 100000 {
+		t.Fatalf("best-of-3 = %+v, want ns/task 480, allocs 1.02, ns/op 100000", sub)
+	}
+	if unrel := got["Unrelated"]; unrel.nsPerOp != 1200 || unrel.allocsPerOp != -1 {
+		t.Fatalf("best-of-2 op-only = %+v, want ns/op 1200 and no allocs", unrel)
+	}
+}
+
 func TestGate(t *testing.T) {
 	base := map[string]entry{
 		"BenchmarkSchedSubmit/T8_R8": {PR4NsPerTask: 500, PR4AllocsPerTask: 1.0},

@@ -38,25 +38,36 @@ DEISA_AUDIT=1 go test -race \
     ./internal/dask \
     ./internal/core \
     ./internal/chaos \
-    ./internal/harness
+    ./internal/harness \
+    ./internal/simtest
 
 echo "== coverage gate =="
 # internal/metrics is the observability substrate every claim-checking
-# test leans on; hold it at >= 90%. The repo-wide floor tracks the total
-# statement coverage as it rises PR over PR (80.8 pre-metrics, 83.0
-# after the memory-governance battery) — keep it from regressing.
+# test leans on; hold it at >= 90%. internal/simtest is the
+# schedule-space oracle itself — hold the oracle at >= 85% (its
+# subprocess-driven mutant test does not record child coverage, so the
+# in-process floor is what keeps the model/shrinker honest). The
+# repo-wide floor tracks the total statement coverage as it rises PR
+# over PR (80.8 pre-metrics, 83.0 after the memory-governance battery)
+# — keep it from regressing.
 METRICS_MIN=90.0
+SIMTEST_MIN=85.0
 REPO_MIN=83.0
 metrics_cov=$(go test -cover ./internal/metrics | awk '
+    /coverage:/ { for (i = 1; i <= NF; i++) if ($i == "coverage:") { sub(/%.*/, "", $(i+1)); print $(i+1); exit } }')
+simtest_cov=$(go test -cover ./internal/simtest | awk '
     /coverage:/ { for (i = 1; i <= NF; i++) if ($i == "coverage:") { sub(/%.*/, "", $(i+1)); print $(i+1); exit } }')
 profile=$(mktemp)
 go test -coverprofile="$profile" ./... > /dev/null
 repo_cov=$(go tool cover -func="$profile" | awk '/^total:/ { sub(/%/, "", $NF); print $NF }')
 rm -f "$profile"
 echo "internal/metrics coverage:    ${metrics_cov}% (min ${METRICS_MIN}%)"
+echo "internal/simtest coverage:    ${simtest_cov}% (min ${SIMTEST_MIN}%)"
 echo "repo-wide statement coverage: ${repo_cov}% (min ${REPO_MIN}%)"
 awk -v got="$metrics_cov" -v min="$METRICS_MIN" 'BEGIN { exit !(got+0 >= min+0) }' || {
     echo "internal/metrics coverage below ${METRICS_MIN}%" >&2; exit 1; }
+awk -v got="$simtest_cov" -v min="$SIMTEST_MIN" 'BEGIN { exit !(got+0 >= min+0) }' || {
+    echo "internal/simtest coverage below ${SIMTEST_MIN}%" >&2; exit 1; }
 awk -v got="$repo_cov" -v min="$REPO_MIN" 'BEGIN { exit !(got+0 >= min+0) }' || {
     echo "repo-wide coverage below the pre-metrics baseline ${REPO_MIN}%" >&2; exit 1; }
 
@@ -75,14 +86,28 @@ echo "== fuzz smoke: memory governance =="
 # any ledger drift, tier overlap, or pinned-block spill.
 go test -fuzz=FuzzMemoryGovernance -fuzztime=5s -run '^$' ./internal/dask
 
+echo "== simtest schedule-space gate =="
+# Explore K=16 permuted tie-break schedules of the acceptance pipeline
+# (plus a chaos sweep under kill/drop/delay and a memlimit squeeze):
+# every legal schedule must produce a bit-identical analytics
+# fingerprint, a silent auditor, and an audit log the pure reference
+# model accepts. Then the self-test: the production build sweeps clean,
+# the -tags daskmutant build plants a scheduler fault the explorer must
+# catch and the shrinker must reduce to a one-line DSL reproducer.
+go test -count=1 -run 'TestExploreSchedulesIdentical|TestExploreChaosSchedulesIdentical' ./internal/simtest
+go test -count=1 -run 'TestMutantCaughtAndShrunk' ./internal/simtest
+go test -tags daskmutant -count=1 -run 'TestMutantCaughtAndShrunk' ./internal/simtest
+
 echo "== scheduler bench regression gate =="
 # Compare a fresh T x R sweep against the pr4 baselines in
 # BENCH_SCHED.json; benchgate fails on >15% ns/task growth or any
-# allocs/task regression. -benchtime 5x keeps the sweep fast; the
-# baselines carry enough headroom for short-run timing noise. The
-# SpillPath pair rides along: zero_spill pins "governance is free when
-# nothing spills", spill_heavy bounds the spill/unspill machinery.
-go test -run xxx -bench 'BenchmarkSched(Submit|Drive)|BenchmarkSpillPath' -benchtime 5x ./internal/dask \
+# allocs/task regression. -benchtime 5x keeps the sweep fast, and
+# -count=5 with benchgate's best-of-N parsing absorbs CPU contention
+# (on a single-core box any background burst lands inside some
+# repetition; the minimum is the honest measurement). The SpillPath
+# pair rides along: zero_spill pins "governance is free when nothing
+# spills", spill_heavy bounds the spill/unspill machinery.
+go test -run xxx -bench 'BenchmarkSched(Submit|Drive)|BenchmarkSpillPath' -benchtime 5x -count 5 ./internal/dask \
     | go run ./scripts/benchgate -baseline BENCH_SCHED.json
 
 echo "== harness parallel-determinism gate (-race) =="
@@ -97,9 +122,11 @@ echo "== data-plane / sweep bench regression gate =="
 # Compare the resource-compaction, Summarize and pipeline benchmarks
 # against BENCH_PIPELINE.json: >15% ns/op or >2% allocs/op growth fails,
 # and the recorded speedup claims (compaction >=x5; sweep parallelism
-# >=x3 on >=4 cores, not-slower elsewhere) must hold.
-( go test -run xxx -bench 'BenchmarkResourceAcquire|BenchmarkSummarize' -benchtime 3x ./internal/vtime ; \
-  go test -run xxx -bench 'BenchmarkPipeline' -benchtime 3x ./internal/harness ) \
+# >=x3 on >=4 cores, not-slower elsewhere) must hold. These benches are
+# millisecond-scale and the noisiest in the suite, so -count=5 feeds
+# benchgate's best-of-N parsing (the scheduler gate gets by with 3).
+( go test -run xxx -bench 'BenchmarkResourceAcquire|BenchmarkSummarize' -benchtime 3x -count 5 ./internal/vtime ; \
+  go test -run xxx -bench 'BenchmarkPipeline' -benchtime 3x -count 5 ./internal/harness ) \
     | go run ./scripts/benchgate -baseline BENCH_PIPELINE.json
 
 echo "OK"
