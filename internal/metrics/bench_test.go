@@ -1,0 +1,47 @@
+package metrics
+
+import "testing"
+
+// BenchmarkRegistryLookup measures resolving an existing instrument by
+// identity — the cost every call site that has not hoisted its handle
+// pays per event. The hot read path must be lock-free and allocation
+// free (the label key is rendered into a stack buffer); both properties
+// are gated in BENCH_NET.json (ns/op ceiling, max_allocs_per_op 0).
+func BenchmarkRegistryLookup(b *testing.B) {
+	warm := func() *Registry {
+		r := NewRegistry()
+		// Resolve enough times that the identity is promoted to the
+		// lock-free clean level before measurement starts.
+		for i := 0; i < 512; i++ {
+			r.Counter("fabric", "bytes", L("scope", "remote"))
+			r.Histogram("link", "queue_wait", L("link", "node3-eg"))
+		}
+		return r
+	}
+	b.Run("counter", func(b *testing.B) {
+		r := warm()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.Counter("fabric", "bytes", L("scope", "remote"))
+		}
+	})
+	b.Run("histogram", func(b *testing.B) {
+		r := warm()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.Histogram("link", "queue_wait", L("link", "node3-eg"))
+		}
+	})
+	b.Run("counter-parallel", func(b *testing.B) {
+		r := warm()
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				r.Counter("fabric", "bytes", L("scope", "remote"))
+			}
+		})
+	})
+}

@@ -50,19 +50,16 @@ func (r *Registry) Snapshot() *Snapshot {
 	if r == nil {
 		return s
 	}
+	// Collect handles under the creation mutex (instruments live in the
+	// immutable clean level or the dirty overflow; each visits both),
+	// then read their values lock-free afterwards.
 	r.mu.Lock()
-	counters := make([]*Counter, 0, len(r.counters))
-	for _, c := range r.counters {
-		counters = append(counters, c)
-	}
-	gauges := make([]*Gauge, 0, len(r.gauges))
-	for _, g := range r.gauges {
-		gauges = append(gauges, g)
-	}
-	hists := make([]*Histogram, 0, len(r.hists))
-	for _, h := range r.hists {
-		hists = append(hists, h)
-	}
+	var counters []*Counter
+	r.counters.each(func(c *Counter) { counters = append(counters, c) })
+	var gauges []*Gauge
+	r.gauges.each(func(g *Gauge) { gauges = append(gauges, g) })
+	var hists []*Histogram
+	r.hists.each(func(h *Histogram) { hists = append(hists, h) })
 	r.mu.Unlock()
 
 	for _, c := range counters {

@@ -11,6 +11,13 @@
 // through) fashion: the path bandwidth is the minimum link bandwidth and
 // hot links delay the whole flow.
 //
+// Concurrent transfers contend only where the model says they contend —
+// on the per-link vtime.Resource mutexes along their paths — never on
+// fabric bookkeeping: totals are atomics, metric handles are resolved
+// once (fabric totals when a registry is attached, per-link bundles
+// CAS-cached on first use), and fault hooks are read through an atomic
+// snapshot pointer (DESIGN.md §14).
+//
 // The paper's Experiment II (Figure 5) attributes run-to-run variability
 // to which leaf switch each allocated node lands on; Fabric exposes hop
 // counts and per-link jitter so the harness can reproduce that effect.
@@ -20,6 +27,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"deisago/internal/metrics"
 	"deisago/internal/vtime"
@@ -84,43 +92,81 @@ type FaultVerdict struct {
 
 // FaultHook inspects one transfer before it is booked and returns a
 // verdict. Hooks must be deterministic functions of their arguments so
-// seeded runs reproduce; they are called with the fabric unlocked and may
+// seeded runs reproduce; they are called with no fabric lock held and may
 // not call back into the fabric.
 type FaultHook func(from, to NodeID, size int64, depart vtime.Time) FaultVerdict
+
+// nodeMetrics bundles one node's per-link instrument handles. The
+// fields are nil — and therefore no-op — when no registry is attached.
+type nodeMetrics struct {
+	egBytes, inBytes *metrics.Counter
+	egWait, inWait   *metrics.Histogram
+}
+
+// leafMetrics is the leaf-switch counterpart of nodeMetrics.
+type leafMetrics struct {
+	upBytes, downBytes *metrics.Counter
+	upWait, downWait   *metrics.Histogram
+}
+
+// noNodeMetrics / noLeafMetrics are the shared all-nil handle bundles
+// cached on links of an uninstrumented fabric, so the transfer path is
+// one atomic load regardless of instrumentation.
+var (
+	noNodeMetrics nodeMetrics
+	noLeafMetrics leafMetrics
+)
 
 type node struct {
 	id      NodeID
 	leaf    int
+	leafSW  *leafSwitch // cached f.leaves[leaf], resolved at New
 	egress  *vtime.Resource
 	ingress *vtime.Resource
 
-	// Per-link metric handles, created lazily under Fabric.mu on the
-	// first transfer touching the link (nil when no registry attached).
-	egBytes, inBytes *metrics.Counter
-	egWait, inWait   *metrics.Histogram
+	// Per-link handles, resolved once on the node's first transfer and
+	// cached behind an atomic pointer (see Fabric.nodeHandles): the hot
+	// path is a single lock-free load, and a fabric only ever creates
+	// instruments for links that actually carry traffic — machines are
+	// platform-sized (hundreds of nodes) while runs touch a handful, so
+	// resolving all of them up front would dwarf the run itself.
+	nm atomic.Pointer[nodeMetrics]
 }
 
 type leafSwitch struct {
 	up   *vtime.Resource // toward the spine
 	down *vtime.Resource // from the spine
 
-	upBytes, downBytes *metrics.Counter
-	upWait, downWait   *metrics.Histogram
+	lm atomic.Pointer[leafMetrics]
 }
 
 // Fabric is a simulated interconnect. All methods are safe for concurrent
-// use.
+// use; UseMetrics must be called before traffic starts.
 type Fabric struct {
 	cfg    Config
+	upBW   float64 // uplink bandwidth, precomputed at New
 	nodes  []*node
 	leaves []*leafSwitch
 
-	mu        sync.Mutex
-	transfers int64
-	bytes     int64
-	dropped   int64
-	hooks     []FaultHook
-	reg       *metrics.Registry
+	// Fabric totals. Atomics, not a mutex: transfers on disjoint paths
+	// must never serialize on bookkeeping.
+	transfers atomic.Int64
+	bytes     atomic.Int64
+	dropped   atomic.Int64
+
+	// Fault hooks behind an atomic snapshot: the transfer path loads the
+	// current slice pointer; AddFaultHook/ClearFaultHooks/Reset swap in a
+	// fresh slice under hookMu (copy-on-write, writers only).
+	hooks  atomic.Pointer[[]FaultHook]
+	hookMu sync.Mutex
+
+	// Registry and fabric-total handles, resolved once by UseMetrics.
+	reg              *metrics.Registry
+	mTransfersLocal  *metrics.Counter
+	mTransfersRemote *metrics.Counter
+	mBytesLocal      *metrics.Counter
+	mBytesRemote     *metrics.Counter
+	mDropped         *metrics.Counter
 }
 
 // New builds a fabric with numNodes nodes. Nodes are assigned to leaf
@@ -140,7 +186,10 @@ func New(cfg Config, numNodes int) *Fabric {
 	if numNodes <= 0 {
 		panic("netsim: need at least one node")
 	}
-	f := &Fabric{cfg: cfg}
+	f := &Fabric{
+		cfg:  cfg,
+		upBW: cfg.LinkBandwidth * float64(cfg.NodesPerSwitch) / cfg.PruneFactor,
+	}
 	nLeaves := (numNodes + cfg.NodesPerSwitch - 1) / cfg.NodesPerSwitch
 	for l := 0; l < nLeaves; l++ {
 		f.leaves = append(f.leaves, &leafSwitch{
@@ -149,9 +198,11 @@ func New(cfg Config, numNodes int) *Fabric {
 		})
 	}
 	for i := 0; i < numNodes; i++ {
+		leaf := i / cfg.NodesPerSwitch
 		f.nodes = append(f.nodes, &node{
 			id:      NodeID(i),
-			leaf:    i / cfg.NodesPerSwitch,
+			leaf:    leaf,
+			leafSW:  f.leaves[leaf],
 			egress:  vtime.NewResource(fmt.Sprintf("node%d-eg", i)),
 			ingress: vtime.NewResource(fmt.Sprintf("node%d-in", i)),
 		})
@@ -191,10 +242,6 @@ func (f *Fabric) check(n NodeID) int {
 	return int(n)
 }
 
-func (f *Fabric) uplinkBandwidth() float64 {
-	return f.cfg.LinkBandwidth * float64(f.cfg.NodesPerSwitch) / f.cfg.PruneFactor
-}
-
 // mix64 is the splitmix64 finalizer: a cheap, well-distributed 64-bit
 // permutation used to derive per-transfer jitter without any shared state.
 func mix64(x uint64) uint64 {
@@ -230,51 +277,83 @@ func (f *Fabric) jitter(from, to NodeID, size int64, depart vtime.Time) float64 
 
 // UseMetrics attaches a registry: subsequent transfers count bytes and
 // queue waits per link (component "link") plus fabric totals (component
-// "fabric"), and RecordUtilization can sample link busy fractions. Call
-// before traffic starts; per-link handles are created lazily under the
-// fabric lock as links first carry traffic, so idle links of a large
-// machine never appear in snapshots.
+// "fabric"), and RecordUtilization can sample link busy fractions. The
+// per-scope fabric totals are resolved here, once; per-node and
+// per-leaf handles materialize lock-free on each link's first transfer
+// (see nodeHandles), so no transfer ever takes a fabric-wide lock and a
+// platform-sized fabric never pays for links a run leaves idle. Call
+// before traffic starts: the scope handles are published unsynchronized
+// on the strength of that happens-before, and any per-link cache from a
+// previously attached registry is invalidated.
 func (f *Fabric) UseMetrics(r *metrics.Registry) {
-	f.mu.Lock()
 	f.reg = r
-	f.mu.Unlock()
+	f.mTransfersLocal = r.Counter("fabric", "transfers", metrics.L("scope", "local"))
+	f.mTransfersRemote = r.Counter("fabric", "transfers", metrics.L("scope", "remote"))
+	f.mBytesLocal = r.Counter("fabric", "bytes", metrics.L("scope", "local"))
+	f.mBytesRemote = r.Counter("fabric", "bytes", metrics.L("scope", "remote"))
+	f.mDropped = r.Counter("fabric", "dropped")
+	for _, n := range f.nodes {
+		n.nm.Store(nil)
+	}
+	for _, l := range f.leaves {
+		l.lm.Store(nil)
+	}
 }
 
-// ensureNodeMetricsLocked creates node n's per-link handles. Caller
-// holds f.mu and has checked f.reg != nil.
-func (f *Fabric) ensureNodeMetricsLocked(n *node) {
-	if n.egBytes != nil {
-		return
+// nodeHandles returns the node's instrument bundle, resolving and
+// caching it on first use. Resolution goes through the registry's own
+// creation path (idempotent, internally synchronized); racing callers
+// resolve the same instruments and one bundle wins the CAS, so the
+// published pointer is stable from then on and the transfer path pays
+// one atomic load.
+func (f *Fabric) nodeHandles(n *node) *nodeMetrics {
+	if nm := n.nm.Load(); nm != nil {
+		return nm
 	}
-	eg := metrics.L("link", fmt.Sprintf("node%d-eg", n.id))
-	in := metrics.L("link", fmt.Sprintf("node%d-in", n.id))
-	n.egBytes = f.reg.Counter("link", "bytes", eg)
-	n.inBytes = f.reg.Counter("link", "bytes", in)
-	n.egWait = f.reg.Histogram("link", "queue_wait", eg)
-	n.inWait = f.reg.Histogram("link", "queue_wait", in)
+	nm := &noNodeMetrics
+	if r := f.reg; r != nil {
+		eg := metrics.L("link", fmt.Sprintf("node%d-eg", n.id))
+		in := metrics.L("link", fmt.Sprintf("node%d-in", n.id))
+		nm = &nodeMetrics{
+			egBytes: r.Counter("link", "bytes", eg),
+			inBytes: r.Counter("link", "bytes", in),
+			egWait:  r.Histogram("link", "queue_wait", eg),
+			inWait:  r.Histogram("link", "queue_wait", in),
+		}
+	}
+	if !n.nm.CompareAndSwap(nil, nm) {
+		return n.nm.Load()
+	}
+	return nm
 }
 
-// ensureLeafMetricsLocked creates leaf l's uplink handles.
-func (f *Fabric) ensureLeafMetricsLocked(idx int) {
-	l := f.leaves[idx]
-	if l.upBytes != nil {
-		return
+// leafHandles is nodeHandles for a leaf switch.
+func (f *Fabric) leafHandles(i int, l *leafSwitch) *leafMetrics {
+	if lm := l.lm.Load(); lm != nil {
+		return lm
 	}
-	up := metrics.L("link", fmt.Sprintf("leaf%d-up", idx))
-	down := metrics.L("link", fmt.Sprintf("leaf%d-down", idx))
-	l.upBytes = f.reg.Counter("link", "bytes", up)
-	l.downBytes = f.reg.Counter("link", "bytes", down)
-	l.upWait = f.reg.Histogram("link", "queue_wait", up)
-	l.downWait = f.reg.Histogram("link", "queue_wait", down)
+	lm := &noLeafMetrics
+	if r := f.reg; r != nil {
+		up := metrics.L("link", fmt.Sprintf("leaf%d-up", i))
+		down := metrics.L("link", fmt.Sprintf("leaf%d-down", i))
+		lm = &leafMetrics{
+			upBytes:   r.Counter("link", "bytes", up),
+			downBytes: r.Counter("link", "bytes", down),
+			upWait:    r.Histogram("link", "queue_wait", up),
+			downWait:  r.Histogram("link", "queue_wait", down),
+		}
+	}
+	if !l.lm.CompareAndSwap(nil, lm) {
+		return l.lm.Load()
+	}
+	return lm
 }
 
 // RecordUtilization samples each active link's busy fraction of the
 // virtual interval [0, at] into link/utilization gauges (idle links are
 // skipped). Call once after the workload has drained.
 func (f *Fabric) RecordUtilization(at vtime.Time) {
-	f.mu.Lock()
 	reg := f.reg
-	f.mu.Unlock()
 	if reg == nil || at <= 0 {
 		return
 	}
@@ -298,25 +377,32 @@ func (f *Fabric) RecordUtilization(at vtime.Time) {
 // compose: slow factors multiply, latencies add, and any Drop verdict
 // drops the message.
 func (f *Fabric) AddFaultHook(h FaultHook) {
-	f.mu.Lock()
-	f.hooks = append(f.hooks, h)
-	f.mu.Unlock()
+	f.hookMu.Lock()
+	var hooks []FaultHook
+	if old := f.hooks.Load(); old != nil {
+		hooks = append(hooks, *old...)
+	}
+	hooks = append(hooks, h)
+	f.hooks.Store(&hooks)
+	f.hookMu.Unlock()
 }
 
 // ClearFaultHooks removes every installed fault hook.
 func (f *Fabric) ClearFaultHooks() {
-	f.mu.Lock()
-	f.hooks = nil
-	f.mu.Unlock()
+	f.hookMu.Lock()
+	f.hooks.Store(nil)
+	f.hookMu.Unlock()
 }
 
-// verdict combines every hook's verdict for one transfer.
+// verdict combines every hook's verdict for one transfer. It reads the
+// hook snapshot through the atomic pointer: no lock on the transfer path.
 func (f *Fabric) verdict(from, to NodeID, size int64, depart vtime.Time) FaultVerdict {
-	f.mu.Lock()
-	hooks := f.hooks
-	f.mu.Unlock()
 	out := FaultVerdict{SlowFactor: 1}
-	for _, h := range hooks {
+	hp := f.hooks.Load()
+	if hp == nil {
+		return out
+	}
+	for _, h := range *hp {
 		v := h(from, to, size, depart)
 		if v.SlowFactor > 0 {
 			out.SlowFactor *= v.SlowFactor
@@ -346,49 +432,41 @@ func (f *Fabric) Transfer(from, to NodeID, size int64, depart vtime.Time) vtime.
 // delivery time and whether the message was actually delivered. A dropped
 // transfer still occupies its path (the bytes entered the wire before
 // being lost) and the returned time is when the loss is final.
+//
+// The only synchronization on this path is the per-link Resource booking
+// along the transfer's own route: totals are atomics, metric handles are
+// pre-resolved or CAS-cached (and nil-safe when no registry is
+// attached), the fault snapshot and jitter are lock-free reads.
 func (f *Fabric) TransferChecked(from, to NodeID, size int64, depart vtime.Time) (vtime.Time, bool) {
 	if size < 0 {
 		panic("netsim: negative transfer size")
 	}
 	a, b := f.nodes[f.check(from)], f.nodes[f.check(to)]
 	v := f.verdict(from, to, size, depart)
-	hops := f.Hops(from, to)
 
-	scope := "remote"
-	if a.id == b.id {
-		scope = "local"
-	}
-	f.mu.Lock()
-	f.transfers++
-	f.bytes += size
+	f.transfers.Add(1)
+	f.bytes.Add(size)
 	if v.Drop {
-		f.dropped++
+		f.dropped.Add(1)
+		f.mDropped.Inc()
 	}
-	instrumented := f.reg != nil
-	if instrumented {
-		f.reg.Counter("fabric", "transfers", metrics.L("scope", scope)).Inc()
-		f.reg.Counter("fabric", "bytes", metrics.L("scope", scope)).Add(size)
-		if v.Drop {
-			f.reg.Counter("fabric", "dropped").Inc()
-		}
-		if a.id != b.id {
-			f.ensureNodeMetricsLocked(a)
-			f.ensureNodeMetricsLocked(b)
-			if hops == 4 {
-				f.ensureLeafMetricsLocked(a.leaf)
-				f.ensureLeafMetricsLocked(b.leaf)
-			}
-		}
-	}
-	f.mu.Unlock()
 
 	t := depart + f.cfg.SoftwareLatency + v.ExtraLatency
 	if a.id == b.id {
+		f.mTransfersLocal.Inc()
+		f.mBytesLocal.Add(size)
 		return t, !v.Drop
 	}
-	if instrumented {
-		a.egBytes.Add(size)
-		b.inBytes.Add(size)
+	f.mTransfersRemote.Inc()
+	f.mBytesRemote.Add(size)
+	am, bm := f.nodeHandles(a), f.nodeHandles(b)
+	am.egBytes.Add(size)
+	bm.inBytes.Add(size)
+
+	crossSpine := a.leaf != b.leaf
+	hops := 2
+	if crossSpine {
+		hops = 4
 	}
 	j := f.jitter(from, to, size, depart) * v.SlowFactor
 	linkD := j * float64(size) / f.cfg.LinkBandwidth
@@ -399,21 +477,21 @@ func (f *Fabric) TransferChecked(from, to NodeID, size int64, depart vtime.Time)
 	// uncongested path costs one serialization, while a congested link
 	// stalls the flow.
 	start, end := a.egress.Acquire(t, linkD)
-	a.egWait.Observe(start - t)
-	if hops == 4 {
-		if instrumented {
-			f.leaves[a.leaf].upBytes.Add(size)
-			f.leaves[b.leaf].downBytes.Add(size)
-		}
-		upD := j * float64(size) / f.uplinkBandwidth()
-		s2, e2 := f.leaves[a.leaf].up.Acquire(start, upD)
-		f.leaves[a.leaf].upWait.Observe(s2 - start)
-		s3, e3 := f.leaves[b.leaf].down.Acquire(s2, upD)
-		f.leaves[b.leaf].downWait.Observe(s3 - s2)
+	am.egWait.Observe(start - t)
+	if crossSpine {
+		la, lb := a.leafSW, b.leafSW
+		lam, lbm := f.leafHandles(a.leaf, la), f.leafHandles(b.leaf, lb)
+		lam.upBytes.Add(size)
+		lbm.downBytes.Add(size)
+		upD := j * float64(size) / f.upBW
+		s2, e2 := la.up.Acquire(start, upD)
+		lam.upWait.Observe(s2 - start)
+		s3, e3 := lb.down.Acquire(s2, upD)
+		lbm.downWait.Observe(s3 - s2)
 		start, end = s3, vtime.MaxTime(end, e2, e3)
 	}
 	s4, e4 := b.ingress.Acquire(start, linkD)
-	b.inWait.Observe(s4 - start)
+	bm.inWait.Observe(s4 - start)
 	end = vtime.MaxTime(end, e4)
 	return end + lat, !v.Drop
 }
@@ -429,7 +507,7 @@ func (f *Fabric) TransferDuration(from, to NodeID, size int64) vtime.Dur {
 		f.cfg.HopLatency*float64(f.Hops(from, to))
 	if f.Hops(from, to) == 4 {
 		// The slowest pipeline stage bounds cut-through transfers.
-		up := float64(size) / f.uplinkBandwidth()
+		up := float64(size) / f.upBW
 		if up > float64(size)/f.cfg.LinkBandwidth {
 			d = f.cfg.SoftwareLatency + up + f.cfg.HopLatency*4
 		}
@@ -439,26 +517,24 @@ func (f *Fabric) TransferDuration(from, to NodeID, size int64) vtime.Dur {
 
 // Transfers returns the number of transfers and total bytes moved.
 func (f *Fabric) Transfers() (n int64, bytes int64) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.transfers, f.bytes
+	return f.transfers.Load(), f.bytes.Load()
 }
 
 // Dropped returns the number of transfers lost to fault-hook drops.
 func (f *Fabric) Dropped() int64 {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.dropped
+	return f.dropped.Load()
 }
 
 // Reset returns every link to idle at time zero and clears counters and
 // fault hooks. Jitter needs no re-seeding: it is a stateless hash of each
 // transfer, so repeated runs are identical by construction.
 func (f *Fabric) Reset() {
-	f.mu.Lock()
-	f.transfers, f.bytes, f.dropped = 0, 0, 0
-	f.hooks = nil
-	f.mu.Unlock()
+	f.transfers.Store(0)
+	f.bytes.Store(0)
+	f.dropped.Store(0)
+	f.hookMu.Lock()
+	f.hooks.Store(nil)
+	f.hookMu.Unlock()
 	for _, n := range f.nodes {
 		n.egress.Reset()
 		n.ingress.Reset()

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"deisago/internal/metrics"
 	"deisago/internal/vtime"
@@ -89,12 +90,19 @@ type FS struct {
 	mu    sync.Mutex
 	files map[string]*file
 
-	bytesRead    int64
-	bytesWritten int64
+	// Traffic totals are atomics so concurrent readers/writers meet only
+	// on the OST resources the model says they share, not on bookkeeping.
+	bytesRead    atomic.Int64
+	bytesWritten atomic.Int64
 
-	reg      *metrics.Registry
-	ostBytes []*metrics.Counter // per-OST traffic, index-aligned with osts
-	mdsOps   *metrics.Counter
+	// Metric handles, resolved once by UseMetrics (nil and no-op when no
+	// registry is attached). Published before I/O starts; the data path
+	// reads them unsynchronized on that happens-before.
+	reg         *metrics.Registry
+	ostBytes    []*metrics.Counter // per-OST traffic, index-aligned with osts
+	mdsOps      *metrics.Counter
+	mReadBytes  *metrics.Counter
+	mWriteBytes *metrics.Counter
 }
 
 // New creates an empty file system.
@@ -125,6 +133,8 @@ func (fs *FS) UseMetrics(r *metrics.Registry) {
 	defer fs.mu.Unlock()
 	fs.reg = r
 	fs.mdsOps = r.Counter("pfs", "mds_ops")
+	fs.mReadBytes = r.Counter("pfs", "bytes", metrics.L("op", "read"))
+	fs.mWriteBytes = r.Counter("pfs", "bytes", metrics.L("op", "write"))
 	fs.ostBytes = make([]*metrics.Counter, len(fs.osts))
 	for i := range fs.osts {
 		fs.ostBytes[i] = r.Counter("pfs", "ost_bytes", metrics.LInt("ost", i))
@@ -137,8 +147,8 @@ func (fs *FS) UseMetrics(r *metrics.Registry) {
 func (fs *FS) RecordUtilization(at vtime.Time) {
 	fs.mu.Lock()
 	reg := fs.reg
-	moved := fs.bytesRead + fs.bytesWritten
 	fs.mu.Unlock()
+	moved := fs.bytesRead.Load() + fs.bytesWritten.Load()
 	if reg == nil || at <= 0 {
 		return
 	}
@@ -233,9 +243,7 @@ func (fs *FS) stripeCost(off, n int64, at vtime.Time) vtime.Time {
 	if n == 0 {
 		return at
 	}
-	fs.mu.Lock()
 	ostBytes := fs.ostBytes
-	fs.mu.Unlock()
 	end := at
 	ss := fs.cfg.StripeSize
 	for pos := off; pos < off+n; {
@@ -280,10 +288,8 @@ func (fs *FS) WriteAtCost(path string, off int64, p []byte, costBytes int64, at 
 		return at, err
 	}
 	f.writeAt(off, p)
-	fs.mu.Lock()
-	fs.bytesWritten += costBytes
-	fs.reg.Counter("pfs", "bytes", metrics.L("op", "write")).Add(costBytes)
-	fs.mu.Unlock()
+	fs.bytesWritten.Add(costBytes)
+	fs.mWriteBytes.Add(costBytes)
 	return fs.stripeCost(off, costBytes, at), nil
 }
 
@@ -315,18 +321,14 @@ func (fs *FS) ReadAtCostBuf(path string, off, n, costBytes int64, buf []byte, at
 	if err != nil {
 		return nil, at, err
 	}
-	fs.mu.Lock()
-	fs.bytesRead += costBytes
-	fs.reg.Counter("pfs", "bytes", metrics.L("op", "read")).Add(costBytes)
-	fs.mu.Unlock()
+	fs.bytesRead.Add(costBytes)
+	fs.mReadBytes.Add(costBytes)
 	return data, fs.stripeCost(off, costBytes, at), nil
 }
 
 // Traffic returns total bytes read and written since creation or Reset.
 func (fs *FS) Traffic() (read, written int64) {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	return fs.bytesRead, fs.bytesWritten
+	return fs.bytesRead.Load(), fs.bytesWritten.Load()
 }
 
 // ReleaseBefore promises that no future I/O on this file system will be
@@ -350,7 +352,6 @@ func (fs *FS) ResetTime() {
 	for _, o := range fs.osts {
 		o.Reset()
 	}
-	fs.mu.Lock()
-	fs.bytesRead, fs.bytesWritten = 0, 0
-	fs.mu.Unlock()
+	fs.bytesRead.Store(0)
+	fs.bytesWritten.Store(0)
 }

@@ -8,12 +8,16 @@
 //     the data-plane and sweep suite (BENCH_PIPELINE.json).
 //
 // Either way the rule is the same: more than +15% time, or allocation
-// growth beyond a small noise epsilon, fails. A baseline file may also
-// carry a "speedups" section pairing a slow and a fast benchmark with a
-// minimum ratio; ratios contingent on hardware parallelism declare
-// min_cores, and on smaller machines a fallback_min_ratio (typically
-// ~1: "the parallel path must at least not be slower") applies, so the
-// full claim is enforced exactly where it is measurable.
+// growth beyond a small noise epsilon, fails. An entry may additionally
+// set max_allocs_per_op, an absolute allocation ceiling independent of
+// the recorded baseline — with max_allocs_per_op 0 it pins a hot path to
+// "allocation free", a property relative slack cannot express when the
+// baseline itself is 0. A baseline file may also carry a "speedups"
+// section pairing a slow and a fast benchmark with a minimum ratio;
+// ratios contingent on hardware parallelism declare min_cores, and on
+// smaller machines a fallback_min_ratio (typically ~1: "the parallel
+// path must at least not be slower") applies, so the full claim is
+// enforced exactly where it is measurable.
 // scripts/check.sh pipes the benchmark output through both gates.
 //
 // Usage: go test -bench 'Benchmark...' ./... | benchgate -baseline BENCH_SCHED.json
@@ -55,6 +59,11 @@ type entry struct {
 	PR4AllocsPerTask float64 `json:"pr4_allocs_per_task"`
 	NsPerOp          float64 `json:"ns_per_op"`
 	AllocsPerOp      float64 `json:"allocs_per_op"`
+	// MaxAllocsPerOp, when present, is an absolute allocs/op ceiling
+	// (0 = the path must be allocation free). Unlike AllocsPerOp it is a
+	// hard cap, not a relative baseline, and it requires the run to have
+	// measured allocations at all.
+	MaxAllocsPerOp *float64 `json:"max_allocs_per_op"`
 }
 
 // speedup is one required ratio between two measured benchmarks. When
@@ -163,7 +172,7 @@ func gate(base map[string]entry, got map[string]result) []string {
 	// failures print stably.
 	names := make([]string, 0, len(base))
 	for name, e := range base {
-		if e.PR4NsPerTask <= 0 && e.NsPerOp <= 0 {
+		if e.PR4NsPerTask <= 0 && e.NsPerOp <= 0 && e.MaxAllocsPerOp == nil {
 			continue // seed-only entry
 		}
 		names = append(names, name)
@@ -194,6 +203,15 @@ func gate(base map[string]entry, got map[string]result) []string {
 			if e.AllocsPerOp > 0 && r.allocsPerOp > e.AllocsPerOp*allocSlackRel {
 				problems = append(problems, fmt.Sprintf("%s: %.0f allocs/op regresses baseline %.0f",
 					name, r.allocsPerOp, e.AllocsPerOp))
+			}
+		}
+		if e.MaxAllocsPerOp != nil {
+			switch {
+			case r.allocsPerOp < 0:
+				problems = append(problems, fmt.Sprintf("%s: max_allocs_per_op set but the run measured no allocs/op (missing -benchmem/ReportAllocs?)", name))
+			case r.allocsPerOp > *e.MaxAllocsPerOp+allocEps:
+				problems = append(problems, fmt.Sprintf("%s: %.3f allocs/op exceeds hard cap %.0f",
+					name, r.allocsPerOp, *e.MaxAllocsPerOp))
 			}
 		}
 	}

@@ -132,6 +132,41 @@ func TestGateOpMetrics(t *testing.T) {
 	}
 }
 
+func TestGateMaxAllocsCap(t *testing.T) {
+	zero := 0.0
+	two := 2.0
+	base := map[string]entry{
+		"BenchmarkFabricTransfer/serial":  {NsPerOp: 600, MaxAllocsPerOp: &zero},
+		"BenchmarkRegistryLookup/counter": {NsPerOp: 40, MaxAllocsPerOp: &zero},
+		"BenchmarkLoose":                  {MaxAllocsPerOp: &two}, // cap-only entry: still gated
+		"BenchmarkRelativeOnly":           {NsPerOp: 100, AllocsPerOp: 5},
+	}
+	ok := map[string]result{
+		"FabricTransfer/serial":  {nsPerOp: 550, allocsPerOp: 0, nsPerTask: -1, allocsPerTask: -1},
+		"RegistryLookup/counter": {nsPerOp: 30, allocsPerOp: 0.02, nsPerTask: -1, allocsPerTask: -1}, // within eps
+		"Loose":                  {nsPerOp: 99999, allocsPerOp: 2, nsPerTask: -1, allocsPerTask: -1},
+		"RelativeOnly":           {nsPerOp: 100, allocsPerOp: 5, nsPerTask: -1, allocsPerTask: -1},
+	}
+	if problems := gate(base, ok); len(problems) != 0 {
+		t.Fatalf("within-cap run flagged: %v", problems)
+	}
+	bad := map[string]result{
+		"FabricTransfer/serial":  {nsPerOp: 550, allocsPerOp: 1, nsPerTask: -1, allocsPerTask: -1}, // cap 0 broken
+		"RegistryLookup/counter": {nsPerOp: 30, allocsPerOp: -1, nsPerTask: -1, allocsPerTask: -1}, // allocs unmeasured
+		"Loose":                  {nsPerOp: 1, allocsPerOp: 3, nsPerTask: -1, allocsPerTask: -1},   // cap 2 broken
+		"RelativeOnly":           {nsPerOp: 100, allocsPerOp: 5, nsPerTask: -1, allocsPerTask: -1}, // no cap: fine
+	}
+	problems := gate(base, bad)
+	if len(problems) != 3 {
+		t.Fatalf("problems = %v, want cap, unmeasured, and loose-cap violations", problems)
+	}
+	if !strings.Contains(problems[0], "hard cap") ||
+		!strings.Contains(problems[1], "cap 2") ||
+		!strings.Contains(problems[2], "measured no allocs/op") {
+		t.Fatalf("unexpected problem messages: %v", problems)
+	}
+}
+
 func TestGateSpeedups(t *testing.T) {
 	reqs := map[string]speedup{
 		"compaction": {

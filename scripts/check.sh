@@ -39,7 +39,9 @@ DEISA_AUDIT=1 go test -race \
     ./internal/core \
     ./internal/chaos \
     ./internal/harness \
-    ./internal/simtest
+    ./internal/simtest \
+    ./internal/netsim \
+    ./internal/metrics
 
 echo "== coverage gate =="
 # internal/metrics is the observability substrate every claim-checking
@@ -128,5 +130,17 @@ echo "== data-plane / sweep bench regression gate =="
 ( go test -run xxx -bench 'BenchmarkResourceAcquire|BenchmarkSummarize' -benchtime 3x -count 5 ./internal/vtime ; \
   go test -run xxx -bench 'BenchmarkPipeline' -benchtime 3x -count 5 ./internal/harness ) \
     | go run ./scripts/benchgate -baseline BENCH_PIPELINE.json
+
+echo "== communication-plane bench regression gate =="
+# The lock-free fabric/metrics contract (BENCH_NET.json): the
+# instrumented transfer path and the warm registry lookup must stay
+# allocation free (max_allocs_per_op 0 hard caps), ns/op must hold, and
+# parallel senders on disjoint paths must beat one serial sender by >=x2
+# on >=4 cores (not-slower fallback on smaller machines). Fixed
+# -benchtime 50000x keeps the per-sender virtual-time tables — and so
+# the per-op cost — independent of benchmark calibration.
+go test -run xxx -bench 'BenchmarkFabricTransfer|BenchmarkRegistryLookup' -benchtime 50000x -count 5 \
+    ./internal/netsim ./internal/metrics \
+    | go run ./scripts/benchgate -baseline BENCH_NET.json
 
 echo "OK"
