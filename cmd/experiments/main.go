@@ -42,6 +42,11 @@ func main() {
 		workerMem  = flag.Int64("worker-mem", 0, "per-worker managed-memory limit (MiB) for the chaos scenario; enables LRU spill-to-PFS, scatter backpressure, and a random memlimit squeeze in seeded plans (0 = unlimited)")
 
 		metricsOut = flag.String("metrics-out", "", "run a fixed-seed DEISA3 reference workflow at the sweep scale and write its metrics snapshot to this file (.csv extension selects CSV, anything else JSON)")
+
+		jobs          = flag.Int("jobs", 0, "run this many concurrent pipelines as tenants of one shared platform and print per-tenant fingerprints and fairness")
+		tenantWeights = flag.String("tenant-weights", "", "comma-separated fair-share weights for -jobs, cycled over the jobs (e.g. '1,2,8'; default all 1)")
+		jobsMax       = flag.Int("jobs-max-concurrent", 0, "admission cap for -jobs: at most this many jobs run at once (0 = unlimited)")
+		jobsPlan      = flag.String("jobs-plan", "", "fault plan DSL for the -jobs run, e.g. 'killjob:job1@2' (worker kills not supported here)")
 	)
 	flag.Parse()
 
@@ -54,9 +59,13 @@ func main() {
 	}
 	opts.Parallel = *parallel
 	if !*all && *fig == "" && !*headline && *ablation == "" && *chaosSeed == 0 && *chaosPlan == "" &&
-		*metricsOut == "" {
+		*metricsOut == "" && *jobs == 0 {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *jobs > 0 {
+		runMultiJob(opts, *jobs, *tenantWeights, *jobsMax, *jobsPlan, *workerMem<<20, *quick)
 	}
 
 	if *metricsOut != "" {
@@ -198,6 +207,84 @@ func main() {
 		check(err)
 		fmt.Println(h.Format())
 	}
+}
+
+// runMultiJob runs n concurrent tenant pipelines on one shared
+// platform and prints the per-tenant outcome table: fingerprints are
+// reproducible for a fixed seed regardless of the admission
+// interleaving, so two invocations must print identical digests.
+func runMultiJob(opts harness.Options, n int, weightsCSV string, maxConcurrent int,
+	planDSL string, workerMem int64, quick bool) {
+	start := time.Now()
+	var weights []float64
+	if weightsCSV != "" {
+		for _, f := range strings.Split(weightsCSV, ",") {
+			var w float64
+			_, err := fmt.Sscanf(strings.TrimSpace(f), "%g", &w)
+			check(err)
+			weights = append(weights, w)
+		}
+	}
+	ranks, steps := 4, opts.Timesteps
+	if quick {
+		ranks, steps = 2, 4
+	}
+	specs := make([]harness.JobSpec, n)
+	for i := range specs {
+		w := 1.0
+		if len(weights) > 0 {
+			w = weights[i%len(weights)]
+		}
+		specs[i] = harness.JobSpec{
+			Name:       fmt.Sprintf("job%d", i),
+			Weight:     w,
+			Ranks:      ranks,
+			Timesteps:  steps,
+			BlockBytes: opts.BlockBytes,
+		}
+	}
+	cfg := harness.MultiJobConfig{
+		Jobs:              specs,
+		Workers:           2 * ranks,
+		Seed:              7,
+		Model:             opts.Model,
+		MaxConcurrent:     maxConcurrent,
+		WorkerMemoryLimit: workerMem,
+		EnableAudit:       true,
+	}
+	if planDSL != "" {
+		plan, err := chaos.ParsePlan(planDSL)
+		check(err)
+		cfg.ChaosPlan = plan
+	}
+	res, err := harness.RunMultiJob(cfg)
+	check(err)
+
+	fmt.Printf("Multi-tenant run: %d jobs, %d workers, seed %d\n", n, cfg.Workers, cfg.Seed)
+	fmt.Printf("%-8s %6s %6s %6s %6s %8s %7s %10s %8s  %s\n",
+		"tenant", "weight", "ranks", "steps", "sent", "skipped", "killed", "analytics", "share", "fingerprint")
+	tenantShare := map[string]float64{}
+	for _, ts := range res.Tenants {
+		tenantShare[ts.Name] = ts.Share
+	}
+	for i, j := range res.Jobs {
+		killed := "-"
+		if j.Killed {
+			killed = fmt.Sprintf("@%d", j.KilledStep)
+		}
+		fmt.Printf("%-8s %6g %6d %6d %6d %8d %7s %9.4fs %7.1f%%  %s\n",
+			j.Name, j.Weight, specs[i].Ranks, specs[i].Timesteps,
+			j.BlocksSent, j.BlocksSkipped, killed, j.AnalyticsTime,
+			100*tenantShare[j.Name], j.Fingerprint[:16])
+	}
+	fmt.Printf("jain=%.4f admitted=%d max_queue=%d makespan=%.4fs\n",
+		res.Jain, res.Admission.Admitted, res.Admission.MaxQueue, res.Makespan)
+	if len(res.ChaosLog) > 0 {
+		for _, e := range res.ChaosLog {
+			fmt.Printf("fault: %s\n", e.String())
+		}
+	}
+	fmt.Fprintf(os.Stderr, "[multijob done in %v]\n", time.Since(start).Round(time.Millisecond))
 }
 
 func check(err error) {

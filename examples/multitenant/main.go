@@ -1,0 +1,77 @@
+// Multitenant: three weighted jobs share one deisa platform.
+//
+// Each job is a full Heat2D + bridge + incremental-PCA pipeline in its
+// own tenant namespace ("<name>/" key prefix) with its own fair-share
+// weight. The demo runs the mixed workload three ways — fully
+// interleaved, strictly serial (admission cap 1), and with one tenant
+// cancelled mid-run by a killjob fault — and shows that every tenant's
+// analytics fingerprint depends only on its own job spec: identical
+// across interleavings, and identical for the survivors of the kill.
+//
+//	go run ./examples/multitenant
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"deisago/internal/chaos"
+	"deisago/internal/harness"
+)
+
+func jobs() []harness.JobSpec {
+	return []harness.JobSpec{
+		{Name: "climate", Weight: 1, Ranks: 2, Timesteps: 4, BlockBytes: 1 << 20},
+		{Name: "fusion", Weight: 2, Ranks: 2, Timesteps: 4, BlockBytes: 1 << 20},
+		{Name: "urgent", Weight: 8, Ranks: 1, Timesteps: 3, BlockBytes: 1 << 20},
+	}
+}
+
+func run(label string, cfg harness.MultiJobConfig) *harness.MultiJobResult {
+	res, err := harness.RunMultiJob(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("--- %s (makespan %.4fs, Jain %.4f, admitted %d, peak queue %d)\n",
+		label, res.Makespan, res.Jain, res.Admission.Admitted, res.Admission.MaxQueue)
+	for _, j := range res.Jobs {
+		killed := ""
+		if j.Killed {
+			killed = fmt.Sprintf("  [killed @%d: %d blocks filtered]", j.KilledStep, j.BlocksSkipped)
+		}
+		fmt.Printf("%-8s w=%g  sent=%2d  analytics=%.4fs  fp=%s%s\n",
+			j.Name, j.Weight, j.BlocksSent, j.AnalyticsTime, j.Fingerprint[:16], killed)
+	}
+	return res
+}
+
+func main() {
+	interleaved := run("interleaved", harness.MultiJobConfig{
+		Jobs: jobs(), Workers: 3, Seed: 7,
+	})
+
+	serial := run("serial (admission MaxConcurrent=1)", harness.MultiJobConfig{
+		Jobs: jobs(), Workers: 3, Seed: 7, MaxConcurrent: 1,
+	})
+
+	plan, err := chaos.ParsePlan("killjob:fusion@2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	chaotic := run("killjob:fusion@2", harness.MultiJobConfig{
+		Jobs: jobs(), Workers: 3, Seed: 7, ChaosPlan: plan,
+	})
+
+	for _, j := range interleaved.Jobs {
+		if s := serial.Job(j.Name); s.Fingerprint != j.Fingerprint {
+			log.Fatalf("%s: serial fingerprint diverged", j.Name)
+		}
+		if j.Name == "fusion" {
+			continue // the cancelled tenant legitimately differs
+		}
+		if c := chaotic.Job(j.Name); c.Fingerprint != j.Fingerprint {
+			log.Fatalf("%s: survivor fingerprint diverged under killjob", j.Name)
+		}
+	}
+	fmt.Println("--- fingerprints: serial == interleaved; killjob survivors unchanged")
+}

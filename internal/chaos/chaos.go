@@ -47,6 +47,13 @@ const (
 	// The worker spills to fit and refuses scatters it cannot hold, which
 	// the bridges absorb via retry/backoff.
 	KindMemLimit
+	// KindKillJob cancels tenant Tenant's pipeline from timestep Step
+	// on (multi-job runs): the job's analytics truncate their selection
+	// to steps before Step, its bridges filter everything else, and the
+	// surviving tenants' results must be bit-identical to a run where
+	// the killed tenant never existed. Step 0 cancels before any data
+	// flows.
+	KindKillJob
 )
 
 // String names the kind.
@@ -62,6 +69,8 @@ func (k Kind) String() string {
 		return "delay"
 	case KindMemLimit:
 		return "memlimit"
+	case KindKillJob:
+		return "killjob"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -84,6 +93,8 @@ type Event struct {
 	End      vtime.Time    // degrade/memlimit: window end; <= 0 means open-ended
 
 	Limit int64 // memlimit: squeezed per-worker limit in bytes
+
+	Tenant string // killjob: cancelled tenant name
 }
 
 // String renders the event in the plan DSL.
@@ -109,6 +120,8 @@ func (e Event) String() string {
 		}
 		return fmt.Sprintf("memlimit:%d:%d@%s-%s",
 			e.Worker, e.Limit, trimFloat(float64(e.Start)), end)
+	case KindKillJob:
+		return fmt.Sprintf("killjob:%s@%d", e.Tenant, e.Step)
 	}
 	return fmt.Sprintf("?%d", int(e.Kind))
 }
@@ -153,6 +166,7 @@ func (p *Plan) Kills() []int {
 //	drop:R/S:N        drop the first N publish attempts of rank R at step S
 //	delay:R/S:D       stall rank R for D virtual seconds at step S
 //	memlimit:W:B@T1-T2    squeeze worker W's memory limit to B bytes in [T1,T2); T2 may be "inf"
+//	killjob:TENANT@S  cancel tenant TENANT's pipeline from timestep S on
 func ParsePlan(s string) (*Plan, error) {
 	p := &Plan{}
 	for _, part := range strings.Split(s, ";") {
@@ -177,6 +191,8 @@ func ParsePlan(s string) (*Plan, error) {
 			ev, err = parseDelay(rest)
 		case "memlimit":
 			ev, err = parseMemLimit(rest)
+		case "killjob":
+			ev, err = parseKillJob(rest)
 		default:
 			err = fmt.Errorf("unknown kind %q", kind)
 		}
@@ -303,6 +319,21 @@ func parseMemLimit(s string) (Event, error) {
 	}, nil
 }
 
+func parseKillJob(s string) (Event, error) {
+	tenant, ss, ok := strings.Cut(s, "@")
+	if !ok {
+		return Event{}, fmt.Errorf("want TENANT@S")
+	}
+	if tenant == "" || strings.ContainsRune(tenant, '/') {
+		return Event{}, fmt.Errorf("bad tenant %q (non-empty, no '/')", tenant)
+	}
+	step, err := strconv.Atoi(ss)
+	if err != nil || step < 0 {
+		return Event{}, fmt.Errorf("bad step %q", ss)
+	}
+	return Event{Kind: KindKillJob, Tenant: tenant, Step: step}, nil
+}
+
 // Spec bounds random plan generation: the scenario's shape plus how many
 // faults of each kind to draw.
 type Spec struct {
@@ -325,6 +356,12 @@ type Spec struct {
 	// time-bounded). MemBytes must be positive when MemLimits > 0.
 	MemLimits int
 	MemBytes  int64
+
+	// Tenants are the job names of a multi-job scenario; JobKills is how
+	// many of them to cancel mid-run (distinct victims, at most
+	// len(Tenants)-1 so at least one job survives).
+	Tenants  []string
+	JobKills int
 }
 
 // NewRandomPlan draws a fault plan from the seed. Kill victims are
@@ -345,6 +382,10 @@ func NewRandomPlan(seed int64, spec Spec) (*Plan, error) {
 	}
 	if spec.MemLimits > 0 && spec.MemBytes <= 0 {
 		return nil, fmt.Errorf("chaos: memlimit draws need MemBytes > 0")
+	}
+	if spec.JobKills > 0 && spec.JobKills > len(spec.Tenants)-1 {
+		return nil, fmt.Errorf("chaos: %d job kills would leave no surviving tenant of %d",
+			spec.JobKills, len(spec.Tenants))
 	}
 	rng := rand.New(rand.NewSource(seed))
 	p := &Plan{Seed: seed}
@@ -401,6 +442,17 @@ func NewRandomPlan(seed int64, spec Spec) (*Plan, error) {
 			Limit: limit, Start: start,
 			End: start + vtime.Time(0.5+rng.Float64()),
 		})
+	}
+	// Job-kill draws come last (after memlimit) for the same reason the
+	// memlimit draws do: plans from pre-killjob seeds stay byte-identical
+	// when JobKills is zero.
+	if spec.JobKills > 0 {
+		perm := rng.Perm(len(spec.Tenants))[:spec.JobKills]
+		for _, ti := range perm {
+			p.Events = append(p.Events, Event{
+				Kind: KindKillJob, Tenant: spec.Tenants[ti], Step: step(),
+			})
+		}
 	}
 	return p, nil
 }

@@ -36,6 +36,8 @@ func (e LogEntry) String() string {
 		return fmt.Sprintf("delay %s (event %d, rank %d step %d)", e.Key, e.Event, e.Rank, e.Step)
 	case "memlimit":
 		return fmt.Sprintf("memlimit worker %d (event %d)", e.Worker, e.Event)
+	case "killjob":
+		return fmt.Sprintf("killjob tenant %s from step %d (event %d)", e.Key, e.Step, e.Event)
 	}
 	return fmt.Sprintf("%s (event %d)", e.Kind, e.Event)
 }
@@ -86,6 +88,13 @@ func NewController(plan *Plan, cluster *dask.Cluster) (*Controller, error) {
 			if ev.Limit <= 0 {
 				return nil, fmt.Errorf("chaos: event %d memlimit must be positive, got %d", i, ev.Limit)
 			}
+		case KindKillJob:
+			if ev.Tenant == "" {
+				return nil, fmt.Errorf("chaos: event %d killjob needs a tenant", i)
+			}
+			if ev.Step < 0 {
+				return nil, fmt.Errorf("chaos: event %d killjob step %d negative", i, ev.Step)
+			}
 		}
 	}
 	if len(seen) >= n {
@@ -99,14 +108,20 @@ func NewController(plan *Plan, cluster *dask.Cluster) (*Controller, error) {
 	}
 	// Memlimit windows are keyed on virtual time, not publish
 	// coordinates, so they install (and log) at construction — the log
-	// entry is deterministic regardless of run interleaving.
+	// entry is deterministic regardless of run interleaving. Job kills
+	// likewise: the multi-job driver reads them off KillJobs before the
+	// jobs start, so the cancellation is a property of the plan, not of
+	// run timing, and the entry can be logged here.
 	ctrl.mu.Lock()
 	for i, ev := range plan.Events {
-		if ev.Kind != KindMemLimit {
-			continue
+		switch ev.Kind {
+		case KindMemLimit:
+			cluster.SetWorkerMemoryWindow(ev.Worker, ev.Limit, ev.Start, ev.End)
+			ctrl.record(LogEntry{Event: i, Kind: "memlimit", Worker: ev.Worker, Rank: -1, Step: -1})
+		case KindKillJob:
+			ctrl.record(LogEntry{Event: i, Kind: "killjob", Worker: -1, Rank: -1,
+				Step: ev.Step, Key: ev.Tenant})
 		}
-		cluster.SetWorkerMemoryWindow(ev.Worker, ev.Limit, ev.Start, ev.End)
-		ctrl.record(LogEntry{Event: i, Kind: "memlimit", Worker: ev.Worker, Rank: -1, Step: -1})
 	}
 	ctrl.mu.Unlock()
 	return ctrl, nil
@@ -158,6 +173,23 @@ func (c *Controller) OnPublish(rank, step, attempt int, key taskgraph.Key, now v
 // record must be called with c.mu held.
 func (c *Controller) record(e LogEntry) {
 	c.log[logKey{event: e.Event, key: e.Key, attempt: e.Attempt}] = e
+}
+
+// KillJobs returns the plan's job cancellations as tenant -> earliest
+// cancellation step. The multi-job driver consults it before launching
+// jobs: a cancelled tenant's analytics select only timesteps before the
+// step, so its bridges filter the rest and the job winds down cleanly.
+func (c *Controller) KillJobs() map[string]int {
+	out := map[string]int{}
+	for _, ev := range c.plan.Events {
+		if ev.Kind != KindKillJob {
+			continue
+		}
+		if cur, ok := out[ev.Tenant]; !ok || ev.Step < cur {
+			out[ev.Tenant] = ev.Step
+		}
+	}
+	return out
 }
 
 // InstallLinkFaults registers the plan's degrade events as fault hooks

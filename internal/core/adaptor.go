@@ -17,21 +17,38 @@ import (
 // the contract.
 type Deisa struct {
 	client *dask.Client
+	ns     string
 }
 
 // Connect creates the analytics client at the given node. The client
 // never heartbeats (it is not a bridge).
 func Connect(cluster *dask.Cluster, node netsim.NodeID) *Deisa {
-	return &Deisa{client: cluster.NewClient("deisa-adaptor", node, math.Inf(1))}
+	return ConnectNamespaced(cluster, node, "")
+}
+
+// ConnectNamespaced creates the analytics client of one job on a
+// shared cluster: the handshake Variables it reads and writes are
+// prefixed "<ns>/", pairing it with the bridges whose BridgeConfig
+// carries the same Namespace. The empty namespace is plain Connect.
+func ConnectNamespaced(cluster *dask.Cluster, node netsim.NodeID, ns string) *Deisa {
+	name := "deisa-adaptor"
+	if ns != "" {
+		name = ns + "/deisa-adaptor"
+	}
+	return &Deisa{client: cluster.NewClient(name, node, math.Inf(1)), ns: ns}
 }
 
 // Client returns the underlying analytics client.
 func (d *Deisa) Client() *dask.Client { return d.client }
 
+// Namespace returns the job namespace this adaptor is scoped to ("" on
+// single-job deployments).
+func (d *Deisa) Namespace() string { return d.ns }
+
 // GetDeisaArrays blocks until rank 0 publishes the descriptors and
 // returns the array set for selection.
 func (d *Deisa) GetDeisaArrays() (*ArraySet, error) {
-	v := d.client.Variable(ArraysVariable).Get()
+	v := d.client.Variable(NamespacedVariable(d.ns, ArraysVariable)).Get()
 	msg, ok := v.(*ArraysMsg)
 	if !ok {
 		return nil, fmt.Errorf("core: arrays variable holds %T", v)
@@ -156,7 +173,7 @@ func (s *ArraySet) ValidateContract() (*Contract, error) {
 	if _, err := s.deisa.client.ExternalFutures(allKeys); err != nil {
 		return nil, err
 	}
-	s.deisa.client.Variable(ContractVariable).Set(contract)
+	s.deisa.client.Variable(NamespacedVariable(s.deisa.ns, ContractVariable)).Set(contract)
 	s.validated = true
 	return contract, nil
 }

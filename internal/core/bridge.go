@@ -69,6 +69,13 @@ type BridgeConfig struct {
 	// (schedule-space exploration; see dask.TieBreaker). nil keeps the
 	// deterministic production scan.
 	TieBreak dask.TieBreaker
+	// Namespace, when non-empty, scopes this bridge to one job on a
+	// shared cluster: declared arrays are stamped with it (so block
+	// keys become "<ns>/deisa-..."), the handshake Variables and DEISA1
+	// queues are prefixed "<ns>/", and the bridge's instruments carry a
+	// tenant label. Must match the tenant name registered on the
+	// cluster and the namespace of the job's adaptor.
+	Namespace string
 }
 
 // Bridge is the simulation-side endpoint of the coupling: one per MPI
@@ -120,19 +127,31 @@ type publishedBlock struct {
 // NewBridge connects a bridge to the cluster.
 func NewBridge(cfg BridgeConfig) *Bridge {
 	reg := cfg.Cluster.Metrics()
-	rank := metrics.LInt("rank", cfg.Rank)
+	// Namespaced bridges additionally label their instruments with the
+	// tenant, so per-tenant fabric traffic (shipped_bytes{tenant}) is
+	// attributable at the bridge boundary; un-namespaced bridges keep
+	// the original rank-only series.
+	lbls := make([]metrics.Label, 0, 2)
+	lbls = append(lbls, metrics.LInt("rank", cfg.Rank))
+	if cfg.Namespace != "" {
+		lbls = append(lbls, metrics.L("tenant", cfg.Namespace))
+	}
+	name := fmt.Sprintf("bridge-%d", cfg.Rank)
+	if cfg.Namespace != "" {
+		name = cfg.Namespace + "/" + name
+	}
 	return &Bridge{
 		cfg:           cfg,
-		client:        cfg.Cluster.NewClient(fmt.Sprintf("bridge-%d", cfg.Rank), cfg.Node, cfg.HeartbeatInterval),
+		client:        cfg.Cluster.NewClient(name, cfg.Node, cfg.HeartbeatInterval),
 		arrays:        map[string]*VirtualArray{},
 		published:     map[taskgraph.Key]publishedBlock{},
-		mShipped:      reg.Counter("bridge", "blocks_shipped", rank),
-		mFiltered:     reg.Counter("bridge", "blocks_filtered", rank),
-		mRetries:      reg.Counter("bridge", "retries", rank),
-		mFailovers:    reg.Counter("bridge", "failovers", rank),
-		mRepublished:  reg.Counter("bridge", "republished", rank),
-		mPublishOK:    reg.Counter("bridge", "publish_ok", rank),
-		mShippedBytes: reg.Counter("bridge", "shipped_bytes", rank),
+		mShipped:      reg.Counter("bridge", "blocks_shipped", lbls...),
+		mFiltered:     reg.Counter("bridge", "blocks_filtered", lbls...),
+		mRetries:      reg.Counter("bridge", "retries", lbls...),
+		mFailovers:    reg.Counter("bridge", "failovers", lbls...),
+		mRepublished:  reg.Counter("bridge", "republished", lbls...),
+		mPublishOK:    reg.Counter("bridge", "publish_ok", lbls...),
+		mShippedBytes: reg.Counter("bridge", "shipped_bytes", lbls...),
 	}
 }
 
@@ -158,6 +177,11 @@ func (b *Bridge) Mode() Mode { return b.cfg.Mode }
 func (b *Bridge) DeclareArray(va *VirtualArray) error {
 	if b.ready {
 		return fmt.Errorf("core: DeclareArray after Init")
+	}
+	if b.cfg.Namespace != "" && va.Namespace == "" {
+		// Arrays inherit the bridge's job namespace, so YAML-declared
+		// arrays (the PDI plugin path) scope automatically.
+		va.Namespace = b.cfg.Namespace
 	}
 	if err := va.Validate(); err != nil {
 		return err
@@ -201,10 +225,10 @@ func (b *Bridge) Init(at vtime.Time) (vtime.Time, error) {
 		for _, n := range names {
 			msg.Arrays = append(msg.Arrays, b.arrays[n])
 		}
-		b.client.Variable(ArraysVariable).Set(msg)
+		b.client.Variable(NamespacedVariable(b.cfg.Namespace, ArraysVariable)).Set(msg)
 	}
 	if b.cfg.Mode == ModeExternal {
-		v := b.client.Variable(ContractVariable).Get()
+		v := b.client.Variable(NamespacedVariable(b.cfg.Namespace, ContractVariable)).Get()
 		contract, ok := v.(*Contract)
 		if !ok {
 			return b.client.Now(), fmt.Errorf("core: contract variable holds %T", v)
@@ -277,7 +301,7 @@ func (b *Bridge) Publish(arrayName string, pos []int, data *ndarray.Array, at vt
 		// Per-timestep metadata through the rank's distributed queue,
 		// plus the full decomposition-metadata refresh of the HiPC'21
 		// protocol.
-		b.client.Queue(Deisa1QueueName(b.cfg.Rank)).Put(string(key))
+		b.client.Queue(NamespacedVariable(b.cfg.Namespace, Deisa1QueueName(b.cfg.Rank))).Put(string(key))
 		if b.cfg.MetaEntries > 0 {
 			b.client.SendMetadata(b.cfg.MetaEntries)
 		}

@@ -124,3 +124,15 @@ const (
 	ArraysVariable   = "deisa-arrays"
 	ContractVariable = "deisa-contract"
 )
+
+// NamespacedVariable scopes a handshake Variable (or queue) name to one
+// job namespace: "<ns>/<base>". The empty namespace returns base
+// unchanged, so single-job deployments keep the paper's names. Bridges
+// and adaptors created with the same namespace pair up on the scoped
+// names; concurrent pipelines never cross-talk.
+func NamespacedVariable(ns, base string) string {
+	if ns == "" {
+		return base
+	}
+	return ns + "/" + base
+}

@@ -50,6 +50,14 @@ type VirtualArray struct {
 	Subsize []int  `json:"subsize"` // block extent per dimension
 	TimeDim int    `json:"timedim"`
 
+	// Namespace, when non-empty, scopes every key this array generates
+	// to one job: block keys become "<ns>/deisa-<name>-...". Bridges
+	// stamp it from their own Namespace at declaration, so concurrent
+	// pipelines sharing a cluster never collide on block keys even when
+	// their arrays share a name. Empty on single-job deployments, which
+	// keeps the paper's §2.4.1 naming unchanged.
+	Namespace string `json:"namespace,omitempty"`
+
 	// grid caches Size[d]/Subsize[d]; it is derived state, computed once
 	// on first use. Descriptors are treated as immutable after
 	// declaration, so the cache never goes stale.
@@ -94,6 +102,9 @@ func (v *VirtualArray) Validate() error {
 	if v.Subsize[v.TimeDim] != 1 {
 		return fmt.Errorf("core: %s: time-dimension block extent must be 1, got %d", v.Name, v.Subsize[v.TimeDim])
 	}
+	if strings.ContainsRune(v.Namespace, '/') {
+		return fmt.Errorf("core: %s: namespace %q must be a single path segment", v.Name, v.Namespace)
+	}
 	return nil
 }
 
@@ -137,7 +148,11 @@ func (v *VirtualArray) BlockKey(pos []int) taskgraph.Key {
 	grid := v.gridCached()
 	// One allocation: the key bytes themselves (which the scheduler
 	// interns and retains anyway).
-	buf := make([]byte, 0, len(KeyPrefix)+len(v.Name)+2+4*len(pos))
+	buf := make([]byte, 0, len(v.Namespace)+1+len(KeyPrefix)+len(v.Name)+2+4*len(pos))
+	if v.Namespace != "" {
+		buf = append(buf, v.Namespace...)
+		buf = append(buf, '/')
+	}
 	buf = append(buf, KeyPrefix...)
 	buf = append(buf, '-')
 	buf = append(buf, v.Name...)
@@ -154,9 +169,14 @@ func (v *VirtualArray) BlockKey(pos []int) taskgraph.Key {
 	return taskgraph.Key(buf)
 }
 
-// ParseBlockKey inverts BlockKey, returning the array name and position.
+// ParseBlockKey inverts BlockKey, returning the array name and
+// position. A job-namespace prefix ("<ns>/") is stripped; the returned
+// name is the bare array name.
 func ParseBlockKey(k taskgraph.Key) (name string, pos []int, err error) {
 	s := string(k)
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		s = s[i+1:]
+	}
 	if !strings.HasPrefix(s, KeyPrefix+"-") {
 		return "", nil, fmt.Errorf("core: key %q lacks %q prefix", k, KeyPrefix)
 	}
@@ -211,7 +231,11 @@ func (v *VirtualArray) PositionForStart(start []int) ([]int, error) {
 // external — produced by the simulation, not by graph tasks). This is
 // the dask.array the adaptor hands to analytics code (§2.4.2).
 func (v *VirtualArray) Chunked() *array.Chunked {
-	return array.FromKeys(KeyPrefix+"-"+v.Name, v.Size, v.Subsize, func(idx []int) taskgraph.Key {
+	name := KeyPrefix + "-" + v.Name
+	if v.Namespace != "" {
+		name = v.Namespace + "/" + name
+	}
+	return array.FromKeys(name, v.Size, v.Subsize, func(idx []int) taskgraph.Key {
 		return v.BlockKey(idx)
 	})
 }

@@ -37,6 +37,9 @@ import (
 //     spilled, and the resident ledger respects the limit seen by the
 //     last governance pass — except for oversize grants, where at most
 //     one evictable block remains resident (everything else is pinned).
+//  9. Tenant isolation (multi-tenant clusters): no dependency edge
+//     crosses a tenant namespace, and each tenant's resident-byte
+//     ledger equals the recomputed byte sum of its tasks in memory.
 //
 // A violation fails loudly: the auditor panics with the violation and the
 // tail of the full transition log, so the interleaving that produced the
@@ -200,6 +203,18 @@ func (s *scheduler) setStateLocked(st *schedTask, to State) {
 	st.state = to
 	s.recordLocked(st, from)
 	s.noteTransLocked(from, to)
+	if len(s.tenants) > 0 && from != to {
+		// Per-tenant resident-byte ledger: a task entering memory adds
+		// its bytes, leaving memory (replan, erred cascade) removes the
+		// bytes it held.
+		if from == StateMemory {
+			s.tenants[s.tenantOf[st.id]].resBytes -= st.bytes
+			s.tenantsDirty = true
+		} else if to == StateMemory {
+			s.tenants[s.tenantOf[st.id]].resBytes += st.bytes
+			s.tenantsDirty = true
+		}
+	}
 }
 
 // recordReleaseLocked notes a key leaving the scheduler via release.
@@ -324,6 +339,7 @@ func (s *scheduler) auditLocked() {
 		}
 	}
 	s.auditMemoryLocked()
+	s.auditTenantsLocked()
 }
 
 // auditMemoryLocked checks invariant 8 (memory conservation) on every

@@ -10,10 +10,12 @@ import (
 )
 
 // FuzzSchedulerAudit drives the scheduler through random interleavings
-// of submit / scatter / external-create / publish / kill / release ops
-// decoded from the fuzz input, with the invariant auditor on. Any
-// invariant violation panics; a drain that cannot finish within the
-// watchdog is reported as a deadlock. Run with:
+// of submit / scatter / external-create / publish / kill / release /
+// tenant-register / namespaced-submit ops decoded from the fuzz input,
+// with the invariant auditor on (including the tenant-isolation
+// invariant: no edge crosses a namespace, per-tenant byte ledgers
+// balance). Any invariant violation panics; a drain that cannot finish
+// within the watchdog is reported as a deadlock. Run with:
 //
 //	go test -fuzz=FuzzSchedulerAudit -fuzztime=30s ./internal/dask
 func FuzzSchedulerAudit(f *testing.F) {
@@ -21,6 +23,7 @@ func FuzzSchedulerAudit(f *testing.F) {
 	f.Add([]byte{2, 3, 4, 3, 2, 3, 4, 3, 0, 0, 5, 1, 4})
 	f.Add([]byte{4, 4, 4, 0, 2, 3, 0, 5, 5, 5})
 	f.Add([]byte("submit-publish-kill-release"))
+	f.Add([]byte{6, 0, 6, 1, 7, 0, 7, 1, 4, 0, 7, 2, 5, 1})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > 64 {
 			data = data[:64]
@@ -55,9 +58,12 @@ func FuzzSchedulerAudit(f *testing.F) {
 			}
 			return live[int(b)%len(live)], true
 		}
+		tenantPalette := []string{"ta", "tb", "tc"}
+		var registered []string
+		tenantKeys := map[string][]taskgraph.Key{}
 
 		for i := 0; i < len(data); i++ {
-			op := data[i] % 6
+			op := data[i] % 8
 			arg := byte(0)
 			if i+1 < len(data) {
 				arg = data[i+1]
@@ -110,6 +116,34 @@ func FuzzSchedulerAudit(f *testing.F) {
 					continue
 				}
 				_ = cl.Release([]*Future{futs[int(arg)%len(futs)]})
+			case 6: // register a tenant namespace (admission side; dups refused)
+				name := tenantPalette[int(arg)%len(tenantPalette)]
+				if err := c.RegisterTenant(name, 1+float64(arg%4)); err == nil {
+					registered = append(registered, name)
+				}
+			case 7: // submit a chain inside one tenant's namespace; deps stay
+				// within the tenant (op 1 chains may still pick a namespaced
+				// key from the global list — the cross-tenant rejection path)
+				if len(registered) == 0 {
+					continue
+				}
+				ten := registered[int(arg)%len(registered)]
+				g := taskgraph.New()
+				var deps []taskgraph.Key
+				if own := tenantKeys[ten]; len(own) > 0 {
+					deps = append(deps, own[int(arg)%len(own)])
+				}
+				k1 := fresh(ten + "/t")
+				g.AddFn(k1, deps, sum, 1e-5)
+				k2 := fresh(ten + "/t")
+				g.AddFn(k2, []taskgraph.Key{k1}, sum, 1e-5)
+				fs, err := cl.Submit(g, []taskgraph.Key{k2})
+				if err != nil {
+					continue
+				}
+				keys = append(keys, k1, k2)
+				tenantKeys[ten] = append(tenantKeys[ten], k1, k2)
+				futs = append(futs, fs...)
 			}
 		}
 

@@ -11,8 +11,9 @@ import (
 
 // FuzzMemoryGovernance drives a memory-governed cluster through random
 // interleavings of submit / scatter / publish / kill / release / gather
-// ops plus chaos-style memlimit squeeze windows, with the invariant
-// auditor on. The auditor's memory-conservation invariant (ledger ==
+// ops plus chaos-style memlimit squeeze windows and tenant-namespace
+// traffic (tenant-owned blocks competing for the squeezed budget), with
+// the invariant auditor on. The auditor's memory-conservation invariant (ledger ==
 // store sums, tiers disjoint, externals pinned, no silent over-limit
 // residency) panics on violation; a drain that cannot finish within the
 // watchdog is a deadlock. Run with:
@@ -23,6 +24,7 @@ func FuzzMemoryGovernance(f *testing.F) {
 	f.Add([]byte{2, 3, 6, 40, 3, 0, 1, 8, 4, 1, 7, 2})
 	f.Add([]byte{6, 200, 1, 100, 1, 101, 5, 0, 0, 2, 3, 1, 7, 7})
 	f.Add([]byte("spill-squeeze-kill-gather"))
+	f.Add([]byte{8, 0, 9, 3, 9, 7, 6, 200, 9, 1, 4, 1, 9, 5, 7, 2})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > 64 {
 			data = data[:64]
@@ -71,8 +73,11 @@ func FuzzMemoryGovernance(f *testing.F) {
 			return val
 		}
 
+		tenantPalette := []string{"ta", "tb", "tc"}
+		var registered []string
+
 		for i := 0; i < len(data); i++ {
-			op := data[i] % 8
+			op := data[i] % 10
 			arg := byte(0)
 			if i+1 < len(data) {
 				arg = data[i+1]
@@ -153,6 +158,35 @@ func FuzzMemoryGovernance(f *testing.F) {
 					continue
 				}
 				_, _ = cl.Gather([]*Future{fu})
+			case 8: // register a tenant namespace (dups refused)
+				name := tenantPalette[int(arg)%len(tenantPalette)]
+				if err := c.RegisterTenant(name, 1+float64(arg%4)); err == nil {
+					registered = append(registered, name)
+				}
+			case 9: // tenant-owned block plus a consumer in the same
+				// namespace: the block lands on the tenant's resident-byte
+				// ledger and becomes spill fodder under squeeze windows
+				if len(registered) == 0 {
+					continue
+				}
+				ten := registered[int(arg)%len(registered)]
+				w, ok := liveTarget(arg)
+				if !ok {
+					continue
+				}
+				k := fresh(ten + "/blk")
+				if err := cl.Scatter([]ScatterItem{{Key: k, Value: block(arg)}}, false, w); err != nil {
+					continue
+				}
+				keys = append(keys, k)
+				futs = append(futs, &Future{Key: k, client: cl})
+				g := taskgraph.New()
+				k2 := fresh(ten + "/t")
+				g.AddFn(k2, []taskgraph.Key{k}, sum, 1e-5)
+				if fs, err := cl.Submit(g, []taskgraph.Key{k2}); err == nil {
+					keys = append(keys, k2)
+					futs = append(futs, fs...)
+				}
 			}
 		}
 

@@ -147,7 +147,7 @@ func (s *scheduler) workerLost(id int, at vtime.Time) {
 	}
 	for _, st := range s.tasks {
 		if st != nil && st.state == StateWaiting && st.missingCount == 0 && (st.fn != nil || st.timed != nil) {
-			s.ready.push(st.priority, st.id)
+			s.pushReadyLocked(st.priority, st.id)
 		}
 	}
 	s.drainReadyLocked(handled)

@@ -240,6 +240,29 @@ type scheduler struct {
 	// exploration): candidate sets reused across decisions.
 	readyTied   tied
 	assignCands []int
+
+	// Multi-tenant fair-share state (see tenant.go). Empty on every
+	// single-job cluster: each tenant-aware branch is gated on
+	// len(tenants) > 0, so the untenanted hot path is unchanged.
+	tenants   []*tenantState
+	tenantIdx map[string]int // tenant name -> tenants index
+	// tenantOf tags each interned taskID with its tenant index; it is
+	// appended in lockstep with keys once tenants exist.
+	tenantOf []int32
+	// readyN is the queued-entry total across all per-tenant heaps.
+	readyN int
+	// virtualTime is the system virtual service (the vs of the last
+	// served tenant); activating tenants catch up to it.
+	virtualTime float64
+	totalPops   int64
+	// tenantsDirty marks tenant gauges for the endOpLocked batch flush;
+	// tenantFlushSkip throttles that flush to every tenantFlushStride-th
+	// dirty operation.
+	tenantsDirty    bool
+	tenantFlushSkip int
+	jainG           *metrics.Gauge
+	tenantCands     []*tenantState
+	auditTenantB    []int64
 }
 
 // msgKinds enumerates every scheduler message kind, so the per-kind
@@ -277,6 +300,9 @@ func (s *scheduler) internLocked(k taskgraph.Key) taskID {
 	s.ids[k] = id
 	s.keys = append(s.keys, k)
 	s.tasks = append(s.tasks, nil)
+	if len(s.tenants) > 0 {
+		s.tenantOf = append(s.tenantOf, s.tenantTagLocked(k))
+	}
 	return id
 }
 
@@ -370,6 +396,18 @@ func (s *scheduler) endOpLocked() {
 		}
 		s.dirtyStates = 0
 	}
+	if s.tenantsDirty {
+		// Throttled: the fairness gauges are derived (share, bytes,
+		// Jain) and change a little on every pop, so flushing each
+		// operation would put 5 gauge appends on every scheduler op and
+		// bloat the snapshot series. Stats reads and the harness flush
+		// the final values explicitly.
+		if s.tenantFlushSkip++; s.tenantFlushSkip >= tenantFlushStride {
+			s.flushTenantGaugesLocked()
+			s.tenantsDirty = false
+			s.tenantFlushSkip = 0
+		}
+	}
 	s.auditLocked()
 }
 
@@ -401,7 +439,16 @@ func (s *scheduler) submitGraph(g *taskgraph.Graph, arrival vtime.Time) (vtime.T
 			return false
 		}
 		totalDeps += len(t.Deps)
+		var ttag int32
+		if len(s.tenants) > 0 {
+			ttag = s.tenantTagLocked(k)
+		}
 		for _, d := range t.Deps {
+			if len(s.tenants) > 0 && s.tenantTagLocked(d) != ttag {
+				verr = fmt.Errorf("dask: task %q (tenant %q) depends on %q: dependency edges may not cross tenant namespaces",
+					k, tenantLabel(s.tenants[ttag].name), d)
+				return false
+			}
 			if g.Has(d) {
 				continue
 			}
@@ -491,7 +538,7 @@ func (s *scheduler) submitGraph(g *taskgraph.Graph, arrival vtime.Time) (vtime.T
 			}
 		}
 		if st.state == StateWaiting && st.missingCount == 0 {
-			s.ready.push(st.priority, st.id)
+			s.pushReadyLocked(st.priority, st.id)
 		}
 	}
 	s.drainReadyLocked(handled)
@@ -611,7 +658,15 @@ func (s *scheduler) taskFinished(id taskID, workerID int, finishedAt vtime.Time,
 	if st == nil || st.state != StateProcessing || st.worker != workerID || s.deadWorkers[workerID] {
 		// Late, duplicate, or dead-worker report; ignore. The worker
 		// check rejects completion reports racing a kill after the
-		// workerLost replan reassigned the task elsewhere.
+		// workerLost replan reassigned the task elsewhere. The worker
+		// stored its result before reporting, so a rejected report must
+		// also purge those bytes — the task was released or erred (a
+		// dependency died mid-run) and its value must not linger in the
+		// store. A duplicate report for a value legitimately resident
+		// here is the one stale case that keeps its bytes.
+		if !s.deadWorkers[workerID] && !(st != nil && st.state == StateMemory && st.worker == workerID) {
+			s.cl.workers[workerID].drop(id, finishedAt)
+		}
 		return
 	}
 	st.worker = workerID
@@ -660,7 +715,7 @@ func (s *scheduler) onMemoryLocked(st *schedTask) {
 		}
 		dt.missingCount--
 		if dt.missingCount == 0 {
-			s.ready.push(dt.priority, dt.id)
+			s.pushReadyLocked(dt.priority, dt.id)
 		}
 	}
 }
@@ -669,7 +724,7 @@ func (s *scheduler) onMemoryLocked(st *schedTask) {
 // taskID) order. Entries whose task changed state since queuing (erred
 // cascade, release) are skipped.
 func (s *scheduler) drainReadyLocked(departAt vtime.Time) {
-	for len(s.ready) > 0 {
+	for s.readyLenLocked() > 0 {
 		id := s.popReadyLocked()
 		st := s.tasks[id]
 		if st == nil || st.state != StateWaiting || st.missingCount != 0 ||
@@ -680,30 +735,51 @@ func (s *scheduler) drainReadyLocked(departAt vtime.Time) {
 	}
 }
 
-// popReadyLocked removes the next runnable task from the ready heap.
+// popReadyLocked removes the next runnable task. On untenanted
+// clusters this pops the global ready heap; with tenants registered,
+// the fair-share layer first picks the tenant to serve (smallest
+// virtual service) and then pops that tenant's heap, advancing its
+// virtual service by 1/weight.
+func (s *scheduler) popReadyLocked() taskID {
+	if len(s.tenants) == 0 {
+		return s.popQueueLocked(&s.ready)
+	}
+	t := s.pickTenantLocked()
+	id := s.popQueueLocked(&t.ready)
+	s.readyN--
+	s.virtualTime = t.vs
+	t.vs += 1.0 / t.weight
+	t.pops++
+	s.totalPops++
+	t.popsC.Inc()
+	s.tenantsDirty = true
+	return id
+}
+
+// popQueueLocked removes the next runnable task from one ready heap.
 // Without a tie-breaker this is the heap minimum — (priority, taskID)
 // order. With one, every entry tied at the minimal priority is a legal
 // next pick: the candidates are ordered by task key (content-stable
 // across runs, unlike interned IDs) and the breaker chooses among them.
-func (s *scheduler) popReadyLocked() taskID {
+func (s *scheduler) popQueueLocked(q *readyQueue) taskID {
 	tb := s.cl.cfg.TieBreak
-	if tb == nil || len(s.ready) < 2 {
-		return s.ready.pop()
+	if tb == nil || len(*q) < 2 {
+		return q.pop()
 	}
-	minPrio := s.ready[0].priority
+	minPrio := (*q)[0].priority
 	tied := tied(s.readyTied[:0])
-	for i, it := range s.ready {
+	for i, it := range *q {
 		if it.priority == minPrio {
 			tied = append(tied, tiedCand{idx: i, key: string(s.keys[it.id])})
 		}
 	}
 	s.readyTied = tied
 	if len(tied) < 2 {
-		return s.ready.pop()
+		return q.pop()
 	}
 	sort.Sort(tied)
 	pick := clampPick(tb.Pick(Decision{Point: PointReadyPop, Key: tied[0].key, N: len(tied)}), len(tied))
-	return s.ready.removeAt(tied[pick].idx)
+	return q.removeAt(tied[pick].idx)
 }
 
 // tiedCand is one member of a tied candidate set: its heap index and
@@ -823,6 +899,9 @@ func (s *scheduler) assignLocked(st *schedTask, departAt vtime.Time) {
 	}
 	st.worker = best
 	s.setStateLocked(st, StateProcessing)
+	if len(s.tenants) > 0 {
+		s.tenants[s.tenantOf[st.id]].assignedC.Inc()
+	}
 
 	// Build dependency locations for the worker-side fetch.
 	locs := make([]depLoc, 0, len(st.deps))
@@ -957,6 +1036,10 @@ func (s *scheduler) release(keys []taskgraph.Key, arrival vtime.Time) (vtime.Tim
 		}
 		if st.state == StateMemory && st.worker >= 0 {
 			s.cl.workers[st.worker].drop(st.id, handled)
+		}
+		if len(s.tenants) > 0 && st.state == StateMemory {
+			s.tenants[s.tenantOf[st.id]].resBytes -= st.bytes
+			s.tenantsDirty = true
 		}
 		for _, d := range st.deps {
 			dt := s.tasks[d]

@@ -1,0 +1,339 @@
+package dask
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"deisago/internal/metrics"
+	"deisago/internal/taskgraph"
+)
+
+// Multi-tenant fair-share layer. A cluster shared by several client
+// pipelines registers one tenant per pipeline; every key whose prefix
+// (the segment before the first '/') names a registered tenant belongs
+// to that tenant, everything else to the catch-all default tenant. The
+// ready queue splits into one heap per tenant and pops interleave
+// tenants by virtual service deficit (start-time fair queueing): a
+// tenant's virtual service advances by 1/weight per served task, the
+// scheduler always serves the backlogged tenant with the smallest
+// virtual service, and a tenant going idle is caught up on activation
+// so sleeping never banks credit. With no tenants registered — every
+// single-job cluster — all of this is dormant and the scheduler
+// behaves byte-identically to the untenanted build.
+
+// tenantState is one tenant's scheduler-side record. All fields are
+// guarded by the owning scheduler's mutex.
+type tenantState struct {
+	name   string
+	weight float64
+
+	// vs is the tenant's virtual service time: it advances by 1/weight
+	// per popped task, and pop order always serves the smallest vs among
+	// backlogged tenants.
+	vs float64
+	// ready is the tenant's private runnable heap, same ordering as the
+	// global one.
+	ready readyQueue
+
+	pops     int64 // tasks served (ready-queue pops)
+	resBytes int64 // bytes of this tenant's tasks currently in memory
+
+	popsC     *metrics.Counter
+	assignedC *metrics.Counter
+	shareG    *metrics.Gauge
+	bytesG    *metrics.Gauge
+}
+
+// tenantLabel names a tenant for metric labels and error messages (the
+// catch-all tenant has the empty name).
+func tenantLabel(name string) string {
+	if name == "" {
+		return "default"
+	}
+	return name
+}
+
+// RegisterTenant declares a tenant with the given fair-share weight.
+// Keys prefixed "<name>/" submitted, scattered, or created after this
+// call are attributed to the tenant; its share of ready-queue service
+// is weight-proportional against the other backlogged tenants. The
+// first registration also creates the catch-all default tenant (weight
+// 1) that owns every unprefixed key. Call before submitting the
+// tenant's work.
+func (c *Cluster) RegisterTenant(name string, weight float64) error {
+	if name == "" || strings.ContainsRune(name, '/') {
+		return fmt.Errorf("dask: invalid tenant name %q (non-empty, no '/')", name)
+	}
+	if weight <= 0 {
+		return fmt.Errorf("dask: tenant %q needs a positive weight, got %g", name, weight)
+	}
+	s := c.sched
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.tenants) == 0 {
+		// First registration: create the default tenant and tag every
+		// key interned so far (none can belong to a named tenant —
+		// names are only now being introduced).
+		s.tenantIdx = map[string]int{}
+		s.tenants = append(s.tenants, s.newTenantLocked("", 1))
+		for range s.keys {
+			s.tenantOf = append(s.tenantOf, 0)
+		}
+		// Blocks already resident belong to the default tenant; seed its
+		// byte ledger so the incremental accounting starts balanced.
+		for _, st := range s.tasks {
+			if st != nil && st.state == StateMemory {
+				s.tenants[0].resBytes += st.bytes
+			}
+		}
+		s.tenantsDirty = true
+		// Migrate anything already queued into the default tenant's
+		// heap (the queue is drained between operations, so this is
+		// normally empty).
+		for len(s.ready) > 0 {
+			it := s.ready[0]
+			s.ready.pop()
+			s.tenants[0].ready.push(it.priority, it.id)
+			s.readyN++
+		}
+	}
+	if _, dup := s.tenantIdx[name]; dup {
+		return fmt.Errorf("dask: tenant %q already registered", name)
+	}
+	s.tenantIdx[name] = len(s.tenants)
+	s.tenants = append(s.tenants, s.newTenantLocked(name, weight))
+	return nil
+}
+
+// newTenantLocked builds a tenant record with its instruments created
+// up front, so metric creation order is a function of registration
+// order, not of which tenant happens to run first.
+func (s *scheduler) newTenantLocked(name string, weight float64) *tenantState {
+	lbl := metrics.L("tenant", tenantLabel(name))
+	return &tenantState{
+		name:      name,
+		weight:    weight,
+		popsC:     s.cl.reg.Counter("scheduler", "tenant_pops", lbl),
+		assignedC: s.cl.reg.Counter("worker", "tenant_tasks", lbl),
+		shareG:    s.cl.reg.Gauge("scheduler", "tenant_share", lbl),
+		bytesG:    s.cl.reg.Gauge("memory", "tenant_bytes", lbl),
+	}
+}
+
+// tenantTagLocked returns the tenant index a key belongs to: the
+// segment before the first '/' when it names a registered tenant, else
+// the default tenant 0. Only meaningful with tenants present.
+func (s *scheduler) tenantTagLocked(k taskgraph.Key) int32 {
+	if i := strings.IndexByte(string(k), '/'); i > 0 {
+		if idx, ok := s.tenantIdx[string(k[:i])]; ok {
+			return int32(idx)
+		}
+	}
+	return 0
+}
+
+// pushReadyLocked queues a runnable task. Untenanted clusters use the
+// global ready heap; with tenants registered the task lands on its
+// tenant's heap, and a tenant activating from idle has its virtual
+// service caught up to the system virtual time.
+func (s *scheduler) pushReadyLocked(priority int, id taskID) {
+	if len(s.tenants) == 0 {
+		s.ready.push(priority, id)
+		return
+	}
+	t := s.tenants[s.tenantOf[id]]
+	if len(t.ready) == 0 && t.vs < s.virtualTime {
+		t.vs = s.virtualTime
+	}
+	t.ready.push(priority, id)
+	s.readyN++
+}
+
+// readyLenLocked is the number of queued runnable entries across all
+// ready heaps.
+func (s *scheduler) readyLenLocked() int {
+	if len(s.tenants) == 0 {
+		return len(s.ready)
+	}
+	return s.readyN
+}
+
+// pickTenantLocked selects the backlogged tenant with the smallest
+// virtual service. Production breaks vs ties by tenant name; with a
+// TieBreaker installed every tied tenant is a legal pick and the
+// breaker chooses through PointTenantPick (candidates in name order).
+func (s *scheduler) pickTenantLocked() *tenantState {
+	var best *tenantState
+	for _, t := range s.tenants {
+		if len(t.ready) == 0 {
+			continue
+		}
+		if best == nil || t.vs < best.vs || (t.vs == best.vs && t.name < best.name) {
+			best = t
+		}
+	}
+	if tb := s.cl.cfg.TieBreak; tb != nil && best != nil {
+		cands := s.tenantCands[:0]
+		for _, t := range s.tenants {
+			if len(t.ready) > 0 && t.vs == best.vs {
+				cands = append(cands, t)
+			}
+		}
+		s.tenantCands = cands
+		if len(cands) > 1 {
+			sort.Slice(cands, func(i, j int) bool { return cands[i].name < cands[j].name })
+			best = cands[clampPick(tb.Pick(Decision{
+				Point: PointTenantPick, Key: tenantLabel(cands[0].name), N: len(cands),
+			}), len(cands))]
+		}
+	}
+	return best
+}
+
+// tenantFlushStride is how many dirty scheduler operations may pass
+// between flushes of the derived fairness gauges. The counters (pops,
+// assigned tasks) stay exact per operation; only the derived gauges are
+// sampled at this stride.
+const tenantFlushStride = 16
+
+// FlushTenantGauges forces the throttled per-tenant fairness gauges
+// (share, resident bytes, Jain index) to their current values. Harness
+// drivers call it right before snapshotting the metrics registry so the
+// final gauge values are exact. No-op without tenants.
+func (c *Cluster) FlushTenantGauges() {
+	s := c.sched
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.tenants) == 0 {
+		return
+	}
+	s.flushTenantGaugesLocked()
+	s.tenantsDirty = false
+	s.tenantFlushSkip = 0
+}
+
+// flushTenantGaugesLocked updates the derived fairness gauges at the
+// current operation's handling time: per-tenant service share and
+// resident bytes, plus Jain's fairness index over weight-normalized
+// service (1.0 = perfectly weight-fair).
+func (s *scheduler) flushTenantGaugesLocked() {
+	var sumX, sumX2 float64
+	n := 0
+	for _, t := range s.tenants {
+		if s.totalPops > 0 {
+			t.shareG.Set(float64(t.pops)/float64(s.totalPops), s.opAt)
+		}
+		t.bytesG.Set(float64(t.resBytes), s.opAt)
+		if t.pops > 0 {
+			x := float64(t.pops) / t.weight
+			sumX += x
+			sumX2 += x * x
+			n++
+		}
+	}
+	if s.jainG == nil {
+		s.jainG = s.cl.reg.Gauge("scheduler", "fairness_jain")
+	}
+	jain := 1.0
+	if n > 0 && sumX2 > 0 {
+		jain = sumX * sumX / (float64(n) * sumX2)
+	}
+	s.jainG.Set(jain, s.opAt)
+}
+
+// auditTenantsLocked checks invariant 9 (tenant isolation): no
+// dependency edge crosses a tenant namespace, and each tenant's
+// resident-byte ledger equals the recomputed byte sum of its tasks in
+// memory.
+func (s *scheduler) auditTenantsLocked() {
+	if len(s.tenants) == 0 {
+		return
+	}
+	if cap(s.auditTenantB) < len(s.tenants) {
+		s.auditTenantB = make([]int64, len(s.tenants))
+	}
+	sums := s.auditTenantB[:len(s.tenants)]
+	for i := range sums {
+		sums[i] = 0
+	}
+	for _, st := range s.tasks {
+		if st == nil {
+			continue
+		}
+		tag := s.tenantOf[st.id]
+		for _, d := range st.deps {
+			if s.tenantOf[d] != tag {
+				s.failLocked("task %q (tenant %q) depends on %q (tenant %q): edge crosses tenant namespaces",
+					st.key, tenantLabel(s.tenants[tag].name),
+					s.keys[d], tenantLabel(s.tenants[s.tenantOf[d]].name))
+			}
+		}
+		if st.state == StateMemory {
+			sums[tag] += st.bytes
+		}
+	}
+	for i, t := range s.tenants {
+		if t.resBytes != sums[i] {
+			s.failLocked("tenant %q resident ledger %d != in-memory byte sum %d",
+				tenantLabel(t.name), t.resBytes, sums[i])
+		}
+	}
+}
+
+// TenantStats is one tenant's service snapshot.
+type TenantStats struct {
+	Name          string  // label name ("default" for the catch-all)
+	Weight        float64 // fair-share weight
+	Pops          int64   // ready-queue pops served
+	Share         float64 // fraction of total pops
+	ResidentBytes int64   // bytes of the tenant's results in memory
+}
+
+// TenantStatsAll snapshots every registered tenant in registration
+// order (the default tenant first). Nil when no tenants are registered.
+func (c *Cluster) TenantStatsAll() []TenantStats {
+	s := c.sched
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.tenants) == 0 {
+		return nil
+	}
+	out := make([]TenantStats, len(s.tenants))
+	for i, t := range s.tenants {
+		share := 0.0
+		if s.totalPops > 0 {
+			share = float64(t.pops) / float64(s.totalPops)
+		}
+		out[i] = TenantStats{
+			Name: tenantLabel(t.name), Weight: t.weight, Pops: t.pops,
+			Share: share, ResidentBytes: t.resBytes,
+		}
+	}
+	return out
+}
+
+// JainFairness returns Jain's fairness index over the tenants'
+// weight-normalized service (pops/weight): 1.0 means every tenant got
+// an exactly weight-proportional share; 1/n means one tenant got
+// everything. Tenants that were never served are excluded. Returns 1
+// when no tenant has been served (or none are registered).
+func (c *Cluster) JainFairness() float64 {
+	s := c.sched
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var sumX, sumX2 float64
+	n := 0
+	for _, t := range s.tenants {
+		if t.pops > 0 {
+			x := float64(t.pops) / t.weight
+			sumX += x
+			sumX2 += x * x
+			n++
+		}
+	}
+	if n == 0 || sumX2 == 0 {
+		return 1
+	}
+	return sumX * sumX / (float64(n) * sumX2)
+}

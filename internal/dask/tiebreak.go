@@ -37,6 +37,11 @@ const (
 	// candidates are ordered by worker id. Key is the block key plus
 	// the attempt number. Used by package core's bridge.
 	PointFailover = "failover-target"
+	// PointTenantPick picks the tenant to serve next among backlogged
+	// tenants tied at the minimal virtual service (multi-tenant fair
+	// share); candidates are ordered by tenant name. Key is the
+	// lexicographically smallest tied tenant name.
+	PointTenantPick = "tenant-pick"
 )
 
 // Decision describes one tie the scheduler (or a cooperating component)

@@ -1,0 +1,567 @@
+package harness
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"sync"
+
+	"deisago/internal/array"
+	"deisago/internal/chaos"
+	"deisago/internal/cluster"
+	"deisago/internal/core"
+	"deisago/internal/dask"
+	"deisago/internal/metrics"
+	"deisago/internal/mpi"
+	"deisago/internal/multijob"
+	"deisago/internal/ndarray"
+	"deisago/internal/netsim"
+	"deisago/internal/sim"
+	"deisago/internal/taskgraph"
+	"deisago/internal/vtime"
+)
+
+// This file is the multi-tenant driver: N concurrent Heat2D+IPCA
+// pipelines ("jobs") share one deisa platform — one fabric, one Dask
+// cluster, one scheduler. Each job gets its own namespace (every task
+// key, scatter key, Variable and queue is prefixed "<name>/"), its own
+// fair-share weight on the scheduler's ready queue, and its start is
+// gated by a multijob.Plane admission ticket. The per-job pipelines
+// are dataflow independent, so each job's analytics outputs are
+// bit-identical whether the jobs run serially (MaxConcurrent=1) or
+// fully interleaved — the per-tenant fingerprint checks exactly that.
+
+// JobSpec describes one tenant pipeline of a multi-job run.
+type JobSpec struct {
+	// Name is the tenant namespace: non-empty, unique, no '/'.
+	Name string
+	// Weight is the fair-share weight (default 1).
+	Weight float64
+	// Ranks, Timesteps, BlockBytes size this job's pipeline; jobs may
+	// differ (a mixed workload).
+	Ranks      int
+	Timesteps  int
+	BlockBytes int64
+	// MemEstimate is the managed-memory estimate the job declares at
+	// admission; 0 computes Ranks·Timesteps·BlockBytes (the job's whole
+	// scatter footprint, the worst case with nothing yet released).
+	MemEstimate int64
+}
+
+func (j *JobSpec) estimate() int64 {
+	if j.MemEstimate > 0 {
+		return j.MemEstimate
+	}
+	return int64(j.Ranks) * int64(j.Timesteps) * j.BlockBytes
+}
+
+// MultiJobConfig describes a multi-tenant run.
+type MultiJobConfig struct {
+	Jobs    []JobSpec
+	Workers int
+	// Seed controls the allocation and link jitter, as Config.Seed.
+	Seed  int64
+	Model Model
+	// RealLocalX/Y size each job's in-memory block; defaults 16×8.
+	RealLocalX, RealLocalY int
+
+	// MaxConcurrent / TenantBudget / ClusterBudget feed the admission
+	// plane (multijob.Limits); zeros mean unlimited.
+	MaxConcurrent int
+	TenantBudget  int64
+	ClusterBudget int64
+
+	// WorkerMemoryLimit, when positive, enables per-worker memory
+	// governance on the shared cluster (spill + scatter backpressure).
+	WorkerMemoryLimit int64
+	// ChaosPlan, when non-nil, runs the mixed workload under fault
+	// injection. killjob events cancel the named tenant's analytics from
+	// the given step; memlimit/drop/delay/degrade work as in single-job
+	// runs. Worker kills are rejected: their republish barrier would
+	// have to span jobs whose admission windows never overlap.
+	ChaosPlan *chaos.Plan
+	// TieBreak redirects benign scheduling ties (schedule exploration);
+	// nil keeps the production rules.
+	TieBreak dask.TieBreaker
+	// EnableAudit switches the scheduler invariant auditor on (the
+	// tenant-isolation invariant included); ChaosPlan enables it anyway.
+	EnableAudit bool
+}
+
+func (c *MultiJobConfig) defaults() {
+	if c.RealLocalX == 0 {
+		c.RealLocalX = 16
+	}
+	if c.RealLocalY == 0 {
+		c.RealLocalY = 8
+	}
+	if c.Model.CoresPerNode == 0 {
+		c.Model = DefaultModel()
+	}
+	for i := range c.Jobs {
+		if c.Jobs[i].Weight == 0 {
+			c.Jobs[i].Weight = 1
+		}
+		if c.Jobs[i].Timesteps == 0 {
+			c.Jobs[i].Timesteps = 10
+		}
+	}
+}
+
+func (c *MultiJobConfig) validate() error {
+	if len(c.Jobs) == 0 {
+		return fmt.Errorf("harness: multi-job run needs at least one job")
+	}
+	if c.Workers <= 0 {
+		return fmt.Errorf("harness: workers must be positive")
+	}
+	names := map[string]bool{}
+	for _, j := range c.Jobs {
+		if err := (multijob.Tenant{Name: j.Name, Weight: j.Weight}).Validate(); err != nil {
+			return err
+		}
+		if names[j.Name] {
+			return fmt.Errorf("harness: duplicate job name %q", j.Name)
+		}
+		names[j.Name] = true
+		if j.Ranks <= 0 || j.Timesteps <= 0 || j.BlockBytes <= 0 {
+			return fmt.Errorf("harness: job %q needs positive ranks, timesteps and block size", j.Name)
+		}
+	}
+	if c.ChaosPlan != nil {
+		for i, ev := range c.ChaosPlan.Events {
+			if ev.Kind == chaos.KindKillWorker {
+				return fmt.Errorf("harness: multi-job runs do not support worker kills (event %d)", i)
+			}
+			if ev.Kind == chaos.KindKillJob && !names[ev.Tenant] {
+				return fmt.Errorf("harness: killjob event %d targets unknown tenant %q", i, ev.Tenant)
+			}
+		}
+	}
+	return nil
+}
+
+// JobResult is one tenant's outcome.
+type JobResult struct {
+	Name   string
+	Weight float64
+	// Killed/KilledStep report a killjob cancellation: the analytics
+	// consumed only timesteps before KilledStep.
+	Killed     bool
+	KilledStep int
+
+	Components        *ndarray.Array
+	SingularValues    []float64
+	ExplainedVariance []float64
+
+	BlocksSent, BlocksSkipped int64
+	SimMakespan               float64
+	AnalyticsTime             float64
+
+	// Fingerprint digests the job's analytics values and bridge
+	// counters. It is a pure function of the job spec (and its kill
+	// step), independent of what other tenants share the platform or of
+	// the admission interleaving.
+	Fingerprint string
+}
+
+// MultiJobResult is the outcome of a multi-tenant run.
+type MultiJobResult struct {
+	Jobs []JobResult // in JobSpec order
+	// Tenants is the scheduler-side fair-share accounting (service
+	// counts, shares, resident bytes), in registration = spec order.
+	Tenants []dask.TenantStats
+	// Jain is Jain's fairness index over weight-normalized service.
+	Jain      float64
+	Admission multijob.Stats
+	ChaosLog  []chaos.LogEntry
+	Metrics   *metrics.Snapshot
+	Makespan  float64
+	// AuditLog is the shared scheduler's transition log when the
+	// invariant auditor ran (EnableAudit or ChaosPlan): the interleaved
+	// transitions of every tenant, for offline reference-model replay.
+	AuditLog       []dask.Transition
+	AuditTruncated int64
+}
+
+// Job returns the named job's result, or nil.
+func (r *MultiJobResult) Job(name string) *JobResult {
+	for i := range r.Jobs {
+		if r.Jobs[i].Name == name {
+			return &r.Jobs[i]
+		}
+	}
+	return nil
+}
+
+// fingerprint digests the fields that must be reproducible.
+func (j *JobResult) fingerprint() string {
+	h := sha256.New()
+	le := binary.LittleEndian
+	var buf [8]byte
+	writeF := func(v float64) {
+		le.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	writeI := func(v int64) {
+		le.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	h.Write([]byte(j.Name))
+	if j.Killed {
+		writeI(int64(j.KilledStep))
+	} else {
+		writeI(-1)
+	}
+	if j.Components != nil {
+		for _, d := range j.Components.Shape() {
+			writeI(int64(d))
+		}
+		for _, v := range j.Components.Data() {
+			writeF(v)
+		}
+	}
+	for _, v := range j.SingularValues {
+		writeF(v)
+	}
+	for _, v := range j.ExplainedVariance {
+		writeF(v)
+	}
+	writeI(j.BlocksSent)
+	writeI(j.BlocksSkipped)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// RunMultiJob executes a mixed workload of concurrent pipelines on one
+// shared platform.
+func RunMultiJob(cfg MultiJobConfig) (*MultiJobResult, error) {
+	cfg.defaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	m := cfg.Model
+
+	totalRanks := 0
+	for _, j := range cfg.Jobs {
+		totalRanks += j.Ranks
+	}
+	layout := cluster.Layout{
+		Workers:        cfg.Workers,
+		WorkersPerNode: m.WorkersPerNode,
+		Ranks:          totalRanks,
+		RanksPerNode:   m.RanksPerNode,
+	}
+	nodes := m.MachineNodes
+	if need := layout.NodesNeeded(); nodes < need {
+		nodes = need
+	}
+	net := m.Net
+	net.Seed = cfg.Seed
+	machine := cluster.NewMachine(net, nodes, m.CoresPerNode)
+	alloc := machine.Allocate(layout.NodesNeeded(), cfg.Seed)
+	place := alloc.Place(layout)
+
+	reg := metrics.NewRegistry()
+	machine.Fabric().UseMetrics(reg)
+	dcfg := m.Dask
+	dcfg.MetadataEntryCost = m.MetaEntryCost
+	dcfg.WorkerMemoryLimit = cfg.WorkerMemoryLimit
+	dcfg.TieBreak = cfg.TieBreak
+	dcfg.Metrics = reg
+	dc := dask.NewCluster(machine.Fabric(), dcfg, place.SchedulerNode, place.WorkerNodes)
+	defer dc.Close()
+	if cfg.EnableAudit || cfg.ChaosPlan != nil {
+		dc.EnableAudit()
+	}
+	// Registration order = spec order, so tenant indices, instrument
+	// creation, and TenantStatsAll are deterministic.
+	for _, j := range cfg.Jobs {
+		if err := dc.RegisterTenant(j.Name, j.Weight); err != nil {
+			return nil, err
+		}
+	}
+
+	var ctrl *chaos.Controller
+	killAt := map[string]int{}
+	if cfg.ChaosPlan != nil {
+		var err error
+		ctrl, err = chaos.NewController(cfg.ChaosPlan, dc)
+		if err != nil {
+			return nil, err
+		}
+		ctrl.InstallLinkFaults(machine.Fabric())
+		killAt = ctrl.KillJobs()
+	}
+
+	plane := multijob.NewPlane(multijob.Limits{
+		MaxConcurrent: cfg.MaxConcurrent,
+		TenantBudget:  cfg.TenantBudget,
+		ClusterBudget: cfg.ClusterBudget,
+	})
+
+	results := make([]JobResult, len(cfg.Jobs))
+	errs := make(chan error, len(cfg.Jobs))
+	var wg sync.WaitGroup
+	rankBase := 0
+	for i, job := range cfg.Jobs {
+		rankNodes := place.RankNodes[rankBase : rankBase+job.Ranks]
+		rankBase += job.Ranks
+		wg.Add(1)
+		go func(i int, job JobSpec, rankNodes []netsim.NodeID) {
+			defer wg.Done()
+			release, err := plane.Admit(job.Name, job.estimate())
+			if err != nil {
+				errs <- fmt.Errorf("job %q: %w", job.Name, err)
+				return
+			}
+			defer release()
+			killStep, killed := killAt[job.Name]
+			res, err := runOneJob(&cfg, job, dc, machine.Fabric(), rankNodes,
+				place.ClientNode, ctrl, killed, killStep)
+			if err != nil {
+				errs <- fmt.Errorf("job %q: %w", job.Name, err)
+				return
+			}
+			results[i] = *res
+		}(i, job, rankNodes)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return nil, err
+	}
+
+	out := &MultiJobResult{
+		Jobs:      results,
+		Tenants:   dc.TenantStatsAll(),
+		Jain:      dc.JainFairness(),
+		Admission: plane.Stats(),
+	}
+	if ctrl != nil {
+		out.ChaosLog = ctrl.Log()
+	}
+	if dc.AuditEnabled() {
+		out.AuditLog = dc.AuditLog()
+		out.AuditTruncated = dc.AuditTruncated()
+	}
+	for i := range out.Jobs {
+		if end := vtime.MaxTime(out.Jobs[i].SimMakespan, out.Jobs[i].AnalyticsTime); end > out.Makespan {
+			out.Makespan = end
+		}
+	}
+	dc.FlushTenantGauges()
+	dc.RecordUtilization(out.Makespan)
+	machine.Fabric().RecordUtilization(out.Makespan)
+	out.Metrics = reg.Snapshot()
+	return out, nil
+}
+
+// runOneJob drives one admitted pipeline: its MPI world and namespaced
+// bridges on the simulation side, its namespaced adaptor, contract and
+// IPCA graph on the analytics side.
+func runOneJob(cfg *MultiJobConfig, job JobSpec, dc *dask.Cluster, fabric *netsim.Fabric,
+	rankNodes []netsim.NodeID, clientNode netsim.NodeID, ctrl *chaos.Controller,
+	killed bool, killStep int) (*JobResult, error) {
+	m := cfg.Model
+	// Per-job view of the single-job Config: newDeisaRankSystem and the
+	// pipeline cost model read exactly these fields.
+	jcfg := Config{
+		System:     DEISA3,
+		Ranks:      job.Ranks,
+		Workers:    cfg.Workers,
+		Timesteps:  job.Timesteps,
+		BlockBytes: job.BlockBytes,
+		Seed:       cfg.Seed,
+		RealLocalX: cfg.RealLocalX,
+		RealLocalY: cfg.RealLocalY,
+		Model:      m,
+	}
+
+	va := &core.VirtualArray{
+		Name:      ArrayName,
+		Namespace: job.Name,
+		Size:      []int{job.Timesteps, cfg.RealLocalX, cfg.RealLocalY * job.Ranks},
+		Subsize:   []int{1, cfg.RealLocalX, cfg.RealLocalY},
+		TimeDim:   0,
+	}
+	if err := va.Validate(); err != nil {
+		return nil, err
+	}
+	realCells := cfg.RealLocalX * cfg.RealLocalY
+	modelCells := job.BlockBytes / 8
+	heatCfg := sim.Config{
+		GlobalX:  cfg.RealLocalX,
+		GlobalY:  cfg.RealLocalY * job.Ranks,
+		ProcX:    1,
+		ProcY:    job.Ranks,
+		Alpha:    0.2,
+		CellCost: float64(modelCells) * m.CellCost / float64(realCells),
+	}
+	if err := heatCfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	world := mpi.NewWorld(fabric, rankNodes)
+	bridges := make([]*core.Bridge, job.Ranks)
+	for r := 0; r < job.Ranks; r++ {
+		bcfg := core.BridgeConfig{
+			Rank:              r,
+			Cluster:           dc,
+			Node:              rankNodes[r],
+			HeartbeatInterval: m.Heartbeat(DEISA3),
+			Mode:              core.ModeExternal,
+			ScatterBytes:      job.BlockBytes,
+			MetaEntries:       job.Ranks,
+			TieBreak:          cfg.TieBreak,
+			Namespace:         job.Name,
+		}
+		if ctrl != nil {
+			bcfg.Interceptor = ctrl
+		}
+		bridges[r] = core.NewBridge(bcfg)
+	}
+
+	simEnds := make([]float64, job.Ranks)
+	errs := make(chan error, job.Ranks+1)
+
+	var analytics analyticsResult
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		a, aerr := runJobAnalytics(cfg, jcfg, job, dc, clientNode, va, killed, killStep)
+		if aerr != nil {
+			errs <- fmt.Errorf("analytics: %w", aerr)
+			return
+		}
+		analytics = a
+	}()
+
+	init := sim.HotSpotInitial(heatCfg)
+	world.Run(0, func(c *mpi.Comm) {
+		r := c.Rank()
+		h, herr := sim.New(heatCfg, c, init)
+		if herr != nil {
+			errs <- herr
+			return
+		}
+		sys, serr := newDeisaRankSystem(jcfg, r, bridges[r])
+		if serr != nil {
+			errs <- serr
+			return
+		}
+		end, berr := sys.Event("init", 0)
+		if berr != nil {
+			errs <- fmt.Errorf("rank %d init: %w", r, berr)
+			return
+		}
+		c.Clock().Sync(end)
+		for step := 0; step < job.Timesteps; step++ {
+			h.Step()
+			t1 := c.Now()
+			sys.Expose("step", step)
+			end, perr := sys.Share("temp", h.Local(), t1)
+			if perr != nil {
+				errs <- fmt.Errorf("rank %d step %d: %w", r, step, perr)
+				return
+			}
+			c.Clock().Sync(end)
+		}
+		if _, ferr := sys.Finalize(c.Now()); ferr != nil {
+			errs <- ferr
+			return
+		}
+		simEnds[r] = c.Now()
+	})
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return nil, err
+	}
+
+	res := &JobResult{
+		Name:              job.Name,
+		Weight:            job.Weight,
+		Killed:            killed,
+		KilledStep:        killStep,
+		Components:        analytics.components,
+		SingularValues:    analytics.singularValues,
+		ExplainedVariance: analytics.explainedVariance,
+		SimMakespan:       vtime.MaxTime(simEnds...),
+		AnalyticsTime:     analytics.duration,
+	}
+	for _, b := range bridges {
+		sent, skipped := b.Stats()
+		res.BlocksSent += sent
+		res.BlocksSkipped += skipped
+	}
+	res.Fingerprint = res.fingerprint()
+	return res, nil
+}
+
+// runJobAnalytics is the namespaced Listing-2 flow for one tenant:
+// descriptors, (possibly truncated) selection, contract, one graph.
+// A job killed at step 0 consumes nothing: it publishes an empty
+// contract — unblocking the bridges, which then filter every block —
+// and returns empty results.
+func runJobAnalytics(cfg *MultiJobConfig, jcfg Config, job JobSpec, dc *dask.Cluster,
+	clientNode netsim.NodeID, va *core.VirtualArray, killed bool, killStep int) (analyticsResult, error) {
+	d := core.ConnectNamespaced(dc, clientNode, job.Name)
+	set, err := d.GetDeisaArrays()
+	if err != nil {
+		return analyticsResult{}, err
+	}
+	steps := job.Timesteps
+	if killed && killStep < steps {
+		steps = killStep
+	}
+	if steps == 0 {
+		// ValidateContract rejects empty selections, so publish the empty
+		// contract directly; the job yields no analytics values.
+		d.Client().Variable(core.NamespacedVariable(job.Name, core.ContractVariable)).Set(core.NewContract())
+		return analyticsResult{duration: d.Client().Now()}, nil
+	}
+	da, err := set.Get(ArrayName)
+	if err != nil {
+		return analyticsResult{}, err
+	}
+	if steps < job.Timesteps {
+		da.Select(
+			array.Range{Start: 0, Stop: steps},
+			array.Range{Start: 0, Stop: cfg.RealLocalX},
+			array.Range{Start: 0, Stop: job.Ranks * cfg.RealLocalY},
+		)
+	} else {
+		da.SelectAll()
+	}
+	if _, err := set.ValidateContract(); err != nil {
+		return analyticsResult{}, err
+	}
+
+	pipe := newNamespacedPipeline(jcfg, job.Name)
+	g := taskgraph.New()
+	var prev taskgraph.Key
+	for t := 0; t < steps; t++ {
+		sketches := make([]taskgraph.Key, 0, job.Ranks)
+		for b := 0; b < job.Ranks; b++ {
+			blockKey := va.BlockKey([]int{t, 0, b})
+			sketches = append(sketches,
+				pipe.addFoldSketch(g, fmt.Sprintf("t%03d-b%04d", t, b), blockKey))
+		}
+		prev = pipe.addFit(g, taskgraph.Key(fmt.Sprintf("ipca-state-%03d", t)), prev, sketches)
+	}
+	targets := pipe.addExtract(g, "ipca", prev)
+	futs, err := d.Client().Submit(g, targets)
+	if err != nil {
+		return analyticsResult{}, err
+	}
+	vals, err := d.Client().Gather(futs)
+	if err != nil {
+		return analyticsResult{}, err
+	}
+	out := extractResults(vals)
+	out.duration = d.Client().Now()
+	return out, nil
+}

@@ -1,0 +1,57 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Multi-tenant throughput benchmarks. BenchmarkMultiJobThroughput runs
+// N identical tenant pipelines end to end on one shared platform;
+// BenchmarkSingleJobBaseline is the same pipeline through the pre-PR
+// single-job path. BENCH_MULTIJOB.json gates both, plus the
+// multijob_not_slower speedup: the 1-tenant multi-job path — admission
+// plane, namespacing, tenant heaps and all — must not be slower than
+// the single-job driver it generalises.
+
+// benchJobSpecs sizes n identical tenants: each the same 2-rank ×
+// 3-step × 1 MiB pipeline the single-job baseline runs.
+func benchJobSpecs(n int) []JobSpec {
+	out := make([]JobSpec, n)
+	for i := range out {
+		out[i] = JobSpec{
+			Name:       fmt.Sprintf("ten%d", i),
+			Weight:     1,
+			Ranks:      2,
+			Timesteps:  3,
+			BlockBytes: 1 * MiB,
+		}
+	}
+	return out
+}
+
+func BenchmarkMultiJobThroughput(b *testing.B) {
+	for _, n := range []int{1, 2, 8} {
+		b.Run(fmt.Sprintf("tenants_%d", n), func(b *testing.B) {
+			cfg := MultiJobConfig{Jobs: benchJobSpecs(n), Workers: 4, Seed: 7}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := RunMultiJob(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSingleJobBaseline(b *testing.B) {
+	cfg := Config{
+		System: DEISA3, Ranks: 2, Workers: 4,
+		Timesteps: 3, BlockBytes: 1 * MiB, Seed: 7,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -25,6 +25,10 @@ import (
 // data crosses workers toward the sequential chain.
 type pipeline struct {
 	cfg Config
+	// prefix scopes every key the pipeline mints to one job namespace
+	// ("<ns>/"); empty on single-job runs, so the historical key names
+	// are untouched.
+	prefix string
 	// Modelled dimensions.
 	nBlock int // samples per block
 	f      int // features
@@ -32,12 +36,22 @@ type pipeline struct {
 }
 
 func newPipeline(cfg Config) *pipeline {
+	return newNamespacedPipeline(cfg, "")
+}
+
+// newNamespacedPipeline builds a pipeline whose keys are scoped to one
+// job namespace on a shared multi-tenant cluster.
+func newNamespacedPipeline(cfg Config, ns string) *pipeline {
 	f := cfg.Model.FeaturesModel
 	n := int(cfg.BlockBytes / 8 / int64(f))
 	if n < 1 {
 		n = 1
 	}
-	return &pipeline{cfg: cfg, nBlock: n, f: f, k: cfg.Model.NComponents}
+	prefix := ""
+	if ns != "" {
+		prefix = ns + "/"
+	}
+	return &pipeline{cfg: cfg, prefix: prefix, nBlock: n, f: f, k: cfg.Model.NComponents}
 }
 
 func (p *pipeline) foldCost() vtime.Dur {
@@ -73,7 +87,7 @@ var foldSpec = ml.FoldSpec{
 // addRead adds a PFS chunk-read task (post hoc only). Its duration is
 // dynamic: the simulated file system prices the read under contention.
 func (p *pipeline) addRead(g *taskgraph.Graph, suffix string, ds *h5.Dataset, t, b int) taskgraph.Key {
-	key := taskgraph.Key("read-" + suffix)
+	key := taskgraph.Key(p.prefix + "read-" + suffix)
 	task := g.AddTimed(key, nil, func(_ []any, start vtime.Time) (any, vtime.Time, error) {
 		block, end, err := ds.ReadChunk([]int{t, 0, b}, start)
 		if err != nil {
@@ -87,7 +101,7 @@ func (p *pipeline) addRead(g *taskgraph.Graph, suffix string, ds *h5.Dataset, t,
 
 // addFold adds the centering/stacking pass over one block.
 func (p *pipeline) addFold(g *taskgraph.Graph, suffix string, blockKey taskgraph.Key) taskgraph.Key {
-	key := taskgraph.Key("fold-" + suffix)
+	key := taskgraph.Key(p.prefix + "fold-" + suffix)
 	task := g.AddFn(key, []taskgraph.Key{blockKey}, func(in []any) (any, error) {
 		block, ok := in[0].(*ndarray.Array)
 		if !ok {
@@ -105,7 +119,7 @@ func (p *pipeline) addFold(g *taskgraph.Graph, suffix string, blockKey taskgraph
 // through unchanged (exactness); the model prices the sketch flops and
 // ships only the sketch-sized output.
 func (p *pipeline) addSketch(g *taskgraph.Graph, suffix string, foldKey taskgraph.Key) taskgraph.Key {
-	key := taskgraph.Key("sketch-" + suffix)
+	key := taskgraph.Key(p.prefix + "sketch-" + suffix)
 	task := g.AddFn(key, []taskgraph.Key{foldKey}, func(in []any) (any, error) {
 		m, ok := in[0].(*ndarray.Array)
 		if !ok {
@@ -127,6 +141,7 @@ func (p *pipeline) addFoldSketch(g *taskgraph.Graph, suffix string, blockKey tas
 // batch matrices (sample-wise) and folds them into the running estimator.
 // prev is empty for the first step.
 func (p *pipeline) addFit(g *taskgraph.Graph, key, prev taskgraph.Key, sketches []taskgraph.Key) taskgraph.Key {
+	key = taskgraph.Key(p.prefix) + key
 	deps := make([]taskgraph.Key, 0, len(sketches)+1)
 	hasPrev := prev != ""
 	if hasPrev {
@@ -175,6 +190,7 @@ func (p *pipeline) addFit(g *taskgraph.Graph, key, prev taskgraph.Key, sketches 
 // addExtract adds the three result-extraction tasks and returns their
 // keys in [components, singular values, explained variance] order.
 func (p *pipeline) addExtract(g *taskgraph.Graph, name string, state taskgraph.Key) []taskgraph.Key {
+	name = p.prefix + name
 	comp := taskgraph.Key(name + "-components")
 	g.AddFn(comp, []taskgraph.Key{state}, func(in []any) (any, error) {
 		return in[0].(*ml.IncrementalPCA).Components, nil

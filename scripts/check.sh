@@ -131,6 +131,20 @@ echo "== data-plane / sweep bench regression gate =="
   go test -run xxx -bench 'BenchmarkPipeline' -benchtime 3x -count 5 ./internal/harness ) \
     | go run ./scripts/benchgate -baseline BENCH_PIPELINE.json
 
+echo "== multi-tenant control-plane gate =="
+# Concurrent tenant pipelines on one shared platform. The simtest multi
+# explorer sweeps seeded schedules of a mixed workload (fault-free and
+# under a killjob cancellation) and requires bit-identical per-tenant
+# fingerprints plus a clean reference-model replay of the shared
+# scheduler's interleaved transition log. The bench gate compares
+# against BENCH_MULTIJOB.json: the fair-share pop path must stay
+# allocation free (max_allocs_per_op 0) and the 1-tenant multi-job path
+# must not be slower than the single-job driver (multijob_not_slower).
+go test -count=1 -run 'TestExploreMulti|TestMultiOverrideReplayMatchesSeededRun' ./internal/simtest
+( go test -run xxx -bench 'BenchmarkMultiJobThroughput|BenchmarkSingleJobBaseline' -benchtime 20x -count 5 ./internal/harness ; \
+  go test -run xxx -bench 'BenchmarkFairSharePop' -benchtime 50x -count 5 ./internal/dask ) \
+    | go run ./scripts/benchgate -baseline BENCH_MULTIJOB.json
+
 echo "== communication-plane bench regression gate =="
 # The lock-free fabric/metrics contract (BENCH_NET.json): the
 # instrumented transfer path and the warm registry lookup must stay
